@@ -1,0 +1,291 @@
+// Benchmarks: one per paper table/figure (regenerating its data on the
+// synthetic SPEC suite), plus ablations over the design choices
+// DESIGN.md calls out (method, float propagation, return constants,
+// alias/MOD preparation, back-edge handling).
+//
+// Run with: go test -bench=. -benchmem
+package fsicp_test
+
+import (
+	"testing"
+
+	"fsicp/internal/bench"
+	"fsicp/internal/clone"
+	"fsicp/internal/icp"
+	"fsicp/internal/inline"
+	"fsicp/internal/interp"
+	"fsicp/internal/jumpfunc"
+	"fsicp/internal/lattice"
+	"fsicp/internal/metrics"
+	"fsicp/internal/sem"
+	"fsicp/internal/tables"
+	"fsicp/internal/transform"
+)
+
+// compileSuite prepares contexts once; the benchmarks then measure the
+// analysis phases proper, matching the paper's "analysis phase of the
+// compilation" timing.
+func compileSuite(b *testing.B, profiles []bench.Profile) []*icp.Context {
+	b.Helper()
+	var ctxs []*icp.Context
+	for _, p := range profiles {
+		ctx, err := tables.Compile(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctxs = append(ctxs, ctx)
+	}
+	return ctxs
+}
+
+func runSuite(b *testing.B, ctxs []*icp.Context, opts icp.Options) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ctx := range ctxs {
+			icp.Analyze(ctx, opts)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the Figure 1 per-method comparison.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tables.Figure1Table(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (call-site candidates, SPECfp92,
+// both methods plus metric extraction).
+func BenchmarkTable1(b *testing.B) {
+	ctxs := compileSuite(b, bench.SPECfp92())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ctx := range ctxs {
+			fi := icp.Analyze(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: true})
+			fs := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+			metrics.CallSiteMetrics(fi)
+			metrics.CallSiteMetrics(fs)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (propagated constants, SPECfp92).
+func BenchmarkTable2(b *testing.B) {
+	ctxs := compileSuite(b, bench.SPECfp92())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ctx := range ctxs {
+			fi := icp.Analyze(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: true})
+			fs := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+			metrics.EntryMetrics(fi)
+			metrics.EntryMetrics(fs)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (first-release subset, floats
+// off, call-site candidates).
+func BenchmarkTable3(b *testing.B) {
+	ctxs := compileSuite(b, bench.FirstRelease())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ctx := range ctxs {
+			fi := icp.Analyze(ctx, icp.Options{Method: icp.FlowInsensitive})
+			fs := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive})
+			metrics.CallSiteMetrics(fi)
+			metrics.CallSiteMetrics(fs)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (first-release subset, floats
+// off, propagated constants).
+func BenchmarkTable4(b *testing.B) {
+	ctxs := compileSuite(b, bench.FirstRelease())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ctx := range ctxs {
+			fi := icp.Analyze(ctx, icp.Options{Method: icp.FlowInsensitive})
+			fs := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive})
+			metrics.EntryMetrics(fi)
+			metrics.EntryMetrics(fs)
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5 (intraprocedural substitutions
+// under POLYNOMIAL vs FI vs FS).
+func BenchmarkTable5(b *testing.B) {
+	ctxs := compileSuite(b, bench.FirstRelease())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ctx := range ctxs {
+			poly := jumpfunc.Analyze(ctx, jumpfunc.Polynomial)
+			fi := icp.Analyze(ctx, icp.Options{Method: icp.FlowInsensitive})
+			fs := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive})
+			transform.CountSubstitutions(ctx, func(q *sem.Proc) lattice.Env[*sem.Var] { return poly.EntryEnv(q) })
+			transform.CountSubstitutions(ctx, func(q *sem.Proc) lattice.Env[*sem.Var] { return fi.Entry[q] })
+			transform.CountSubstitutions(ctx, func(q *sem.Proc) lattice.Env[*sem.Var] { return fs.Entry[q] })
+		}
+	}
+}
+
+// BenchmarkAnalysisFI and BenchmarkAnalysisFS measure the two analysis
+// phases on the full suite — the paper's §4 timing comparison (FS ≈
+// 1.5× FI).
+func BenchmarkAnalysisFI(b *testing.B) {
+	runSuite(b, compileSuite(b, bench.SPECfp92()),
+		icp.Options{Method: icp.FlowInsensitive, PropagateFloats: true})
+}
+
+func BenchmarkAnalysisFS(b *testing.B) {
+	runSuite(b, compileSuite(b, bench.SPECfp92()),
+		icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+}
+
+// Ablation: the return-constant extension's extra reverse traversal.
+func BenchmarkAnalysisFSReturns(b *testing.B) {
+	runSuite(b, compileSuite(b, bench.SPECfp92()),
+		icp.Options{Method: icp.FlowSensitive, PropagateFloats: true, ReturnConstants: true})
+}
+
+// Ablation: float propagation off (Tables 3–5 configuration).
+func BenchmarkAnalysisFSNoFloats(b *testing.B) {
+	runSuite(b, compileSuite(b, bench.SPECfp92()),
+		icp.Options{Method: icp.FlowSensitive})
+}
+
+// Ablation: the four jump-function baselines on the same suite.
+func BenchmarkJumpFunctions(b *testing.B) {
+	kinds := []jumpfunc.Kind{jumpfunc.Literal, jumpfunc.Intra, jumpfunc.PassThrough, jumpfunc.Polynomial}
+	ctxs := compileSuite(b, bench.SPECfp92())
+	for _, k := range kinds {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, ctx := range ctxs {
+					jumpfunc.Analyze(ctx, k)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrepare measures the pre-ICP phases (call graph, aliases,
+// MOD/REF) the paper's compilation model runs before ICP.
+func BenchmarkPrepare(b *testing.B) {
+	profiles := bench.SPECfp92()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range profiles {
+			if _, err := tables.Compile(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBackEdgeSweep regenerates the §3.2 back-edge ratio
+// experiment.
+func BenchmarkBackEdgeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables.BackEdgeSweep(6)
+	}
+}
+
+// BenchmarkInterp measures the reference interpreter on the suite
+// (the soundness oracle's cost).
+func BenchmarkInterp(b *testing.B) {
+	ctxs := compileSuite(b, bench.SPECfp92())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ctx := range ctxs {
+			r := interp.Run(ctx.Prog, interp.Options{MaxSteps: 10_000_000})
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkTransform measures the transformation phase under the FS
+// solution.
+func BenchmarkTransform(b *testing.B) {
+	profiles := bench.SPECfp92()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var ctxs []*icp.Context
+		var results []*icp.Result
+		for _, p := range profiles {
+			ctx, err := tables.Compile(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctxs = append(ctxs, ctx)
+			results = append(results, icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true}))
+		}
+		b.StartTimer()
+		for j, ctx := range ctxs {
+			r := results[j]
+			transform.Apply(ctx, func(q *sem.Proc) lattice.Env[*sem.Var] { return r.Entry[q] })
+		}
+	}
+}
+
+// BenchmarkInline measures full procedure integration on the suite
+// (the Wegman–Zadeck alternative the paper's related work discusses).
+func BenchmarkInline(b *testing.B) {
+	profiles := bench.FirstRelease()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range profiles {
+			ctx, err := tables.Compile(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inline.Program(ctx.Prog, inline.Options{MaxDepth: 4})
+		}
+	}
+}
+
+// BenchmarkClone measures one goal-directed cloning round plus the
+// re-analysis (the Metzger–Stroud experiment).
+func BenchmarkClone(b *testing.B) {
+	profiles := bench.FirstRelease()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range profiles {
+			ctx, err := tables.Compile(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fs := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive})
+			clone.Run(ctx, fs, clone.Options{MaxClonesPerProc: 4})
+			ctx2 := icp.Prepare(ctx.Prog)
+			icp.Analyze(ctx2, icp.Options{Method: icp.FlowSensitive})
+		}
+	}
+}
+
+// BenchmarkJumpFunctionsWithReturns measures the return-jump-function
+// ablation.
+func BenchmarkJumpFunctionsWithReturns(b *testing.B) {
+	ctxs := compileSuite(b, bench.SPECfp92())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ctx := range ctxs {
+			jumpfunc.AnalyzeWithReturns(ctx, jumpfunc.Options{Kind: jumpfunc.Polynomial, Returns: true})
+		}
+	}
+}
+
+// BenchmarkIterative measures the fully iterative flow-sensitive
+// fixpoint (the method the paper's one-pass algorithm avoids).
+func BenchmarkIterative(b *testing.B) {
+	runSuite(b, compileSuite(b, bench.SPECfp92()),
+		icp.Options{Method: icp.FlowSensitiveIterative, PropagateFloats: true})
+}

@@ -1,0 +1,158 @@
+// Command fsicp analyses a MiniFort program with the paper's
+// interprocedural constant propagation methods.
+//
+//	fsicp [flags] file.mf
+//
+//	-method fs|fi|literal|intra|passthrough|polynomial
+//	        analysis to run (default fs)
+//	-floats propagate floating-point constants (default true)
+//	-returns enable the return-constant extension (fs only)
+//	-metrics print the paper's call-site and entry metrics
+//	-subst   print the substitution counts (Table 5 metric)
+//	-dump-ir print the program IR
+//	-cg      print the call graph with back edges marked
+//	-run     execute the program with the reference interpreter
+//	-transform apply the solution to the IR and print the result
+//
+// With no file argument, fsicp reads from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	fsicp "fsicp"
+)
+
+func main() {
+	method := flag.String("method", "fs", "fs|fi|iter|literal|intra|passthrough|polynomial")
+	floats := flag.Bool("floats", true, "propagate floating-point constants")
+	returns := flag.Bool("returns", false, "enable the return-constant extension")
+	showMetrics := flag.Bool("metrics", false, "print call-site and entry metrics")
+	showSubst := flag.Bool("subst", false, "print substitution counts")
+	annotate := flag.Bool("annotate", false, "print a per-procedure constant summary")
+	showUse := flag.Bool("use", false, "print flow-sensitive USE sets")
+	dumpIR := flag.Bool("dump-ir", false, "print the program IR")
+	dumpCG := flag.Bool("cg", false, "print the call graph")
+	run := flag.Bool("run", false, "execute the program")
+	doTransform := flag.Bool("transform", false, "apply the solution and print the transformed IR")
+	doInline := flag.Bool("inline", false, "inline all non-recursive calls before analysing")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fsicp: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	name := "<stdin>"
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		name = flag.Arg(0)
+		src, err = os.ReadFile(name)
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	prog, err := fsicp.Load(name, string(src))
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Println(prog)
+
+	if *doInline {
+		n, rec, growth := prog.Inline(4)
+		fmt.Printf("inlined %d call sites (%d skipped as recursive), CFG growth %.2fx\n", n, rec, growth)
+	}
+
+	if *dumpCG {
+		fmt.Print(prog.DumpCallGraph())
+	}
+	if *showUse {
+		use := prog.Use()
+		for _, name := range prog.Procedures() {
+			fmt.Printf("USE(%s) = %v\n", name, use[name])
+		}
+	}
+	if *dumpIR {
+		fmt.Print(prog.DumpIR())
+	}
+
+	switch *method {
+	case "fs", "fi", "iter":
+		cfg := fsicp.Config{PropagateFloats: *floats, ReturnConstants: *returns}
+		switch *method {
+		case "fi":
+			cfg.Method = fsicp.FlowInsensitive
+		case "iter":
+			cfg.Method = fsicp.FlowSensitiveIterative
+		default:
+			cfg.Method = fsicp.FlowSensitive
+		}
+		a := prog.Analyze(cfg)
+		fmt.Printf("%s analysis in %v", cfg.Method, a.Duration())
+		if n := a.UsedFlowInsensitiveFallback(); n > 0 {
+			fmt.Printf(" (%d back edges used the flow-insensitive fallback)", n)
+		}
+		fmt.Println()
+		printConstants(a.Constants())
+		if *showMetrics {
+			cs := a.CallSiteMetrics()
+			en := a.EntryMetrics()
+			fmt.Printf("call sites: %d args, %d immediate, %d constant; globals: %d candidates, %d pairs (%d visible)\n",
+				cs.Args, cs.Imm, cs.ConstArgs, cs.GlobCand, cs.GlobPairs, cs.GlobVis)
+			fmt.Printf("entries: %d formals, %d constant; %d procedures; %d constant global entries\n",
+				en.Formals, en.ConstFormals, en.Procs, en.GlobalEntries)
+		}
+		if *showSubst {
+			s, f, u := a.Substitutions()
+			fmt.Printf("substitutions: %d (folded branches %d, unreachable blocks %d)\n", s, f, u)
+		}
+		if *annotate {
+			fmt.Print(a.AnnotatedListing())
+		}
+		if *doTransform {
+			ea, fi2, fb, rb := a.Transform()
+			fmt.Printf("transform: %d entry assignments, %d folded instructions, %d folded branches, %d removed blocks\n",
+				ea, fi2, fb, rb)
+			fmt.Print(prog.DumpIR())
+		}
+	case "literal", "intra", "passthrough", "polynomial":
+		kinds := map[string]fsicp.JumpFunctionKind{
+			"literal": fsicp.Literal, "intra": fsicp.IntraConstant,
+			"passthrough": fsicp.PassThrough, "polynomial": fsicp.Polynomial,
+		}
+		a := prog.AnalyzeJumpFunctions(kinds[*method])
+		fmt.Printf("%s jump functions\n", *method)
+		printConstants(a.Constants())
+		if *showSubst {
+			fmt.Printf("substitutions: %d\n", a.Substitutions())
+		}
+	default:
+		fail("unknown method %q", *method)
+	}
+
+	if *run {
+		r := prog.Run(nil)
+		fmt.Print("--- program output ---\n", r.Output)
+		if r.Err != nil {
+			fail("runtime error: %v", r.Err)
+		}
+	}
+}
+
+func printConstants(cs []fsicp.Constant) {
+	if len(cs) == 0 {
+		fmt.Println("no interprocedural constants found")
+		return
+	}
+	fmt.Printf("%d interprocedural constants:\n", len(cs))
+	for _, c := range cs {
+		fmt.Printf("  %-20s %-12s = %-10s (%s)\n", c.Proc, c.Var, c.Value, c.Kind)
+	}
+}

@@ -1,0 +1,132 @@
+// Command icptables regenerates every table and figure of the paper's
+// evaluation section on the synthetic SPEC suite:
+//
+//	icptables -table all      # everything (default)
+//	icptables -table 1        # Table 1: call-site candidates, SPECfp92
+//	icptables -table 2        # Table 2: propagated constants, SPECfp92
+//	icptables -table 3        # Table 3: call-site candidates, first release, floats off
+//	icptables -table 4        # Table 4: propagated constants, first release, floats off
+//	icptables -table 5        # Table 5: intraprocedural substitutions
+//	icptables -table fig1     # Figure 1 per-method comparison
+//	icptables -table time     # FI vs FS analysis time
+//	icptables -table backedge # back-edge ratio sweep (§3.2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsicp/internal/bench"
+	"fsicp/internal/tables"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,fig1,time,backedge,inline,clone,iter,use,all")
+	iters := flag.Int("iters", 3, "timing iterations for -table time")
+	depth := flag.Int("depth", 8, "chain depth for -table backedge")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "icptables:", err)
+		os.Exit(1)
+	}
+
+	var spec, first *tables.Suite
+	needSpec := map[string]bool{"1": true, "2": true, "time": true, "all": true}
+	needFirst := map[string]bool{"3": true, "4": true, "5": true, "all": true}
+	var err error
+	if needSpec[*table] {
+		if spec, err = tables.LoadSuite(bench.SPECfp92(), true); err != nil {
+			fail(err)
+		}
+	}
+	if needFirst[*table] {
+		if first, err = tables.LoadSuite(bench.FirstRelease(), false); err != nil {
+			fail(err)
+		}
+	}
+
+	show := func(s string) { fmt.Println(s) }
+	switch *table {
+	case "1":
+		show(spec.CallSiteTable("Table 1: interprocedural call site constant candidates (SPECfp92)"))
+	case "2":
+		show(spec.EntryTable("Table 2: interprocedural propagated constants (SPECfp92)"))
+	case "3":
+		show(first.CallSiteTable("Table 3: call site constant candidates (first-release SPEC, floats off)"))
+	case "4":
+		show(first.EntryTable("Table 4: propagated constants (first-release SPEC, floats off)"))
+	case "5":
+		show(first.SubstitutionTable("Table 5: intraprocedural substitutions (first-release SPEC, floats off)"))
+	case "fig1":
+		s, err := tables.Figure1Table()
+		if err != nil {
+			fail(err)
+		}
+		show(s)
+	case "time":
+		show(spec.TimingTable(*iters))
+	case "backedge":
+		show(tables.BackEdgeSweep(*depth))
+	case "inline":
+		s, err := tables.InlineTable(bench.FirstRelease(), false)
+		if err != nil {
+			fail(err)
+		}
+		show(s)
+	case "clone":
+		s, err := tables.CloneTable(bench.FirstRelease(), false)
+		if err != nil {
+			fail(err)
+		}
+		show(s)
+	case "iter":
+		s, err := tables.IterativeTable(bench.FirstRelease(), false)
+		if err != nil {
+			fail(err)
+		}
+		show(s)
+	case "use":
+		s, err := tables.UseTable(bench.SPECfp92())
+		if err != nil {
+			fail(err)
+		}
+		show(s)
+	case "all":
+		s, err := tables.Figure1Table()
+		if err != nil {
+			fail(err)
+		}
+		show(s)
+		show(spec.CallSiteTable("Table 1: interprocedural call site constant candidates (SPECfp92)"))
+		show(spec.EntryTable("Table 2: interprocedural propagated constants (SPECfp92)"))
+		show(first.CallSiteTable("Table 3: call site constant candidates (first-release SPEC, floats off)"))
+		show(first.EntryTable("Table 4: propagated constants (first-release SPEC, floats off)"))
+		show(first.SubstitutionTable("Table 5: intraprocedural substitutions (first-release SPEC, floats off)"))
+		show(spec.TimingTable(*iters))
+		show(tables.BackEdgeSweep(*depth))
+		s2, err := tables.InlineTable(bench.FirstRelease(), false)
+		if err != nil {
+			fail(err)
+		}
+		show(s2)
+		s3, err := tables.CloneTable(bench.FirstRelease(), false)
+		if err != nil {
+			fail(err)
+		}
+		show(s3)
+		s4, err := tables.IterativeTable(bench.FirstRelease(), false)
+		if err != nil {
+			fail(err)
+		}
+		show(s4)
+		s5, err := tables.UseTable(bench.SPECfp92())
+		if err != nil {
+			fail(err)
+		}
+		show(s5)
+	default:
+		fail(fmt.Errorf("unknown table %q", *table))
+	}
+}

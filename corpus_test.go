@@ -1,0 +1,138 @@
+package fsicp_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	fsicp "fsicp"
+)
+
+// TestCorpus runs every program under testdata/programs, compares the
+// interpreter output against the golden .out file, and then pushes each
+// program through the full battery: both ICP methods, all four
+// jump-function baselines, and the transformation — checking that
+// transformed output still matches the golden file.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "programs", "*.mf"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus programs found: %v", err)
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".mf")
+		t.Run(name, func(t *testing.T) {
+			srcBytes, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldBytes, err := os.ReadFile(strings.TrimSuffix(file, ".mf") + ".out")
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, gold := string(srcBytes), string(goldBytes)
+
+			prog, err := fsicp.Load(file, src)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			r := prog.Run(nil)
+			if r.Err != nil {
+				t.Fatalf("run: %v", r.Err)
+			}
+			if r.Output != gold {
+				t.Fatalf("output mismatch\n--- got ---\n%s--- want ---\n%s", r.Output, gold)
+			}
+
+			// Every analysis must complete; constants are incidental.
+			for _, m := range []fsicp.Method{fsicp.FlowInsensitive, fsicp.FlowSensitive} {
+				a := prog.Analyze(fsicp.Config{Method: m, PropagateFloats: true, ReturnConstants: m == fsicp.FlowSensitive})
+				_ = a.Constants()
+				_ = a.CallSiteMetrics()
+				_ = a.EntryMetrics()
+			}
+			for _, k := range []fsicp.JumpFunctionKind{fsicp.Literal, fsicp.IntraConstant, fsicp.PassThrough, fsicp.Polynomial} {
+				_ = prog.AnalyzeJumpFunctions(k).Constants()
+			}
+
+			// Transform under the FS solution; semantics preserved.
+			a := prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true})
+			a.Transform()
+			r2 := prog.Run(nil)
+			if r2.Err != nil {
+				t.Fatalf("transformed run: %v", r2.Err)
+			}
+			if r2.Output != gold {
+				t.Fatalf("transformed output mismatch\n--- got ---\n%s--- want ---\n%s", r2.Output, gold)
+			}
+		})
+	}
+}
+
+// TestCorpusSpotChecks pins down specific analysis facts on corpus
+// programs (golden constants).
+func TestCorpusSpotChecks(t *testing.T) {
+	load := func(name string) *fsicp.Program {
+		src, err := os.ReadFile(filepath.Join("testdata", "programs", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := fsicp.Load(name, string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// constants.mf: base is an unmodified block-data global; dead is
+	// killed by read. emit.k receives 1 twice; chain.b gets base=1000;
+	// emit2 gets (1000, 4).
+	p := load("constants.mf")
+	fs := p.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true})
+	got := map[string]string{}
+	for _, c := range fs.Constants() {
+		got[c.Proc+"."+c.Var] = c.Value
+	}
+	// main passes base by reference but never references it directly,
+	// so it has no main.base entry (the paper counts per-procedure
+	// direct references only).
+	want := map[string]string{
+		"emit.k":     "1",
+		"emit.base":  "1000",
+		"chain.b":    "1000",
+		"emit2.b":    "1000",
+		"emit2.four": "4",
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("constants.mf: %s = %q, want %q (all: %v)", k, got[k], v, got)
+		}
+	}
+	if _, ok := got["main.dead"]; ok {
+		t.Error("constants.mf: dead must not be constant (read kills it)")
+	}
+	// FI misses emit2.four (2+2 is not a literal) but keeps base.
+	fi := p.Analyze(fsicp.Config{Method: fsicp.FlowInsensitive, PropagateFloats: true})
+	fiGot := map[string]string{}
+	for _, c := range fi.Constants() {
+		fiGot[c.Proc+"."+c.Var] = c.Value
+	}
+	if _, ok := fiGot["emit2.four"]; ok {
+		t.Error("constants.mf: FI must not find emit2.four")
+	}
+	if fiGot["emit2.b"] != "1000" {
+		t.Errorf("constants.mf: FI emit2.b = %q (global-constant pass-through)", fiGot["emit2.b"])
+	}
+
+	// mutual.mf: the recursive pair still yields no false constants.
+	p2 := load("mutual.mf")
+	fs2 := p2.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true})
+	for _, c := range fs2.Constants() {
+		if c.Var == "n" {
+			t.Errorf("mutual.mf: n claimed constant (%s)", c.Value)
+		}
+		if c.Var == "depth" {
+			t.Errorf("mutual.mf: modified global depth claimed constant")
+		}
+	}
+}

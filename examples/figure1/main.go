@@ -1,0 +1,70 @@
+// Figure 1 of the paper, reproduced: the example program on which the
+// flow-sensitive method finds all five formal constants while the
+// flow-insensitive method and every jump-function baseline find strict
+// subsets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	fsicp "fsicp"
+)
+
+const src = `program figure1
+proc main() {
+  call sub1(0)
+}
+proc sub1(f1 int) {
+  var x int
+  var y int
+  if f1 != 0 {
+    y = 1
+  } else {
+    y = 0
+  }
+  x = 0
+  call sub2(y, 4, f1, x)
+}
+proc sub2(f2 int, f3 int, f4 int, f5 int) {
+  var s int
+  s = f2 + f3 + f4 + f5
+  print s
+}`
+
+func formals(cs []fsicp.Constant) string {
+	var names []string
+	for _, c := range cs {
+		if c.Kind == "formal" {
+			names = append(names, c.Var)
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+func main() {
+	prog, err := fsicp.Load("figure1.mf", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("METHOD           | FORMAL PARAMETER CONSTANTS")
+	fmt.Println("-----------------|---------------------------")
+	fs := prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true})
+	fmt.Printf("%-17s| %s\n", "FLOW-SENSITIVE", formals(fs.Constants()))
+	fi := prog.Analyze(fsicp.Config{Method: fsicp.FlowInsensitive, PropagateFloats: true})
+	fmt.Printf("%-17s| %s\n", "FLOW-INSENSITIVE", formals(fi.Constants()))
+	for _, k := range []fsicp.JumpFunctionKind{
+		fsicp.Literal, fsicp.IntraConstant, fsicp.PassThrough, fsicp.Polynomial,
+	} {
+		a := prog.AnalyzeJumpFunctions(k)
+		fmt.Printf("%-17s| %s\n", strings.ToUpper(k.String()), formals(a.Constants()))
+	}
+
+	fmt.Println()
+	fmt.Println("Why: with f1 = 0 known at sub1's entry, the branch 'if f1 != 0'")
+	fmt.Println("is decided during the propagation, so y = 0 on the only executable")
+	fmt.Println("path — a constant no jump-function summary can compute, because")
+	fmt.Println("jump functions are built before the interprocedural solution.")
+}

@@ -1,0 +1,543 @@
+// Package fsicp is a from-scratch reproduction of
+//
+//	Carini & Hind, "Flow-Sensitive Interprocedural Constant
+//	Propagation", PLDI 1995 (doi:10.1145/207110.207113)
+//
+// as a reusable Go library. It contains a complete compiler mid-end for
+// MiniFort — a small Fortran-flavoured language with by-reference
+// parameters and program-wide globals — and, on top of it, the paper's
+// two interprocedural constant propagation (ICP) algorithms, the
+// jump-function baselines they are compared against, the paper's
+// metrics, a reference interpreter used as a soundness oracle, and the
+// synthetic SPEC-shaped benchmark suite that regenerates the paper's
+// tables.
+//
+// # Quick start
+//
+//	prog, err := fsicp.Load("demo.mf", source)
+//	if err != nil { ... }
+//	a := prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true})
+//	for _, c := range a.Constants() {
+//	    fmt.Printf("%s: %s = %s (%s)\n", c.Proc, c.Var, c.Value, c.Kind)
+//	}
+//
+// The facade in this package is self-contained; the analysis machinery
+// lives in internal packages (internal/icp holds the paper's
+// algorithms, internal/scc the Wegman–Zadeck engine, internal/jumpfunc
+// the baselines, internal/bench the table harness).
+package fsicp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fsicp/internal/ast"
+	"fsicp/internal/clone"
+	"fsicp/internal/icp"
+	"fsicp/internal/inline"
+	"fsicp/internal/interp"
+	"fsicp/internal/irbuild"
+	"fsicp/internal/jumpfunc"
+	"fsicp/internal/lattice"
+	"fsicp/internal/metrics"
+	"fsicp/internal/parser"
+	"fsicp/internal/sem"
+	"fsicp/internal/source"
+	"fsicp/internal/transform"
+	"fsicp/internal/val"
+)
+
+// Method selects an interprocedural constant propagation algorithm.
+type Method int
+
+const (
+	// FlowInsensitive is the paper's Figure 3 algorithm: literal and
+	// pass-through propagation over the call graph plus unmodified
+	// block-data globals.
+	FlowInsensitive Method = iota
+	// FlowSensitive is the paper's Figure 4 algorithm: one interleaved
+	// Wegman–Zadeck analysis per procedure in a forward topological
+	// traversal, with the flow-insensitive solution on back edges.
+	FlowSensitive
+	// FlowSensitiveIterative re-analyses procedures until a global
+	// fixpoint — the comparison point the paper's method matches on
+	// acyclic call graphs without any iteration.
+	FlowSensitiveIterative
+)
+
+func (m Method) String() string {
+	switch m {
+	case FlowInsensitive:
+		return "flow-insensitive"
+	case FlowSensitiveIterative:
+		return "flow-sensitive-iterative"
+	default:
+		return "flow-sensitive"
+	}
+}
+
+// Config selects and configures an analysis.
+type Config struct {
+	Method Method
+	// PropagateFloats enables interprocedural propagation of
+	// floating-point constants (on in the paper's Tables 1–2, off in
+	// Tables 3–5).
+	PropagateFloats bool
+	// ReturnConstants enables the paper's §3.2 extension: one extra
+	// reverse traversal computing returned constants (function results
+	// and exit values of by-reference formals and globals).
+	ReturnConstants bool
+	// ReturnsRefresh (with ReturnConstants) adds one more forward
+	// traversal that feeds the return/exit summaries back into entry
+	// environments — constants flowing out of one callee and into a
+	// sibling's entry become visible.
+	ReturnsRefresh bool
+}
+
+// JumpFunctionKind selects a baseline jump-function implementation
+// (Callahan–Cooper–Kennedy–Torczon 1986; Grove–Torczon 1993).
+type JumpFunctionKind int
+
+const (
+	Literal JumpFunctionKind = iota
+	IntraConstant
+	PassThrough
+	Polynomial
+)
+
+func (k JumpFunctionKind) String() string {
+	return [...]string{"literal", "intra", "pass-through", "polynomial"}[k]
+}
+
+// Program is a loaded, checked, lowered MiniFort program with its
+// interprocedural context (call graph, aliases, MOD/REF) prepared.
+type Program struct {
+	ctx *icp.Context
+}
+
+// Load parses, checks, and lowers MiniFort source text, then runs the
+// pre-ICP interprocedural phases (call graph, reference-parameter
+// aliases, MOD/REF). Errors carry positions and one line per
+// diagnostic.
+func Load(filename, src string) (*Program, error) {
+	f := source.NewFile(filename, src)
+	astProg, err := parser.ParseFile(f)
+	if err != nil {
+		return nil, err
+	}
+	semProg, err := sem.Check(astProg, f)
+	if err != nil {
+		return nil, err
+	}
+	irProg, err := irbuild.Build(semProg)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ctx: icp.Prepare(irProg)}, nil
+}
+
+// Procedures returns the names of the procedures reachable from main,
+// in the forward topological order the analyses use.
+func (p *Program) Procedures() []string {
+	out := make([]string, len(p.ctx.CG.Reachable))
+	for i, q := range p.ctx.CG.Reachable {
+		out[i] = q.Name
+	}
+	return out
+}
+
+// BackEdges reports how recursive the program is: the number of call
+// graph back edges and the total number of call edges (the paper's
+// measure of how flow-insensitive the combined FS solution becomes).
+func (p *Program) BackEdges() (back, total int) {
+	return p.ctx.CG.BackEdgeRatio()
+}
+
+// DumpIR renders the whole-program CFG IR.
+func (p *Program) DumpIR() string { return p.ctx.Prog.Dump() }
+
+// DumpCallGraph renders the PCG with back edges marked "*".
+func (p *Program) DumpCallGraph() string { return p.ctx.CG.Dump() }
+
+// Constant is one interprocedurally propagated constant.
+type Constant struct {
+	Proc  string // procedure at whose entry the constant holds
+	Var   string // formal parameter or global name
+	Value string
+	Kind  string // "formal" or "global"
+}
+
+// Analysis is the outcome of one ICP run.
+type Analysis struct {
+	prog *Program
+	res  *icp.Result
+	cfg  Config
+}
+
+// Analyze runs the selected ICP method.
+func (p *Program) Analyze(cfg Config) *Analysis {
+	opts := icp.Options{
+		PropagateFloats: cfg.PropagateFloats,
+		ReturnConstants: cfg.ReturnConstants,
+		ReturnsRefresh:  cfg.ReturnsRefresh,
+	}
+	switch cfg.Method {
+	case FlowInsensitive:
+		opts.Method = icp.FlowInsensitive
+	case FlowSensitiveIterative:
+		opts.Method = icp.FlowSensitiveIterative
+	default:
+		opts.Method = icp.FlowSensitive
+	}
+	return &Analysis{prog: p, res: icp.Analyze(p.ctx, opts), cfg: cfg}
+}
+
+// Constants lists every interprocedural constant the method
+// established, sorted by procedure then variable.
+func (a *Analysis) Constants() []Constant {
+	var out []Constant
+	for _, p := range a.prog.ctx.CG.Reachable {
+		for _, f := range p.Params {
+			if v, ok := a.res.EntryConstant(p, f); ok {
+				out = append(out, Constant{Proc: p.Name, Var: f.Name, Value: v.String(), Kind: "formal"})
+			}
+		}
+		for _, g := range a.prog.ctx.Prog.Sem.Globals {
+			if v, ok := a.res.EntryConstant(p, g); ok && a.prog.ctx.MR.DRef[p].Has(g) {
+				out = append(out, Constant{Proc: p.Name, Var: g.Name, Value: v.String(), Kind: "global"})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Var < out[j].Var
+	})
+	return out
+}
+
+// ReturnConstant reports the constant a function returns, if the
+// return-constant extension proved one.
+func (a *Analysis) ReturnConstant(proc string) (string, bool) {
+	p := a.prog.ctx.Prog.Sem.ProcByName[proc]
+	if p == nil || a.res.Returns == nil {
+		return "", false
+	}
+	if rv := a.res.Returns[p]; rv.IsConst() {
+		return rv.Val.String(), true
+	}
+	return "", false
+}
+
+// Duration returns the wall-clock time of the ICP phase.
+func (a *Analysis) Duration() time.Duration { return a.res.AnalysisTime }
+
+// UsedFlowInsensitiveFallback reports how many call edges consulted the
+// flow-insensitive solution (non-zero only on recursive programs under
+// the flow-sensitive method).
+func (a *Analysis) UsedFlowInsensitiveFallback() int { return a.res.BackEdgesUsed }
+
+// CallSiteInfo describes one call site under an analysis: which
+// arguments carry known constants there. The paper calls these the
+// call-site constant candidates; they are the raw material for
+// transformations like procedure cloning.
+type CallSiteInfo struct {
+	Caller string
+	Callee string
+	// Args holds one entry per actual: the constant's rendering, or
+	// "" when the argument is not constant at this site.
+	Args []string
+	// Reachable is false when the analysis proved the call site dead.
+	Reachable bool
+}
+
+// CallSites lists every call site with its constant arguments.
+func (a *Analysis) CallSites() []CallSiteInfo {
+	var out []CallSiteInfo
+	for _, e := range a.prog.ctx.CG.Edges {
+		info := CallSiteInfo{Caller: e.Caller.Name, Callee: e.Callee.Name, Reachable: true}
+		vals := a.res.ArgVals[e.Site]
+		for _, v := range vals {
+			if v.IsConst() {
+				info.Args = append(info.Args, v.Val.String())
+			} else {
+				info.Args = append(info.Args, "")
+			}
+		}
+		for _, v := range vals {
+			if v.IsTop() {
+				info.Reachable = false
+				break
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// AnnotatedListing renders a per-procedure summary of the solution: the
+// signature of every reachable procedure followed by the constants the
+// analysis established at its entry (and its return constant, when the
+// extension ran). Useful as a human-readable report of what the
+// propagation achieved.
+func (a *Analysis) AnnotatedListing() string {
+	var b strings.Builder
+	ctx := a.prog.ctx
+	for _, p := range ctx.CG.Reachable {
+		kw := "proc"
+		if p.IsFunc {
+			kw = "func"
+		}
+		params := make([]string, len(p.Params))
+		for i, f := range p.Params {
+			params[i] = f.Name + " " + f.Type.String()
+		}
+		fmt.Fprintf(&b, "%s %s(%s)", kw, p.Name, strings.Join(params, ", "))
+		if p.IsFunc {
+			fmt.Fprintf(&b, " %s", p.Result)
+		}
+		b.WriteString("\n")
+		if a.res.Dead[p] {
+			b.WriteString("  # unreachable under this solution\n")
+			continue
+		}
+		var facts []string
+		for _, f := range p.Params {
+			if v, ok := a.res.EntryConstant(p, f); ok {
+				facts = append(facts, f.Name+" = "+v.String())
+			}
+		}
+		for _, g := range ctx.Prog.Sem.Globals {
+			if v, ok := a.res.EntryConstant(p, g); ok && ctx.MR.DRef[p].Has(g) {
+				facts = append(facts, g.Name+" = "+v.String())
+			}
+		}
+		if len(facts) > 0 {
+			fmt.Fprintf(&b, "  # entry constants: %s\n", strings.Join(facts, ", "))
+		}
+		if a.res.Returns != nil {
+			if rv := a.res.Returns[p]; rv.IsConst() {
+				fmt.Fprintf(&b, "  # returns %s\n", rv.Val.String())
+			}
+		}
+	}
+	return b.String()
+}
+
+// CallSiteMetrics is the paper's Table 1 row shape.
+type CallSiteMetrics struct {
+	Args, Imm, ConstArgs         int
+	GlobCand, GlobPairs, GlobVis int
+}
+
+// EntryMetrics is the paper's Table 2 row shape.
+type EntryMetrics struct {
+	Formals, ConstFormals, Procs, GlobalEntries int
+}
+
+// CallSiteMetrics computes the call-site constant-candidate counts.
+func (a *Analysis) CallSiteMetrics() CallSiteMetrics {
+	m := metrics.CallSiteMetrics(a.res)
+	return CallSiteMetrics{
+		Args: m.Args, Imm: m.Imm, ConstArgs: m.ConstArgs,
+		GlobCand: m.GlobCand, GlobPairs: m.GlobPairs, GlobVis: m.GlobVis,
+	}
+}
+
+// EntryMetrics computes the propagated-constant counts.
+func (a *Analysis) EntryMetrics() EntryMetrics {
+	m := metrics.EntryMetrics(a.res)
+	return EntryMetrics{
+		Formals: m.Formals, ConstFormals: m.ConstFormals,
+		Procs: m.Procs, GlobalEntries: m.GlobalEntries,
+	}
+}
+
+// Substitutions counts the intraprocedural constant substitutions this
+// solution enables (the paper's Table 5 metric), along with folded
+// branches and unreachable blocks.
+func (a *Analysis) Substitutions() (substitutions, foldedBranches, unreachableBlocks int) {
+	c := transform.CountSubstitutions(a.prog.ctx, func(q *sem.Proc) lattice.Env[*sem.Var] {
+		return a.res.Entry[q]
+	})
+	return c.Substitutions, c.FoldedBranches, c.UnreachableBlocks
+}
+
+// Transform rewrites the program in place to reflect the solution:
+// entry-constant assignments, constant folding, branch folding, and
+// unreachable-code removal. The Program remains executable via Run.
+// Returns (entry assignments, folded instructions, folded branches,
+// removed blocks).
+func (a *Analysis) Transform() (int, int, int, int) {
+	rep := transform.Apply(a.prog.ctx, func(q *sem.Proc) lattice.Env[*sem.Var] {
+		return a.res.Entry[q]
+	})
+	return rep.EntryAssignments, rep.FoldedInstrs, rep.FoldedBranches, rep.RemovedBlocks
+}
+
+// RemoveDeadProcedures deletes procedures this analysis proved can
+// never execute (run Transform first so dead call sites are pruned).
+// Returns the removed procedures' names.
+func (a *Analysis) RemoveDeadProcedures() []string {
+	return transform.RemoveDeadProcedures(a.prog.ctx, a.res.Dead)
+}
+
+// JumpAnalysis is a baseline jump-function solution.
+type JumpAnalysis struct {
+	prog *Program
+	res  *jumpfunc.Result
+}
+
+// AnalyzeJumpFunctions runs a baseline jump-function method.
+func (p *Program) AnalyzeJumpFunctions(kind JumpFunctionKind) *JumpAnalysis {
+	var k jumpfunc.Kind
+	switch kind {
+	case Literal:
+		k = jumpfunc.Literal
+	case IntraConstant:
+		k = jumpfunc.Intra
+	case PassThrough:
+		k = jumpfunc.PassThrough
+	default:
+		k = jumpfunc.Polynomial
+	}
+	return &JumpAnalysis{prog: p, res: jumpfunc.Analyze(p.ctx, k)}
+}
+
+// Constants lists the constant formals the baseline found.
+func (a *JumpAnalysis) Constants() []Constant {
+	var out []Constant
+	for _, p := range a.prog.ctx.CG.Reachable {
+		for _, f := range a.res.ConstantFormals(p) {
+			e := a.res.Formals[f]
+			out = append(out, Constant{Proc: p.Name, Var: f.Name, Value: e.Val.String(), Kind: "formal"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Var < out[j].Var
+	})
+	return out
+}
+
+// Substitutions counts the substitutions the baseline's solution
+// enables (Table 5).
+func (a *JumpAnalysis) Substitutions() int {
+	c := transform.CountSubstitutions(a.prog.ctx, func(q *sem.Proc) lattice.Env[*sem.Var] {
+		return a.res.EntryEnv(q)
+	})
+	return c.Substitutions
+}
+
+// Clone performs goal-directed procedure cloning (Metzger–Stroud)
+// driven by this analysis's per-call-site constants: procedures whose
+// call sites disagree on constant arguments are cloned per pattern, so
+// a re-analysis finds the per-clone constants. The program is modified
+// in place and its interprocedural context rebuilt. Returns the number
+// of clones created and the number of call sites retargeted.
+func (a *Analysis) Clone(maxPerProc int) (cloned, retargeted int) {
+	rep := clone.Run(a.prog.ctx, a.res, clone.Options{MaxClonesPerProc: maxPerProc})
+	a.prog.ctx = icp.Prepare(a.prog.ctx.Prog)
+	return rep.Cloned, rep.RetargetedCS
+}
+
+// Inline expands every non-recursive call site (procedure integration,
+// the alternative to ICP that Wegman and Zadeck proposed and the
+// paper's related work discusses). The interprocedural context is
+// rebuilt afterwards, so subsequent Analyze calls see the inlined
+// program. Returns the number of call sites expanded, the number
+// skipped for recursion, and the CFG block growth factor.
+func (p *Program) Inline(maxDepth int) (inlined, skippedRecursive int, growth float64) {
+	rep := inline.Program(p.ctx.Prog, inline.Options{MaxDepth: maxDepth})
+	p.ctx = icp.Prepare(p.ctx.Prog)
+	g := 1.0
+	if rep.BlocksBefore > 0 {
+		g = float64(rep.BlocksAfter) / float64(rep.BlocksBefore)
+	}
+	return rep.Inlined, rep.SkippedRec, g
+}
+
+// AnalyzeJumpFunctionsWithReturns runs a baseline with return jump
+// functions enabled (Grove–Torczon's extension; the paper compares
+// against their no-return configuration).
+func (p *Program) AnalyzeJumpFunctionsWithReturns(kind JumpFunctionKind) *JumpAnalysis {
+	var k jumpfunc.Kind
+	switch kind {
+	case Literal:
+		k = jumpfunc.Literal
+	case IntraConstant:
+		k = jumpfunc.Intra
+	case PassThrough:
+		k = jumpfunc.PassThrough
+	default:
+		k = jumpfunc.Polynomial
+	}
+	return &JumpAnalysis{prog: p, res: jumpfunc.AnalyzeWithReturns(p.ctx, jumpfunc.Options{Kind: k, Returns: true})}
+}
+
+// Use returns each reachable procedure's flow-sensitive USE set — the
+// formals and globals it may reference before defining them (the §3.2
+// upward-exposed-use computation; one reverse traversal, REF on back
+// edges).
+func (p *Program) Use() map[string][]string {
+	use := icp.ComputeUse(p.ctx)
+	out := make(map[string][]string, len(use))
+	for q, set := range use {
+		var names []string
+		for _, v := range set.Sorted() {
+			names = append(names, v.Name)
+		}
+		out[q.Name] = names
+	}
+	return out
+}
+
+// RunResult is the outcome of interpreting the program.
+type RunResult struct {
+	Output string
+	Steps  int
+	Err    error
+}
+
+// Run executes the program with the reference interpreter. input
+// supplies values for read statements (nil reads zeros); the variable's
+// type name is "int", "real", or "bool".
+func (p *Program) Run(input func(typeName string) any) RunResult {
+	opts := interp.Options{}
+	if input != nil {
+		opts.Input = func(t ast.Type) val.Value {
+			switch v := input(t.String()).(type) {
+			case int:
+				return val.Int(int64(v))
+			case int64:
+				return val.Int(v)
+			case float64:
+				return val.Real(v)
+			case bool:
+				return val.Bool(v)
+			default:
+				return val.Zero(t)
+			}
+		}
+	}
+	r := interp.Run(p.ctx.Prog, opts)
+	return RunResult{Output: r.Output, Steps: r.Steps, Err: r.Err}
+}
+
+// FormatSource pretty-prints the program's AST back to canonical
+// MiniFort.
+func (p *Program) FormatSource() string {
+	return ast.Format(p.ctx.Prog.Sem.AST)
+}
+
+// String summarises the program.
+func (p *Program) String() string {
+	back, total := p.BackEdges()
+	return fmt.Sprintf("program %s: %d reachable procedures, %d call edges (%d back)",
+		p.ctx.Prog.Sem.Name, len(p.ctx.CG.Reachable), total, back)
+}

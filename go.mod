@@ -1,0 +1,3 @@
+module fsicp
+
+go 1.22

@@ -1,0 +1,173 @@
+package alias_test
+
+import (
+	"strings"
+	"testing"
+
+	"fsicp/internal/alias"
+	"fsicp/internal/callgraph"
+	"fsicp/internal/ir"
+	"fsicp/internal/testutil"
+)
+
+func compute(t *testing.T, src string) (*ir.Program, *callgraph.Graph, *alias.Info) {
+	t.Helper()
+	prog := testutil.MustBuild(t, src)
+	cg := callgraph.Build(prog)
+	return prog, cg, alias.Compute(prog, cg)
+}
+
+func partnersOf(prog *ir.Program, al *alias.Info, procName, varName string) []string {
+	p := prog.Sem.ProcByName[procName]
+	f := prog.FuncOf[p]
+	var names []string
+	for _, v := range f.AllVars {
+		if v.Name == varName && (v.Owner == p || v.IsGlobal()) {
+			for _, w := range al.Partners(p, v) {
+				names = append(names, w.Name)
+			}
+			break
+		}
+	}
+	return names
+}
+
+func TestSameActualTwice(t *testing.T) {
+	prog, _, al := compute(t, `program p
+proc main() {
+  var x int
+  call q(x, x)
+}
+proc q(a int, b int) { a = 1
+  print b }`)
+	got := partnersOf(prog, al, "q", "a")
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("partners(q,a) = %v, want [b]", got)
+	}
+}
+
+func TestGlobalActual(t *testing.T) {
+	prog, _, al := compute(t, `program p
+global g int = 1
+proc main() {
+  use g
+  call q(g)
+}
+proc q(f int) { f = 2 }`)
+	got := partnersOf(prog, al, "q", "f")
+	if len(got) != 1 || got[0] != "g" {
+		t.Errorf("partners(q,f) = %v, want [g]", got)
+	}
+}
+
+func TestTransitiveDownChain(t *testing.T) {
+	prog, _, al := compute(t, `program p
+global g int = 1
+proc main() {
+  use g
+  call a(g)
+}
+proc a(fa int) { call b(fa) }
+proc b(fb int) { fb = 3 }`)
+	got := partnersOf(prog, al, "b", "fb")
+	if len(got) != 1 || got[0] != "g" {
+		t.Errorf("partners(b,fb) = %v, want [g]", got)
+	}
+}
+
+func TestAliasedFormalsPropagate(t *testing.T) {
+	prog, _, al := compute(t, `program p
+proc main() {
+  var x int
+  call a(x, x)
+}
+proc a(p1 int, p2 int) { call b(p1, p2) }
+proc b(q1 int, q2 int) { q1 = 1
+  print q2 }`)
+	got := partnersOf(prog, al, "b", "q1")
+	if len(got) != 1 || got[0] != "q2" {
+		t.Errorf("partners(b,q1) = %v, want [q2]", got)
+	}
+}
+
+func TestNoFalseAliases(t *testing.T) {
+	prog, _, al := compute(t, `program p
+global g int = 1
+proc main() {
+  use g
+  var x int
+  var y int
+  call q(x, y)
+  call q(g, x)
+}
+proc q(a int, b int) { a = 1
+  print b }`)
+	q := prog.Sem.ProcByName["q"]
+	// a aliases g (second call) but a never aliases b.
+	pairs := al.PairsOf[q]
+	for pr := range pairs {
+		if (pr.A.Name == "a" && pr.B.Name == "b") || (pr.A.Name == "b" && pr.B.Name == "a") {
+			t.Error("a-b alias should not exist")
+		}
+	}
+	got := partnersOf(prog, al, "q", "a")
+	if len(got) != 1 || got[0] != "g" {
+		t.Errorf("partners(q,a) = %v, want [g]", got)
+	}
+}
+
+func TestExpressionActualNoAlias(t *testing.T) {
+	prog, _, al := compute(t, `program p
+global g int = 1
+proc main() {
+  use g
+  call q(g + 0, g)
+}
+proc q(a int, b int) { a = 1
+  print b }`)
+	q := prog.Sem.ProcByName["q"]
+	for pr := range al.PairsOf[q] {
+		if pr.A.Name == "a" || pr.B.Name == "a" {
+			t.Errorf("by-value actual introduced alias: %v-%v", pr.A, pr.B)
+		}
+	}
+}
+
+func TestInsertClobbers(t *testing.T) {
+	prog, cg, al := compute(t, `program p
+global g int = 1
+proc main() {
+  use g
+  call q(g)
+}
+proc q(f int) {
+  use g
+  f = 2
+  print g
+}`)
+	al.InsertClobbers(prog, cg)
+	q := prog.Sem.ProcByName["q"]
+	dump := prog.FuncOf[q].Dump()
+	if !strings.Contains(dump, "clobber g") {
+		t.Errorf("assignment to f must clobber g:\n%s", dump)
+	}
+	// main has no aliases; no clobbers there.
+	if strings.Contains(prog.FuncOf[prog.Sem.Main].Dump(), "clobber") {
+		t.Error("main must not receive clobbers")
+	}
+}
+
+func TestRecursiveAliasTerminates(t *testing.T) {
+	_, _, al := compute(t, `program p
+global g int = 1
+proc main() {
+  use g
+  call r(g, 3)
+}
+proc r(f int, n int) {
+  if n > 0 {
+    call r(f, n - 1)
+  }
+}`)
+	_ = al // converging without hanging is the assertion
+}

@@ -1,0 +1,260 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"fsicp/internal/token"
+)
+
+// Format renders a Program back to canonical MiniFort source. The output
+// reparses to an equivalent tree; round-trip stability is tested in the
+// parser package.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n\n", p.Name)
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "global %s %s", g.Name, g.Type)
+		if g.Init != nil {
+			fmt.Fprintf(&b, " = %s", FormatExpr(g.Init))
+		}
+		b.WriteByte('\n')
+	}
+	if len(p.Globals) > 0 {
+		b.WriteByte('\n')
+	}
+	for i, pr := range p.Procs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		formatProc(&b, pr)
+	}
+	return b.String()
+}
+
+func formatProc(b *strings.Builder, p *ProcDecl) {
+	kw := "proc"
+	if p.IsFunc {
+		kw = "func"
+	}
+	fmt.Fprintf(b, "%s %s(", kw, p.Name)
+	for i, par := range p.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", par.Name, par.Type)
+	}
+	b.WriteString(")")
+	if p.IsFunc {
+		fmt.Fprintf(b, " %s", p.Result)
+	}
+	b.WriteString(" {\n")
+	if len(p.Uses) > 0 {
+		names := make([]string, len(p.Uses))
+		for i, u := range p.Uses {
+			names[i] = u.Name
+		}
+		fmt.Fprintf(b, "  use %s\n", strings.Join(names, ", "))
+	}
+	formatStmts(b, p.Body.Stmts, 1)
+	b.WriteString("}\n")
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		formatStmt(b, s, depth)
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch s := s.(type) {
+	case *VarDecl:
+		fmt.Fprintf(b, "var %s %s", s.Name, s.Type)
+		if s.Init != nil {
+			fmt.Fprintf(b, " = %s", FormatExpr(s.Init))
+		}
+		b.WriteByte('\n')
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s = %s\n", s.Name.Name, FormatExpr(s.Value))
+	case *IfStmt:
+		formatIf(b, s, depth)
+	case *WhileStmt:
+		fmt.Fprintf(b, "while %s {\n", FormatExpr(s.Cond))
+		formatStmts(b, s.Body.Stmts, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *ForStmt:
+		fmt.Fprintf(b, "for %s = %s, %s", s.Var.Name, FormatExpr(s.Lo), FormatExpr(s.Hi))
+		if s.Step != nil {
+			fmt.Fprintf(b, ", %s", FormatExpr(s.Step))
+		}
+		b.WriteString(" {\n")
+		formatStmts(b, s.Body.Stmts, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *CallStmt:
+		fmt.Fprintf(b, "call %s\n", FormatExpr(s.Call))
+	case *ReturnStmt:
+		if s.Value != nil {
+			fmt.Fprintf(b, "return %s\n", FormatExpr(s.Value))
+		} else {
+			b.WriteString("return\n")
+		}
+	case *ReadStmt:
+		fmt.Fprintf(b, "read %s\n", s.Name.Name)
+	case *PrintStmt:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = FormatExpr(a)
+		}
+		fmt.Fprintf(b, "print %s\n", strings.Join(args, ", "))
+	case *BreakStmt:
+		b.WriteString("break\n")
+	case *ContinueStmt:
+		b.WriteString("continue\n")
+	default:
+		fmt.Fprintf(b, "/* unknown stmt %T */\n", s)
+	}
+}
+
+func formatIf(b *strings.Builder, s *IfStmt, depth int) {
+	fmt.Fprintf(b, "if %s {\n", FormatExpr(s.Cond))
+	formatStmts(b, s.Then.Stmts, depth+1)
+	indent(b, depth)
+	b.WriteString("}")
+	switch e := s.Else.(type) {
+	case nil:
+		b.WriteString("\n")
+	case *Block:
+		b.WriteString(" else {\n")
+		formatStmts(b, e.Stmts, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *IfStmt:
+		b.WriteString(" else ")
+		formatIf(b, e, depth)
+	}
+}
+
+// FormatExpr renders an expression.
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case *Ident:
+		return e.Name
+	case *IntLit:
+		return e.Text
+	case *RealLit:
+		return e.Text
+	case *BoolLit:
+		if e.Value {
+			return "true"
+		}
+		return "false"
+	case *StringLit:
+		return "\"" + e.Value + "\""
+	case *UnaryExpr:
+		return e.Op.String() + FormatExpr(e.X)
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", formatOperand(e.X, e.Op, false), e.Op, formatOperand(e.Y, e.Op, true))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Fun.Name, strings.Join(args, ", "))
+	case *ParenExpr:
+		return "(" + FormatExpr(e.X) + ")"
+	}
+	return fmt.Sprintf("/*%T*/", e)
+}
+
+// formatOperand parenthesises a child whose top operator binds looser
+// than the parent (or equally, on the right), so output reparses with the
+// same shape.
+func formatOperand(e Expr, parent token.Kind, right bool) string {
+	if b, ok := e.(*BinaryExpr); ok {
+		pp, cp := parent.Precedence(), b.Op.Precedence()
+		if cp < pp || (cp == pp && right) {
+			return "(" + FormatExpr(e) + ")"
+		}
+	}
+	return FormatExpr(e)
+}
+
+// Walk calls fn for every node in the subtree rooted at n, parent first.
+// If fn returns false the node's children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Program:
+		for _, g := range n.Globals {
+			Walk(g, fn)
+		}
+		for _, p := range n.Procs {
+			Walk(p, fn)
+		}
+	case *GlobalDecl:
+		Walk(n.Init, fn)
+	case *ProcDecl:
+		for _, p := range n.Params {
+			Walk(p, fn)
+		}
+		for _, u := range n.Uses {
+			Walk(u, fn)
+		}
+		Walk(n.Body, fn)
+	case *Block:
+		for _, s := range n.Stmts {
+			Walk(s, fn)
+		}
+	case *VarDecl:
+		Walk(n.Init, fn)
+	case *AssignStmt:
+		Walk(n.Name, fn)
+		Walk(n.Value, fn)
+	case *IfStmt:
+		Walk(n.Cond, fn)
+		Walk(n.Then, fn)
+		Walk(n.Else, fn)
+	case *WhileStmt:
+		Walk(n.Cond, fn)
+		Walk(n.Body, fn)
+	case *ForStmt:
+		Walk(n.Var, fn)
+		Walk(n.Lo, fn)
+		Walk(n.Hi, fn)
+		Walk(n.Step, fn)
+		Walk(n.Body, fn)
+	case *CallStmt:
+		Walk(n.Call, fn)
+	case *ReturnStmt:
+		Walk(n.Value, fn)
+	case *ReadStmt:
+		Walk(n.Name, fn)
+	case *PrintStmt:
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *UnaryExpr:
+		Walk(n.X, fn)
+	case *BinaryExpr:
+		Walk(n.X, fn)
+		Walk(n.Y, fn)
+	case *CallExpr:
+		Walk(n.Fun, fn)
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *ParenExpr:
+		Walk(n.X, fn)
+	}
+}

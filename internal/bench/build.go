@@ -1,0 +1,740 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// builderLeaf is a leaf procedure referencing a set of constant globals.
+type builderLeaf struct {
+	name    string
+	globals []string
+	extra   int // extra main->leaf calls (pair tuning)
+}
+
+// builder plans and renders one benchmark program.
+//
+// Constant species (one per paper mechanism):
+//
+//   - pass-through chains: main --7--> ptA(f) --f--> ptB(g); both
+//     formals are flow-insensitively constant and the inner argument is
+//     the FI-beyond-IMM case;
+//   - the "cp" procedure hosts the remaining FI-constant formals as
+//     literal-called parameters; when flow-sensitive-only formals are
+//     needed, its first formal c (called with 0) feeds Figure-1-style
+//     conditional constants t_i passed to the fsg group procedures —
+//     constants only an interleaved flow-sensitive analysis finds
+//     (jump-function baselines, including POLYNOMIAL, miss them);
+//   - the absorber receives the remaining immediate-literal arguments
+//     and the remaining flow-sensitive-only (locally computed constant)
+//     arguments, mixed with ⊥ filler so none of its formals is constant;
+//   - the sink absorbs the leftover argument budget one ⊥ argument at a
+//     time; pad procedures absorb the leftover formal budget;
+//   - globals: unmodified block-data constants (U), dead candidates
+//     killed by reads (D), and main-assigned constants (S), referenced
+//     from leaf procedures; an invisible hub manufactures constant
+//     global pairs at call sites whose caller cannot name the global.
+type builder struct {
+	p Profile
+
+	pt       int // pass-through chains
+	nf1      int // plain FI formals on cp
+	ng       int // FS-only formals via the ghost branch on cp
+	hasCP    bool
+	fsgArity []int // group procedure arities (sum = ng)
+
+	immRem, fsInt, fsFloat int
+
+	absIntSlots, absFltSlots int
+	absSites                 [][]string // per site, rendered arg list
+	absVarDecls              []string   // main-body declarations for fs vars
+
+	sink        bool
+	sinkSites   int
+	padArities  []int
+	pairGadgets int
+
+	uGlobals, dGlobals []string
+	sInt, sFloat       []string
+	mainUse            map[string]bool
+	leaves             []*builderLeaf
+	hubLeaf            int
+	hubCalls           int
+
+	procsUsed, formalsUsed, argsUsed int
+	lit                              int // distinct-literal counter
+}
+
+// Build renders the MiniFort program for a profile. The construction is
+// deterministic; the exact-ledger cells (Args, Imm, FIArgs, FSArgs,
+// Formals, FIFormals, FSFormals, Procs, GlobCand, GlobFIEntries,
+// GlobFSEntries) are guaranteed by construction and asserted by the
+// package tests; the global pair/VIS columns are approximated by the
+// placement solver.
+func Build(p Profile) string {
+	b := &builder{p: p, hubLeaf: -1, mainUse: make(map[string]bool)}
+	b.plan()
+	return b.render()
+}
+
+func (b *builder) nextLit() int {
+	b.lit++
+	return 100 + b.lit
+}
+
+func (b *builder) plan() {
+	p := b.p
+
+	// --- argument/formal species ---------------------------------------
+	b.pt = p.FIArgs - p.Imm
+	b.ng = p.FSFormals - p.FIFormals
+	ghost := 0
+	if b.ng > 0 {
+		ghost = 1
+	}
+	b.nf1 = p.FIFormals - 2*b.pt - ghost
+	assertGE(p.Name+" nf1", b.nf1, 0)
+	b.hasCP = b.nf1+b.ng > 0
+	b.immRem = p.Imm - (b.pt + b.nf1 + ghost)
+	assertGE(p.Name+" immRem", b.immRem, 0)
+	fsOnly := (p.FSArgs - p.FIArgs) - b.ng
+	assertGE(p.Name+" fsOnly", fsOnly, 0)
+	b.fsFloat = p.FSArgsFloat
+	b.fsInt = fsOnly - b.fsFloat
+	assertGE(p.Name+" fsInt", b.fsInt, 0)
+
+	b.procsUsed = 1 // main
+	addProc := func(n, formals, args int) {
+		b.procsUsed += n
+		b.formalsUsed += formals
+		b.argsUsed += args
+	}
+	addProc(2*b.pt, 2*b.pt, 2*b.pt)
+	if b.hasCP {
+		cpFormals := b.nf1 + ghost
+		addProc(1, cpFormals, cpFormals) // one call from main, all literals
+		if b.ng > 0 {
+			rest := b.ng
+			for rest > 0 {
+				ar := min2(rest, 24)
+				b.fsgArity = append(b.fsgArity, ar)
+				rest -= ar
+			}
+			addProc(len(b.fsgArity), b.ng, b.ng)
+		}
+	}
+
+	// --- globals, leaves, hub, pair gadgets ------------------------------
+	b.planGlobals()
+	b.planLeaves()
+
+	// --- absorber, sink, pads -------------------------------------------
+	hasAbsorber := b.immRem+b.fsInt+b.fsFloat > 0
+	b.sink = p.Args > 0
+	if hasAbsorber {
+		b.procsUsed++
+	}
+	if b.sink {
+		addProc(1, 1, 1) // sink(q int) + its base site
+	}
+	slots := p.Procs - b.procsUsed
+	assertGE(p.Name+" procs budget", slots, 0)
+
+	// Formal distribution: pads soak the leftovers when slots remain,
+	// otherwise the absorber grows trailing ⊥ formals.
+	if hasAbsorber {
+		b.absIntSlots = 1
+		if b.immRem+b.fsInt == 0 {
+			b.absIntSlots = 0
+		}
+		if b.fsFloat > 0 {
+			b.absFltSlots = 1
+		}
+		b.formalsUsed += b.absIntSlots + b.absFltSlots
+	}
+	formalsRem := p.Formals - b.formalsUsed
+	assertGE(p.Name+" formals budget", formalsRem, 0)
+	if slots == 0 && formalsRem > 0 {
+		if !hasAbsorber {
+			panic("bench: " + p.Name + ": leftover formals with no slot to hold them")
+		}
+		b.absIntSlots += formalsRem
+		b.formalsUsed += formalsRem
+		formalsRem = 0
+	}
+	if slots > 0 {
+		b.padArities = make([]int, slots)
+		if formalsRem > 0 {
+			base, extra := formalsRem/slots, formalsRem%slots
+			for i := range b.padArities {
+				b.padArities[i] = base
+				if i < extra {
+					b.padArities[i]++
+				}
+			}
+		}
+		for _, ar := range b.padArities {
+			b.formalsUsed += ar
+			b.argsUsed += ar // one call site each
+		}
+		b.procsUsed += slots
+	}
+
+	if hasAbsorber {
+		b.planAbsorberSites()
+	}
+
+	argsRem := p.Args - b.argsUsed
+	assertGE(p.Name+" args budget", argsRem, 0)
+	if argsRem > 0 && !b.sink {
+		panic("bench: " + p.Name + ": leftover args but no sink")
+	}
+	b.sinkSites = argsRem
+	b.argsUsed += argsRem
+}
+
+// planAbsorberSites lays out the absorber's call sites: literals first,
+// then flow-sensitive constant variables, then ⊥ filler.
+func (b *builder) planAbsorberSites() {
+	arity := b.absIntSlots + b.absFltSlots
+	intContent := b.immRem + b.fsInt
+	sites := 2
+	if b.absIntSlots > 0 {
+		sites = max2(sites, ceilDiv(intContent, b.absIntSlots))
+	}
+	if b.absFltSlots > 0 {
+		sites = max2(sites, ceilDiv(b.fsFloat, b.absFltSlots))
+	}
+	immLeft, fsILeft, fsFLeft := b.immRem, b.fsInt, b.fsFloat
+	fsVar := 0
+	for s := 0; s < sites; s++ {
+		args := make([]string, 0, arity)
+		for k := 0; k < b.absIntSlots; k++ {
+			switch {
+			case immLeft > 0:
+				immLeft--
+				args = append(args, fmt.Sprintf("%d", b.nextLit()))
+			case fsILeft > 0:
+				fsILeft--
+				fsVar++
+				name := fmt.Sprintf("w%d", fsVar)
+				b.absVarDecls = append(b.absVarDecls,
+					fmt.Sprintf("  var %s int\n  %s = %d", name, name, b.nextLit()))
+				args = append(args, name)
+			default:
+				args = append(args, "rv")
+			}
+		}
+		for k := 0; k < b.absFltSlots; k++ {
+			if fsFLeft > 0 {
+				fsFLeft--
+				fsVar++
+				name := fmt.Sprintf("wf%d", fsVar)
+				b.absVarDecls = append(b.absVarDecls,
+					fmt.Sprintf("  var %s real\n  %s = %d.5", name, name, b.nextLit()))
+				args = append(args, name)
+			} else {
+				args = append(args, "rf")
+			}
+		}
+		b.absSites = append(b.absSites, args)
+	}
+	if immLeft+fsILeft+fsFLeft > 0 {
+		panic("bench: absorber content did not fit")
+	}
+	b.argsUsed += arity * len(b.absSites)
+}
+
+func (b *builder) planGlobals() {
+	p := b.p
+	uCount := 0
+	if p.GlobFIEntries > 0 {
+		uCount = min2(p.GlobCand, p.GlobFIEntries)
+	}
+	for i := 0; i < uCount; i++ {
+		b.uGlobals = append(b.uGlobals, fmt.Sprintf("u%d", i))
+	}
+	for i := 0; i < p.GlobCand-uCount; i++ {
+		b.dGlobals = append(b.dGlobals, fmt.Sprintf("d%d", i))
+	}
+	sFloatRefs := p.GlobFSEntriesFloat - p.GlobFIEntries
+	if sFloatRefs < 0 {
+		sFloatRefs = 0
+	}
+	sIntRefs := p.GlobFSEntries - p.GlobFIEntries - sFloatRefs
+	assertGE(p.Name+" sIntRefs", sIntRefs, 0)
+	for i := 0; i < min2(sFloatRefs, 6); i++ {
+		b.sFloat = append(b.sFloat, fmt.Sprintf("sf%d", i))
+	}
+	for i := 0; i < min2(sIntRefs, 6); i++ {
+		b.sInt = append(b.sInt, fmt.Sprintf("si%d", i))
+	}
+	for _, g := range b.sFloat {
+		b.mainUse[g] = true
+	}
+	for _, g := range b.sInt {
+		b.mainUse[g] = true
+	}
+	if p.GlobPairs > 0 && p.GlobFSEntries == 0 {
+		b.pairGadgets = p.GlobPairs
+		b.procsUsed += b.pairGadgets
+	}
+}
+
+func (b *builder) planLeaves() {
+	p := b.p
+	var refs []string
+	addRefs := func(pool []string, n int) {
+		for i := 0; i < n; i++ {
+			if len(pool) == 0 {
+				break
+			}
+			refs = append(refs, pool[i%len(pool)])
+		}
+	}
+	addRefs(b.uGlobals, p.GlobFIEntries)
+	sFloatRefs := p.GlobFSEntriesFloat - p.GlobFIEntries
+	if sFloatRefs < 0 {
+		sFloatRefs = 0
+	}
+	addRefs(b.sFloat, sFloatRefs)
+	addRefs(b.sInt, p.GlobFSEntries-p.GlobFIEntries-sFloatRefs)
+	if len(refs) == 0 {
+		return
+	}
+
+	// Minimum leaves = the highest multiplicity of one global in the
+	// reference list (a leaf references each global at most once).
+	mult := make(map[string]int)
+	needLeaves := 1
+	for _, g := range refs {
+		mult[g]++
+		if mult[g] > needLeaves {
+			needLeaves = mult[g]
+		}
+	}
+	reserve := 0
+	if p.Args > 0 {
+		reserve += 2 // absorber + sink headroom
+	}
+	if p.GlobPairs > p.GlobFSEntries {
+		reserve++ // hub slot for invisible pairs
+	}
+	leafBudget := p.Procs - b.procsUsed - reserve
+	if leafBudget < needLeaves {
+		leafBudget = needLeaves
+	}
+	nLeaves := min2(len(refs), leafBudget)
+	b.leaves = make([]*builderLeaf, nLeaves)
+	for i := range b.leaves {
+		b.leaves[i] = &builderLeaf{name: fmt.Sprintf("leaf%d", i)}
+	}
+	for i, g := range refs {
+		l := b.leaves[i%nLeaves]
+		if containsStr(l.globals, g) {
+			placed := false
+			for _, l2 := range b.leaves {
+				if !containsStr(l2.globals, g) {
+					l2.globals = append(l2.globals, g)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				panic("bench: cannot place global reference " + g)
+			}
+			continue
+		}
+		l.globals = append(l.globals, g)
+	}
+	b.procsUsed += nLeaves
+	b.solvePairs(reserve)
+}
+
+// solvePairs tunes main's use clause, extra leaf calls, and the
+// invisible hub toward the GlobPairs/GlobVis targets (approximate).
+func (b *builder) solvePairs(reserve int) {
+	for _, g := range b.uGlobals {
+		b.mainUse[g] = true
+	}
+	visOf := func(l *builderLeaf) int {
+		n := 0
+		for _, g := range l.globals {
+			if b.mainUse[g] {
+				n++
+			}
+		}
+		return n
+	}
+	pairs, vis := 0, 0
+	for _, l := range b.leaves {
+		pairs += len(l.globals)
+		vis += visOf(l)
+	}
+	for _, g := range b.uGlobals {
+		if vis <= b.p.GlobVis {
+			break
+		}
+		occ := 0
+		for _, l := range b.leaves {
+			if containsStr(l.globals, g) {
+				occ++
+			}
+		}
+		if vis-occ >= b.p.GlobVis {
+			b.mainUse[g] = false
+			vis -= occ
+		}
+	}
+	for guard := 0; vis < b.p.GlobVis && guard < 10000; guard++ {
+		best := -1
+		for i, l := range b.leaves {
+			v := visOf(l)
+			if v == 0 || vis+v > b.p.GlobVis {
+				continue
+			}
+			if best < 0 || v > visOf(b.leaves[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		b.leaves[best].extra++
+		vis += visOf(b.leaves[best])
+		pairs += len(b.leaves[best].globals)
+	}
+	deficit := b.p.GlobPairs - pairs
+	if deficit <= 0 {
+		return
+	}
+	if b.p.Procs-b.procsUsed >= 1+reserveSinkAbs(reserve) {
+		// Prefer a leaf whose globals are invisible in main, so the
+		// main->hub edge does not disturb the VIS count; fall back to
+		// the smallest leaf.
+		h := -1
+		for i, l := range b.leaves {
+			if visOf(l) == 0 && (h < 0 || len(l.globals) < len(b.leaves[h].globals)) {
+				h = i
+			}
+		}
+		visibleHub := false
+		if h < 0 {
+			visibleHub = true
+			h = 0
+			for i, l := range b.leaves {
+				if len(l.globals) < len(b.leaves[h].globals) {
+					h = i
+				}
+			}
+		}
+		b.hubLeaf = h
+		k := len(b.leaves[h].globals)
+		deficit -= k // the main->hub edge itself
+		if deficit < 0 {
+			deficit = 0
+		}
+		_ = visibleHub
+		b.hubCalls = deficit / k
+		b.procsUsed++
+		return
+	}
+	// No hub slot: approximate with extra (visible) calls.
+	h := 0
+	for i, l := range b.leaves {
+		if len(l.globals) > len(b.leaves[h].globals) {
+			h = i
+		}
+	}
+	if k := len(b.leaves[h].globals); k > 0 {
+		b.leaves[h].extra += deficit / k
+	}
+}
+
+// --- rendering ----------------------------------------------------------
+
+func (b *builder) render() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "program %s\n\n", sanitize(b.p.Name))
+	for _, g := range b.uGlobals {
+		fmt.Fprintf(&s, "global %s real = 1.25\n", g)
+	}
+	for _, g := range b.dGlobals {
+		fmt.Fprintf(&s, "global %s real = 2.5\n", g)
+	}
+	for _, g := range b.sInt {
+		fmt.Fprintf(&s, "global %s int\n", g)
+	}
+	for _, g := range b.sFloat {
+		fmt.Fprintf(&s, "global %s real\n", g)
+	}
+	for i := 0; i < b.pairGadgets; i++ {
+		fmt.Fprintf(&s, "global pg%d int\n", i)
+	}
+	s.WriteString("\n")
+	b.renderMain(&s)
+	b.renderProcs(&s)
+	return s.String()
+}
+
+func (b *builder) renderMain(s *strings.Builder) {
+	s.WriteString("proc main() {\n")
+	var use []string
+	for g, ok := range b.mainUse {
+		if ok {
+			use = append(use, g)
+		}
+	}
+	sortStrings(use)
+	for _, g := range b.dGlobals {
+		use = append(use, g)
+	}
+	for i := 0; i < b.pairGadgets; i++ {
+		use = append(use, fmt.Sprintf("pg%d", i))
+	}
+	if len(use) > 0 {
+		fmt.Fprintf(s, "  use %s\n", strings.Join(use, ", "))
+	}
+
+	s.WriteString("  var rv int\n  read rv\n")
+	if b.absFltSlots > 0 {
+		s.WriteString("  var rf real\n  read rf\n")
+	}
+	for i, g := range b.sInt {
+		fmt.Fprintf(s, "  %s = %d\n", g, 40+i)
+	}
+	for i, g := range b.sFloat {
+		fmt.Fprintf(s, "  %s = %d.75\n", g, 40+i)
+	}
+	for _, g := range b.dGlobals {
+		fmt.Fprintf(s, "  read %s\n", g)
+	}
+
+	for k := 0; k < b.pt; k++ {
+		fmt.Fprintf(s, "  call ptA%d(7)\n", k)
+	}
+	if b.hasCP {
+		args := make([]string, 0, b.nf1+1)
+		if b.ng > 0 {
+			args = append(args, "0")
+		}
+		for k := 0; k < b.nf1; k++ {
+			args = append(args, fmt.Sprintf("%d", b.nextLit()))
+		}
+		fmt.Fprintf(s, "  call cp(%s)\n", strings.Join(args, ", "))
+	}
+	for _, decl := range b.absVarDecls {
+		s.WriteString(decl + "\n")
+	}
+	for _, site := range b.absSites {
+		fmt.Fprintf(s, "  call absorb(%s)\n", strings.Join(site, ", "))
+	}
+	for i := 0; i < b.pairGadgets; i++ {
+		fmt.Fprintf(s, "  pg%d = 5\n  call pleaf%d()\n  read pg%d\n  call pleaf%d()\n", i, i, i, i)
+	}
+	for _, l := range b.leaves {
+		for c := 0; c <= l.extra; c++ {
+			fmt.Fprintf(s, "  call %s()\n", l.name)
+		}
+	}
+	if b.hubLeaf >= 0 {
+		s.WriteString("  call hub()\n")
+	}
+	if b.sink {
+		for k := 0; k <= b.sinkSites; k++ {
+			s.WriteString("  call sink(rv)\n")
+		}
+	}
+	for i, ar := range b.padArities {
+		if ar == 0 {
+			fmt.Fprintf(s, "  call pad%d()\n", i)
+			continue
+		}
+		args := make([]string, ar)
+		for j := range args {
+			args[j] = "rv"
+		}
+		fmt.Fprintf(s, "  call pad%d(%s)\n", i, strings.Join(args, ", "))
+	}
+	s.WriteString("}\n\n")
+}
+
+func (b *builder) renderProcs(s *strings.Builder) {
+	for k := 0; k < b.pt; k++ {
+		fmt.Fprintf(s, "proc ptA%d(f int) {\n  call ptB%d(f)\n}\n", k, k)
+		fmt.Fprintf(s, "proc ptB%d(g int) {\n", k)
+		emitFormalUses(s, []string{"g"})
+		s.WriteString("}\n")
+	}
+	if b.hasCP {
+		var params []string
+		if b.ng > 0 {
+			params = append(params, "c int")
+		}
+		for k := 0; k < b.nf1; k++ {
+			params = append(params, fmt.Sprintf("d%d int", k))
+		}
+		fmt.Fprintf(s, "proc cp(%s) {\n", strings.Join(params, ", "))
+		if b.ng > 0 {
+			for k := b.p.PolyFormals; k < b.ng; k++ {
+				fmt.Fprintf(s, "  var t%d int\n", k)
+			}
+			s.WriteString("  if c != 0 {\n")
+			for k := b.p.PolyFormals; k < b.ng; k++ {
+				fmt.Fprintf(s, "    t%d = 9\n", k)
+			}
+			s.WriteString("  } else {\n")
+			for k := b.p.PolyFormals; k < b.ng; k++ {
+				fmt.Fprintf(s, "    t%d = %d\n", k, 4+k)
+			}
+			s.WriteString("  }\n")
+			base := 0
+			for gi, ar := range b.fsgArity {
+				args := make([]string, ar)
+				for j := 0; j < ar; j++ {
+					k := base + j
+					if k < b.p.PolyFormals {
+						// Polynomial over the constant formal c: the
+						// POLYNOMIAL baseline evaluates it, LITERAL /
+						// INTRA / PASS-THROUGH / FI do not.
+						args[j] = fmt.Sprintf("c * 2 + %d", 4+k)
+					} else {
+						args[j] = fmt.Sprintf("t%d", k)
+					}
+				}
+				fmt.Fprintf(s, "  call fsg%d(%s)\n", gi, strings.Join(args, ", "))
+				base += ar
+			}
+			s.WriteString("  print c\n")
+		}
+		for k := 0; k < b.nf1; k++ {
+			fmt.Fprintf(s, "  print d%d, d%d\n  print d%d, d%d, d%d\n", k, k, k, k, k)
+		}
+		s.WriteString("}\n")
+		for gi, ar := range b.fsgArity {
+			params := make([]string, ar)
+			names := make([]string, ar)
+			for j := 0; j < ar; j++ {
+				names[j] = fmt.Sprintf("h%d", j)
+				params[j] = names[j] + " int"
+			}
+			fmt.Fprintf(s, "proc fsg%d(%s) {\n", gi, strings.Join(params, ", "))
+			emitFormalUses(s, names)
+			s.WriteString("}\n")
+		}
+	}
+	if len(b.absSites) > 0 {
+		var params, names []string
+		for k := 0; k < b.absIntSlots; k++ {
+			names = append(names, fmt.Sprintf("a%d", k))
+			params = append(params, fmt.Sprintf("a%d int", k))
+		}
+		for k := 0; k < b.absFltSlots; k++ {
+			names = append(names, fmt.Sprintf("af%d", k))
+			params = append(params, fmt.Sprintf("af%d real", k))
+		}
+		fmt.Fprintf(s, "proc absorb(%s) {\n  print %s\n}\n", strings.Join(params, ", "), strings.Join(names, ", "))
+	}
+	for i := 0; i < b.pairGadgets; i++ {
+		fmt.Fprintf(s, "proc pleaf%d() {\n  use pg%d\n  print pg%d\n}\n", i, i, i)
+	}
+	for _, l := range b.leaves {
+		fmt.Fprintf(s, "proc %s() {\n  use %s\n  print %s\n}\n",
+			l.name, strings.Join(l.globals, ", "), strings.Join(l.globals, ", "))
+	}
+	if b.hubLeaf >= 0 {
+		s.WriteString("proc hub() {\n")
+		for k := 0; k < b.hubCalls; k++ {
+			fmt.Fprintf(s, "  call %s()\n", b.leaves[b.hubLeaf].name)
+		}
+		s.WriteString("}\n")
+	}
+	if b.sink {
+		s.WriteString("proc sink(q int) {\n  print q\n}\n")
+	}
+	for i, ar := range b.padArities {
+		if ar == 0 {
+			fmt.Fprintf(s, "proc pad%d() {\n}\n", i)
+			continue
+		}
+		params := make([]string, ar)
+		names := make([]string, ar)
+		for j := range params {
+			names[j] = fmt.Sprintf("q%d", j)
+			params[j] = names[j] + " int"
+		}
+		fmt.Fprintf(s, "proc pad%d(%s) {\n  print %s\n}\n", i, strings.Join(params, ", "), strings.Join(names, ", "))
+	}
+}
+
+// emitFormalUses emits several uses of each constant formal so the
+// substitution metric (Table 5) weighs each propagated constant like a
+// realistic procedure body would.
+func emitFormalUses(s *strings.Builder, names []string) {
+	for _, n := range names {
+		fmt.Fprintf(s, "  print %s, %s\n  print %s, %s, %s\n", n, n, n, n, n)
+	}
+}
+
+func sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '.' || c == '-' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = append([]byte("b_"), out...)
+	}
+	return string(out)
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// reserveSinkAbs extracts the absorber+sink share of a planLeaves
+// reserve (the hub share was consumed by the caller's decision).
+func reserveSinkAbs(reserve int) int {
+	if reserve >= 2 {
+		return 2
+	}
+	return reserve
+}
+
+func assertGE(what string, v, floor int) {
+	if v < floor {
+		panic(fmt.Sprintf("bench: infeasible profile: %s = %d < %d", what, v, floor))
+	}
+}
+
+func containsStr(s []string, x string) bool {
+	for _, y := range s {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package callgraph builds the Program Call Graph (PCG) of a MiniFort
+// program and provides the traversal orders the interprocedural analyses
+// need: reachability from main, a forward topological order (reverse
+// post-order of a DFS from main), back-edge classification against that
+// order, and Tarjan strongly connected components for cycle handling.
+//
+// Following the paper (§3.2), a call edge is a *back edge* exactly when
+// the callee is not processed before the caller in the chosen forward
+// topological traversal — i.e. pos(caller) >= pos(callee). For an acyclic
+// PCG there are no back edges and the flow-sensitive ICP needs no
+// flow-insensitive fallback. The ratio of back edges to total edges
+// measures how flow-insensitive the combined solution is.
+package callgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"fsicp/internal/ir"
+	"fsicp/internal/sem"
+)
+
+// Edge is one call-site edge of the PCG.
+type Edge struct {
+	Caller *sem.Proc
+	Callee *sem.Proc
+	Site   *ir.CallInstr
+}
+
+// Graph is the PCG.
+type Graph struct {
+	Prog *ir.Program
+
+	// Reachable lists the procedures reachable from main, in forward
+	// topological order (reverse post-order; main first).
+	Reachable []*sem.Proc
+
+	// Pos[p] is p's index in Reachable; absent for unreachable procs.
+	Pos map[*sem.Proc]int
+
+	// Edges lists every call edge whose caller is reachable.
+	Edges []Edge
+
+	// Out[p] lists p's outgoing edges; In[p] its incoming edges
+	// (reachable callers only).
+	Out map[*sem.Proc][]Edge
+	In  map[*sem.Proc][]Edge
+
+	// SCCs are Tarjan strongly connected components of the reachable
+	// subgraph, in reverse topological order (callees' components
+	// before callers').
+	SCCs [][]*sem.Proc
+	// SCCIndex[p] is the index of p's component in SCCs.
+	SCCIndex map[*sem.Proc]int
+}
+
+// Build constructs the PCG of prog.
+func Build(prog *ir.Program) *Graph {
+	g := &Graph{
+		Prog:     prog,
+		Pos:      make(map[*sem.Proc]int),
+		Out:      make(map[*sem.Proc][]Edge),
+		In:       make(map[*sem.Proc][]Edge),
+		SCCIndex: make(map[*sem.Proc]int),
+	}
+	if prog.Sem.Main == nil {
+		return g
+	}
+
+	// DFS from main; post-order reversed gives the forward topological
+	// order used by the ICP traversals.
+	visited := make(map[*sem.Proc]bool)
+	var post []*sem.Proc
+	var dfs func(p *sem.Proc)
+	dfs = func(p *sem.Proc) {
+		visited[p] = true
+		for _, call := range prog.FuncOf[p].Calls {
+			if !visited[call.Callee] {
+				dfs(call.Callee)
+			}
+		}
+		post = append(post, p)
+	}
+	dfs(prog.Sem.Main)
+	for i := len(post) - 1; i >= 0; i-- {
+		g.Pos[post[i]] = len(g.Reachable)
+		g.Reachable = append(g.Reachable, post[i])
+	}
+
+	for _, p := range g.Reachable {
+		for _, call := range prog.FuncOf[p].Calls {
+			e := Edge{Caller: p, Callee: call.Callee, Site: call}
+			g.Edges = append(g.Edges, e)
+			g.Out[p] = append(g.Out[p], e)
+			g.In[call.Callee] = append(g.In[call.Callee], e)
+		}
+	}
+	g.tarjan()
+	return g
+}
+
+// IsReachable reports whether p is reachable from main.
+func (g *Graph) IsReachable(p *sem.Proc) bool {
+	_, ok := g.Pos[p]
+	return ok
+}
+
+// IsBackEdge reports whether e is a back edge of the forward topological
+// traversal: its callee is not processed strictly before its caller.
+func (g *Graph) IsBackEdge(e Edge) bool {
+	return g.Pos[e.Callee] <= g.Pos[e.Caller]
+}
+
+// HasCycles reports whether the reachable PCG contains any cycle
+// (equivalently, any back edge).
+func (g *Graph) HasCycles() bool {
+	for _, scc := range g.SCCs {
+		if len(scc) > 1 {
+			return true
+		}
+		p := scc[0]
+		for _, e := range g.Out[p] {
+			if e.Callee == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BackEdgeRatio returns (#back edges, #edges) — the paper's measure of
+// how flow-insensitive the combined FS solution is.
+func (g *Graph) BackEdgeRatio() (back, total int) {
+	for _, e := range g.Edges {
+		total++
+		if g.IsBackEdge(e) {
+			back++
+		}
+	}
+	return back, total
+}
+
+// tarjan computes SCCs of the reachable subgraph. SCCs end up in
+// reverse topological order (a component is emitted only after every
+// component it calls into).
+func (g *Graph) tarjan() {
+	index := make(map[*sem.Proc]int)
+	low := make(map[*sem.Proc]int)
+	onStack := make(map[*sem.Proc]bool)
+	var stack []*sem.Proc
+	next := 0
+
+	var strong func(p *sem.Proc)
+	strong = func(p *sem.Proc) {
+		index[p] = next
+		low[p] = next
+		next++
+		stack = append(stack, p)
+		onStack[p] = true
+		for _, e := range g.Out[p] {
+			q := e.Callee
+			if _, seen := index[q]; !seen {
+				strong(q)
+				if low[q] < low[p] {
+					low[p] = low[q]
+				}
+			} else if onStack[q] && index[q] < low[p] {
+				low[p] = index[q]
+			}
+		}
+		if low[p] == index[p] {
+			var comp []*sem.Proc
+			for {
+				q := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[q] = false
+				comp = append(comp, q)
+				if q == p {
+					break
+				}
+			}
+			for _, q := range comp {
+				g.SCCIndex[q] = len(g.SCCs)
+			}
+			g.SCCs = append(g.SCCs, comp)
+		}
+	}
+	for _, p := range g.Reachable {
+		if _, seen := index[p]; !seen {
+			strong(p)
+		}
+	}
+}
+
+// Dump renders the PCG for debugging.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	for _, p := range g.Reachable {
+		fmt.Fprintf(&b, "%s:", p.Name)
+		for _, e := range g.Out[p] {
+			mark := ""
+			if g.IsBackEdge(e) {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, " %s%s", e.Callee.Name, mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

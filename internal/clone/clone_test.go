@@ -1,0 +1,206 @@
+package clone_test
+
+import (
+	"testing"
+
+	"fsicp/internal/clone"
+	"fsicp/internal/icp"
+	"fsicp/internal/interp"
+	"fsicp/internal/irbuild"
+	"fsicp/internal/parser"
+	"fsicp/internal/progen"
+	"fsicp/internal/sem"
+	"fsicp/internal/source"
+	"fsicp/internal/testutil"
+)
+
+const kernelSrc = `program p
+proc main() {
+  var x int
+  read x
+  call kernel(64, 1)
+  call kernel(64, 2)
+  call kernel(x, 3)
+}
+proc kernel(size int, mode int) {
+  var area int
+  area = size * size
+  print mode, area
+}`
+
+func analyze(t *testing.T, src string) (*icp.Context, *icp.Result) {
+	t.Helper()
+	prog := testutil.MustBuild(t, src)
+	ctx := icp.Prepare(prog)
+	return ctx, icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+}
+
+func countConsts(ctx *icp.Context, r *icp.Result) int {
+	n := 0
+	for _, p := range ctx.CG.Reachable {
+		n += len(r.ConstantFormals(p))
+	}
+	return n
+}
+
+func TestCloneKernel(t *testing.T) {
+	ctx, r := analyze(t, kernelSrc)
+	before := countConsts(ctx, r)
+
+	rep := clone.Run(ctx, r, clone.Options{})
+	if rep.Cloned == 0 || rep.RetargetedCS == 0 {
+		t.Fatalf("no clones created: %+v", rep)
+	}
+	// Re-prepare and re-analyse the cloned program.
+	ctx2 := icp.Prepare(ctx.Prog)
+	r2 := icp.Analyze(ctx2, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+	after := countConsts(ctx2, r2)
+	if after <= before {
+		t.Errorf("cloning gained nothing: before %d, after %d", before, after)
+	}
+	// The (64,_) clone's size formal must now be constant.
+	found := false
+	for _, p := range ctx2.CG.Reachable {
+		for _, f := range r2.ConstantFormals(p) {
+			if f.Name == "size" {
+				if v, _ := r2.EntryConstant(p, f); v.I == 64 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("clone did not expose size = 64")
+	}
+}
+
+func TestCloneSemanticsPreserved(t *testing.T) {
+	ref := interp.Run(testutil.MustBuild(t, kernelSrc), interp.Options{})
+	ctx, r := analyze(t, kernelSrc)
+	clone.Run(ctx, r, clone.Options{})
+	got := interp.Run(ctx.Prog, interp.Options{})
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	if got.Output != ref.Output {
+		t.Errorf("cloning changed output:\n%q\nvs\n%q", got.Output, ref.Output)
+	}
+}
+
+func TestNoCloneWhenMeetAlreadyConstant(t *testing.T) {
+	// All sites agree: nothing to gain.
+	ctx, r := analyze(t, `program p
+proc main() {
+  call f(9)
+  call f(9)
+}
+proc f(a int) { print a }`)
+	rep := clone.Run(ctx, r, clone.Options{})
+	if rep.Cloned != 0 {
+		t.Errorf("cloned needlessly: %+v", rep)
+	}
+}
+
+func TestNoCloneWhenNothingConstant(t *testing.T) {
+	ctx, r := analyze(t, `program p
+proc main() {
+  var x int
+  read x
+  call f(x)
+  call f(x + 1)
+}
+proc f(a int) { print a }`)
+	rep := clone.Run(ctx, r, clone.Options{})
+	if rep.Cloned != 0 {
+		t.Errorf("cloned needlessly: %+v", rep)
+	}
+}
+
+func TestCloneBudget(t *testing.T) {
+	ctx, r := analyze(t, `program p
+proc main() {
+  call f(1)
+  call f(2)
+  call f(3)
+  call f(4)
+  call f(5)
+  call f(6)
+}
+proc f(a int) { print a }`)
+	rep := clone.Run(ctx, r, clone.Options{MaxClonesPerProc: 2})
+	if rep.Cloned != 2 || rep.SkippedBudget == 0 {
+		t.Errorf("budget not honoured: %+v", rep)
+	}
+	// Still executable and correct.
+	got := interp.Run(ctx.Prog, interp.Options{})
+	if got.Err != nil || got.Output != "1\n2\n3\n4\n5\n6\n" {
+		t.Errorf("output %q err %v", got.Output, got.Err)
+	}
+}
+
+func TestCloneRandomDifferential(t *testing.T) {
+	for seed := int64(1100); seed < 1125; seed++ {
+		src := progen.Generate(progen.Config{Seed: seed, AllowRecursion: seed%2 == 0, AllowFloats: true})
+		build := func() *icp.Context {
+			f := source.NewFile("gen.mf", src)
+			astProg, err := parser.ParseFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := sem.Check(astProg, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := irbuild.Build(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return icp.Prepare(prog)
+		}
+		refCtx := build()
+		ref := interp.Run(refCtx.Prog, interp.Options{})
+		if ref.Err != nil {
+			t.Fatalf("seed %d: %v", seed, ref.Err)
+		}
+		ctx := build()
+		r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+		clone.Run(ctx, r, clone.Options{})
+		got := interp.Run(ctx.Prog, interp.Options{MaxSteps: 10_000_000})
+		if got.Err != nil {
+			t.Fatalf("seed %d: cloned program failed: %v\n%s", seed, got.Err, src)
+		}
+		if got.Output != ref.Output {
+			t.Errorf("seed %d: output diverged after cloning\n%s", seed, src)
+		}
+	}
+}
+
+func TestCloningMonotone(t *testing.T) {
+	// Cloning never loses constants on random programs.
+	for seed := int64(1200); seed < 1220; seed++ {
+		src := progen.Generate(progen.Config{Seed: seed, AllowFloats: true})
+		f := source.NewFile("gen.mf", src)
+		astProg, err := parser.ParseFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := sem.Check(astProg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := irbuild.Build(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := icp.Prepare(prog)
+		r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+		before := countConsts(ctx, r)
+		clone.Run(ctx, r, clone.Options{})
+		ctx2 := icp.Prepare(ctx.Prog)
+		r2 := icp.Analyze(ctx2, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+		after := countConsts(ctx2, r2)
+		if after < before {
+			t.Errorf("seed %d: cloning lost constants: %d -> %d\n%s", seed, before, after, src)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package dom_test
+
+import (
+	"testing"
+
+	"fsicp/internal/dom"
+	"fsicp/internal/ir"
+	"fsicp/internal/irbuild"
+	"fsicp/internal/parser"
+	"fsicp/internal/progen"
+	"fsicp/internal/sem"
+	"fsicp/internal/source"
+)
+
+// naiveDominators computes dominance by the textbook dataflow
+// definition: Dom(entry) = {entry}; Dom(b) = {b} ∪ ⋂ Dom(pred). It is
+// O(n²)-ish but obviously correct, and serves as the oracle for the
+// Cooper–Harvey–Kennedy implementation on random CFGs.
+func naiveDominators(fn *ir.Func) map[*ir.Block]map[*ir.Block]bool {
+	blocks := fn.ReachableBlocks()
+	reach := make(map[*ir.Block]bool, len(blocks))
+	for _, b := range blocks {
+		reach[b] = true
+	}
+	all := func() map[*ir.Block]bool {
+		m := make(map[*ir.Block]bool, len(blocks))
+		for _, b := range blocks {
+			m[b] = true
+		}
+		return m
+	}
+	doms := make(map[*ir.Block]map[*ir.Block]bool, len(blocks))
+	entry := fn.Entry()
+	for _, b := range blocks {
+		if b == entry {
+			doms[b] = map[*ir.Block]bool{b: true}
+		} else {
+			doms[b] = all()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			if b == entry {
+				continue
+			}
+			var inter map[*ir.Block]bool
+			for _, p := range b.Preds {
+				if !reach[p] {
+					continue
+				}
+				if inter == nil {
+					inter = make(map[*ir.Block]bool, len(doms[p]))
+					for d := range doms[p] {
+						inter[d] = true
+					}
+					continue
+				}
+				for d := range inter {
+					if !doms[p][d] {
+						delete(inter, d)
+					}
+				}
+			}
+			if inter == nil {
+				inter = make(map[*ir.Block]bool)
+			}
+			inter[b] = true
+			if len(inter) != len(doms[b]) {
+				doms[b] = inter
+				changed = true
+				continue
+			}
+			for d := range inter {
+				if !doms[b][d] {
+					doms[b] = inter
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return doms
+}
+
+func TestDominatorsAgainstNaive(t *testing.T) {
+	for seed := int64(900); seed < 940; seed++ {
+		src := progen.Generate(progen.Config{Seed: seed, AllowRecursion: true, AllowFloats: true})
+		f := source.NewFile("gen.mf", src)
+		astProg, err := parser.ParseFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := sem.Check(astProg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := irbuild.Build(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fn := range prog.Funcs {
+			tr := dom.New(fn)
+			oracle := naiveDominators(fn)
+			blocks := fn.ReachableBlocks()
+			for _, a := range blocks {
+				for _, b := range blocks {
+					want := oracle[b][a] // a dominates b
+					got := tr.Dominates(a, b)
+					if got != want {
+						t.Fatalf("seed %d %s: Dominates(%v,%v) = %v, oracle %v\n%s",
+							seed, fn.Proc.Name, a, b, got, want, fn.Dump())
+					}
+				}
+			}
+			// Idom must be the unique closest strict dominator.
+			for _, b := range blocks {
+				id := tr.Idom(b)
+				if b == fn.Entry() {
+					if id != nil {
+						t.Fatalf("entry idom not nil")
+					}
+					continue
+				}
+				if id == nil {
+					t.Fatalf("seed %d: %v has no idom", seed, b)
+				}
+				if !oracle[b][id] || id == b {
+					t.Fatalf("seed %d: idom(%v)=%v is not a strict dominator", seed, b, id)
+				}
+				// No other strict dominator lies below id.
+				for d := range oracle[b] {
+					if d == b || d == id {
+						continue
+					}
+					if !oracle[id][d] {
+						t.Fatalf("seed %d: dominator %v of %v not above idom %v", seed, d, b, id)
+					}
+				}
+			}
+			// Frontier definition check: f ∈ DF(b) iff b dominates a
+			// pred of f but does not strictly dominate f.
+			for _, b := range blocks {
+				inDF := map[*ir.Block]bool{}
+				for _, fb := range tr.Frontier(b) {
+					inDF[fb] = true
+				}
+				for _, fb := range blocks {
+					want := false
+					for _, p := range fb.Preds {
+						if oracle[p] != nil && oracle[p][b] && !(b != fb && oracle[fb][b]) {
+							want = true
+						}
+					}
+					if inDF[fb] != want {
+						t.Fatalf("seed %d %s: DF(%v) contains %v = %v, oracle %v",
+							seed, fn.Proc.Name, b, fb, inDF[fb], want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package dom computes dominator trees and dominance frontiers for the
+// CFG IR, using the Cooper–Harvey–Kennedy iterative algorithm ("A Simple,
+// Fast Dominance Algorithm"). Only blocks reachable from the entry are
+// considered; unreachable blocks report no dominator information.
+package dom
+
+import "fsicp/internal/ir"
+
+// Tree holds dominator information for one function.
+type Tree struct {
+	fn *ir.Func
+
+	// RPO is the reachable blocks in reverse post-order (entry first).
+	RPO []*ir.Block
+
+	// rpoIndex[block.Index] is the block's position in RPO, or -1.
+	rpoIndex []int
+
+	// idom[block.Index] is the immediate dominator, nil for the entry
+	// and for unreachable blocks.
+	idom []*ir.Block
+
+	// children[block.Index] lists dominator-tree children.
+	children [][]*ir.Block
+
+	// frontier[block.Index] is the dominance frontier.
+	frontier [][]*ir.Block
+}
+
+// New computes the dominator tree and dominance frontiers of fn.
+func New(fn *ir.Func) *Tree {
+	t := &Tree{fn: fn}
+	t.RPO = fn.ReachableBlocks()
+	n := len(fn.Blocks)
+	t.rpoIndex = make([]int, n)
+	for i := range t.rpoIndex {
+		t.rpoIndex[i] = -1
+	}
+	for i, b := range t.RPO {
+		t.rpoIndex[b.Index] = i
+	}
+	t.idom = make([]*ir.Block, n)
+	t.computeIdom()
+	t.children = make([][]*ir.Block, n)
+	for _, b := range t.RPO {
+		if d := t.idom[b.Index]; d != nil {
+			t.children[d.Index] = append(t.children[d.Index], b)
+		}
+	}
+	t.computeFrontiers()
+	return t
+}
+
+func (t *Tree) computeIdom() {
+	entry := t.RPO[0]
+	t.idom[entry.Index] = entry // temporarily self, per CHK
+	for changed := true; changed; {
+		changed = false
+		for _, b := range t.RPO[1:] {
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if t.rpoIndex[p.Index] < 0 || t.idom[p.Index] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[b.Index] != newIdom {
+				t.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.idom[entry.Index] = nil // entry has no idom
+}
+
+func (t *Tree) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for t.rpoIndex[a.Index] > t.rpoIndex[b.Index] {
+			a = t.idom[a.Index]
+		}
+		for t.rpoIndex[b.Index] > t.rpoIndex[a.Index] {
+			b = t.idom[b.Index]
+		}
+	}
+	return a
+}
+
+func (t *Tree) computeFrontiers() {
+	t.frontier = make([][]*ir.Block, len(t.fn.Blocks))
+	for _, b := range t.RPO {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if t.rpoIndex[p.Index] < 0 {
+				continue
+			}
+			runner := p
+			stop := t.Idom(b)
+			for runner != nil && runner != stop {
+				if !containsBlock(t.frontier[runner.Index], b) {
+					t.frontier[runner.Index] = append(t.frontier[runner.Index], b)
+				}
+				runner = t.idom[runner.Index]
+			}
+		}
+	}
+}
+
+func containsBlock(s []*ir.Block, b *ir.Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Idom returns b's immediate dominator (nil for the entry block or an
+// unreachable block).
+func (t *Tree) Idom(b *ir.Block) *ir.Block { return t.idom[b.Index] }
+
+// Children returns b's dominator-tree children.
+func (t *Tree) Children(b *ir.Block) []*ir.Block { return t.children[b.Index] }
+
+// Frontier returns b's dominance frontier.
+func (t *Tree) Frontier(b *ir.Block) []*ir.Block { return t.frontier[b.Index] }
+
+// Reachable reports whether b is reachable from the entry.
+func (t *Tree) Reachable(b *ir.Block) bool { return t.rpoIndex[b.Index] >= 0 }
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *Tree) Dominates(a, b *ir.Block) bool {
+	if !t.Reachable(a) || !t.Reachable(b) {
+		return false
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.idom[b.Index]
+	}
+	return false
+}

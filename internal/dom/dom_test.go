@@ -1,0 +1,138 @@
+package dom_test
+
+import (
+	"testing"
+
+	"fsicp/internal/dom"
+	"fsicp/internal/ir"
+	"fsicp/internal/testutil"
+)
+
+func TestDiamond(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {
+  var x int
+  read x
+  if x > 0 {
+    x = 1
+  } else {
+    x = 2
+  }
+  print x
+}`)
+	f := testutil.FuncByName(t, p, "main")
+	tr := dom.New(f)
+	entry := f.Entry()
+	iff := entry.Term.(*ir.If)
+	join := iff.Then.Term.(*ir.Jump).Target
+
+	if tr.Idom(entry) != nil {
+		t.Error("entry must have no idom")
+	}
+	if tr.Idom(iff.Then) != entry || tr.Idom(iff.Else) != entry {
+		t.Error("branch blocks must be idom'd by entry")
+	}
+	if tr.Idom(join) != entry {
+		t.Errorf("join idom: %v, want entry", tr.Idom(join))
+	}
+	// Dominance frontier of each branch is the join block.
+	for _, b := range []*ir.Block{iff.Then, iff.Else} {
+		fr := tr.Frontier(b)
+		if len(fr) != 1 || fr[0] != join {
+			t.Errorf("frontier(%s) = %v, want [%s]", b, fr, join)
+		}
+	}
+	if len(tr.Frontier(entry)) != 0 {
+		t.Errorf("frontier(entry) = %v", tr.Frontier(entry))
+	}
+	if !tr.Dominates(entry, join) || tr.Dominates(iff.Then, join) {
+		t.Error("dominates relation wrong")
+	}
+}
+
+func TestLoopFrontier(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {
+  var x int = 10
+  while x > 0 {
+    x = x - 1
+  }
+  print x
+}`)
+	f := testutil.FuncByName(t, p, "main")
+	tr := dom.New(f)
+	header := f.Entry().Term.(*ir.Jump).Target
+	iff := header.Term.(*ir.If)
+	body := iff.Then
+
+	// The loop header is in its own dominance frontier (via the back
+	// edge) and in the body's frontier.
+	inFrontier := func(b *ir.Block) bool {
+		for _, x := range tr.Frontier(b) {
+			if x == header {
+				return true
+			}
+		}
+		return false
+	}
+	if !inFrontier(body) {
+		t.Errorf("header not in frontier(body): %v", tr.Frontier(body))
+	}
+	if !inFrontier(header) {
+		t.Errorf("header not in frontier(header): %v", tr.Frontier(header))
+	}
+	if tr.Idom(body) != header {
+		t.Error("body must be idom'd by header")
+	}
+}
+
+func TestUnreachableIgnored(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {
+  return
+  print 1
+}`)
+	f := testutil.FuncByName(t, p, "main")
+	tr := dom.New(f)
+	if len(tr.RPO) != 1 {
+		t.Fatalf("RPO: %d", len(tr.RPO))
+	}
+	for _, b := range f.Blocks[1:] {
+		if tr.Reachable(b) {
+			t.Errorf("block %s should be unreachable", b)
+		}
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {
+  var i int
+  var j int
+  var s int = 0
+  for i = 1, 3 {
+    for j = 1, 3 {
+      s = s + i * j
+    }
+  }
+  print s
+}`)
+	f := testutil.FuncByName(t, p, "main")
+	tr := dom.New(f)
+	// Entry dominates everything reachable.
+	for _, b := range tr.RPO {
+		if !tr.Dominates(f.Entry(), b) {
+			t.Errorf("entry does not dominate %s", b)
+		}
+	}
+	// Idom chain from any block reaches the entry.
+	for _, b := range tr.RPO[1:] {
+		steps := 0
+		for x := b; x != nil; x = tr.Idom(x) {
+			steps++
+			if steps > len(tr.RPO)+1 {
+				t.Fatalf("idom chain from %s does not terminate", b)
+			}
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package icp_test
+
+import (
+	"testing"
+
+	"fsicp/internal/icp"
+	"fsicp/internal/interp"
+	"fsicp/internal/ir"
+	"fsicp/internal/soundness"
+)
+
+func interpRun(t *testing.T, prog *ir.Program) *interp.Trace {
+	t.Helper()
+	r := interp.Run(prog, interp.Options{TraceGlobalsAtCalls: true})
+	if r.Err != nil {
+		t.Fatalf("interp: %v", r.Err)
+	}
+	return r.Trace
+}
+
+func soundnessCheck(r *icp.Result, tr *interp.Trace) []string {
+	return soundness.CheckICP(r, tr)
+}

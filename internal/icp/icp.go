@@ -1,0 +1,253 @@
+// Package icp implements the paper's interprocedural constant
+// propagation algorithms:
+//
+//   - the flow-insensitive method (its Figure 3): a single forward
+//     topological traversal of the program call graph propagating
+//     immediate call-site constants and pass-through formals, with an
+//     fp-bind worklist to handle cycles, plus block-data global
+//     constants that are never modified;
+//
+//   - the flow-sensitive method (its Figure 4): one forward topological
+//     traversal that interleaves a Wegman–Zadeck sparse conditional
+//     constant (SCC) analysis of each procedure with interprocedural
+//     propagation; every procedure receives one flow-sensitive analysis,
+//     and call-graph back edges fall back to the flow-insensitive
+//     solution, so recursion is supported without iteration;
+//
+//   - the return-constant extension (its §3.2): one additional reverse
+//     topological traversal performing a second flow-sensitive analysis
+//     per procedure to compute returned constants (function results and
+//     exit values of by-reference formals and globals), which invoking
+//     call sites then consume;
+//
+//   - flow-sensitive procedure USE computation (upward-exposed uses) in
+//     one reverse topological traversal, with REF on back edges.
+package icp
+
+import (
+	"time"
+
+	"fsicp/internal/alias"
+	"fsicp/internal/ast"
+	"fsicp/internal/callgraph"
+	"fsicp/internal/ir"
+	"fsicp/internal/lattice"
+	"fsicp/internal/modref"
+	"fsicp/internal/scc"
+	"fsicp/internal/sem"
+	"fsicp/internal/val"
+)
+
+// Method selects an interprocedural constant propagation algorithm.
+type Method int
+
+const (
+	// FlowInsensitive is the paper's Figure 3 algorithm.
+	FlowInsensitive Method = iota
+	// FlowSensitive is the paper's Figure 4 algorithm.
+	FlowSensitive
+	// FlowSensitiveIterative is the fully iterative comparison point
+	// the paper's §3.2 equates with FlowSensitive on acyclic call
+	// graphs: procedures are re-analysed until a global fixpoint, so a
+	// procedure may receive many flow-sensitive analyses.
+	FlowSensitiveIterative
+)
+
+func (m Method) String() string {
+	switch m {
+	case FlowInsensitive:
+		return "flow-insensitive"
+	case FlowSensitiveIterative:
+		return "flow-sensitive-iterative"
+	default:
+		return "flow-sensitive"
+	}
+}
+
+// Options configures an analysis.
+type Options struct {
+	Method Method
+
+	// PropagateFloats enables interprocedural propagation of
+	// floating-point constants (the paper reports results both ways;
+	// Tables 3–4 exclude them). Intraprocedural folding is unaffected.
+	PropagateFloats bool
+
+	// ReturnConstants enables the flow-sensitive return-constant
+	// extension (one extra reverse traversal). Ignored by the
+	// flow-insensitive method.
+	ReturnConstants bool
+
+	// ReturnsRefresh (requires ReturnConstants) adds one more forward
+	// traversal that rebuilds entry environments using the computed
+	// return and exit summaries, so constants that flow out of one
+	// callee and into another procedure's entry become visible. This
+	// goes beyond the paper's two-traversal design; the summaries were
+	// computed under older (more conservative) environments, so the
+	// refresh is sound.
+	ReturnsRefresh bool
+}
+
+// DefaultOptions returns the configuration used for the paper's main
+// tables: flow-sensitive, floats on, returns off.
+func DefaultOptions() Options {
+	return Options{Method: FlowSensitive, PropagateFloats: true}
+}
+
+// filter demotes a float constant to ⊥ when float propagation is off.
+func (o Options) filter(e lattice.Elem) lattice.Elem {
+	if !o.PropagateFloats && e.IsConst() && e.Val.IsFloat() {
+		return lattice.BottomElem()
+	}
+	return e
+}
+
+// Context bundles the interprocedural inputs every method needs. It is
+// built once per program; building it fills ir.CallInstr.MayDef and
+// inserts alias clobbers, matching the paper's compilation model (alias
+// analysis, then MOD/REF, then ICP).
+type Context struct {
+	Prog *ir.Program
+	CG   *callgraph.Graph
+	AL   *alias.Info
+	MR   *modref.Info
+}
+
+// Prepare runs the pre-ICP interprocedural phases on prog.
+func Prepare(prog *ir.Program) *Context {
+	cg := callgraph.Build(prog)
+	al := alias.Compute(prog, cg)
+	mr := modref.Compute(prog, cg, al)
+	al.InsertClobbers(prog, cg)
+	return &Context{Prog: prog, CG: cg, AL: al, MR: mr}
+}
+
+// Result is the outcome of one ICP run.
+type Result struct {
+	Ctx  *Context
+	Opts Options
+
+	// Entry[p] holds the lattice value of each formal of p and each
+	// global at entry to p, as established interprocedurally. Absent
+	// entries are ⊥.
+	Entry map[*sem.Proc]lattice.Env[*sem.Var]
+
+	// ArgVals[call][i] is the method's value for the i-th actual at a
+	// call site (the call-site constant-candidate metric). For the
+	// flow-insensitive method this is the Figure 3 classification; for
+	// the flow-sensitive method it is the SCC value at the site.
+	ArgVals map[*ir.CallInstr][]lattice.Elem
+
+	// GlobalCallVals[call] maps each global that is constant at the
+	// call site *and* referenced by the callee (directly or
+	// transitively) to its value — the paper's sparse per-call-site
+	// global candidate list.
+	GlobalCallVals map[*ir.CallInstr]map[*sem.Var]val.Value
+
+	// VisibleCallGlobals[call] maps each global that is constant at the
+	// call site and visible in the *calling* procedure (its use
+	// clause) to its value — the paper's VIS measurement.
+	VisibleCallGlobals map[*ir.CallInstr]map[*sem.Var]val.Value
+
+	// ProgramGlobalConstants are the block-data-initialised globals
+	// never modified in the program (flow-insensitive global solution).
+	ProgramGlobalConstants map[*sem.Var]val.Value
+
+	// Intra[p] is the final intraprocedural SCC fixpoint of p
+	// (flow-sensitive method only).
+	Intra map[*sem.Proc]*scc.Result
+
+	// Dead[p] reports that p, although statically reachable in the
+	// PCG, has no executable incoming call site under the
+	// flow-sensitive solution.
+	Dead map[*sem.Proc]bool
+
+	// Returns[p] is the constant a function returns (return-constant
+	// extension); ExitEnv[p] the exit values of formals and globals.
+	Returns map[*sem.Proc]lattice.Elem
+	ExitEnv map[*sem.Proc]lattice.Env[*sem.Var]
+
+	// FI is the flow-insensitive solution computed as the back-edge
+	// fallback (flow-sensitive method on cyclic PCGs only).
+	FI *fiSolution
+
+	// BackEdgesUsed counts call edges that consulted the
+	// flow-insensitive fallback.
+	BackEdgesUsed int
+
+	// AnalysisTime is the wall-clock duration of the ICP phase proper
+	// (excluding Prepare).
+	AnalysisTime time.Duration
+
+	// Iterations and SCCRuns are filled by the iterative method: how
+	// many rounds the global fixpoint took and how many intraprocedural
+	// analyses ran in total (the one-pass method runs exactly one per
+	// procedure — the paper's efficiency argument).
+	Iterations int
+	SCCRuns    int
+}
+
+// Analyze runs the selected method over a prepared context.
+func Analyze(ctx *Context, opts Options) *Result {
+	start := time.Now()
+	var res *Result
+	switch opts.Method {
+	case FlowInsensitive:
+		fi := runFI(ctx, opts)
+		res = fi.toResult(ctx, opts)
+	case FlowSensitiveIterative:
+		res = runFSIterative(ctx, opts)
+	default:
+		res = runFS(ctx, opts)
+	}
+	res.AnalysisTime = time.Since(start)
+	return res
+}
+
+// EntryConstant returns the constant value of v (a formal of p or a
+// global) at entry to p, if the method established one.
+func (r *Result) EntryConstant(p *sem.Proc, v *sem.Var) (val.Value, bool) {
+	e := r.Entry[p].Get(v)
+	if e.IsConst() {
+		return e.Val, true
+	}
+	return val.Value{}, false
+}
+
+// ConstantFormals returns p's formals that hold interprocedural
+// constants at entry.
+func (r *Result) ConstantFormals(p *sem.Proc) []*sem.Var {
+	var out []*sem.Var
+	for _, f := range p.Params {
+		if _, ok := r.EntryConstant(p, f); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// literalValue recognises the paper's "immediate constant" arguments: a
+// literal, possibly parenthesised or negated.
+func literalValue(e ast.Expr) (val.Value, bool) {
+	return sem.FoldNegatedLiteral(stripParens(e))
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// argIdentVar returns the variable a bare-identifier argument names
+// (nil for any other argument shape). Parentheses make an argument an
+// expression (by-value), so they are *not* stripped here.
+func argIdentVar(info *sem.Info, e ast.Expr) *sem.Var {
+	if id, ok := e.(*ast.Ident); ok {
+		return info.Refs[id]
+	}
+	return nil
+}

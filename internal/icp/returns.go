@@ -1,0 +1,248 @@
+package icp
+
+import (
+	"fsicp/internal/ir"
+	"fsicp/internal/lattice"
+	"fsicp/internal/scc"
+	"fsicp/internal/sem"
+	"fsicp/internal/ssa"
+	"fsicp/internal/val"
+)
+
+// runReturns implements the paper's §3.2 return-constant extension: one
+// additional reverse topological traversal of the PCG performing a
+// second flow-sensitive intraprocedural analysis of each procedure, to
+// identify the procedure's returned constants — the function result and
+// the exit values of by-reference formals and modified globals — which
+// are then consumed at the invoking call sites (the caller is analysed
+// after its callees in the reverse traversal).
+//
+// For back edges of the reverse traversal (callees not yet reprocessed,
+// i.e. recursion) the fallback is ⊥ — a flow-insensitive return
+// solution, precomputed trivially.
+func runReturns(ctx *Context, opts Options, res *Result, ssaOf map[*sem.Proc]*ssa.SSA) {
+	res.Returns = make(map[*sem.Proc]lattice.Elem)
+	res.ExitEnv = make(map[*sem.Proc]lattice.Env[*sem.Var])
+	cg := ctx.CG
+
+	done := make(map[*sem.Proc]bool)
+
+	// callExit maps a may-defined caller variable at a call site to
+	// the callee's exit value for it, per the rules in DESIGN.md: a
+	// by-ref actual takes the exit value of every modified formal it
+	// is bound to; a modified global takes its own exit value; a
+	// variable only in MayDef via alias closure stays ⊥.
+	callExit := func(call *ir.CallInstr, v *sem.Var) lattice.Elem {
+		callee := call.Callee
+		if !done[callee] {
+			return lattice.BottomElem()
+		}
+		exit := res.ExitEnv[callee]
+		acc := lattice.TopElem()
+		contributed := false
+		for i, a := range call.ByRef {
+			if a != v || i >= len(callee.Params) {
+				continue
+			}
+			f := callee.Params[i]
+			if ctx.MR.Mod[callee].Has(f) {
+				acc = lattice.Meet(acc, opts.filter(exit.Get(f)))
+				contributed = true
+			}
+		}
+		if v.IsGlobal() && ctx.MR.Mod[callee].Has(v) {
+			acc = lattice.Meet(acc, opts.filter(exit.Get(v)))
+			contributed = true
+		}
+		if !contributed || acc.IsTop() {
+			// Alias-closure member or a never-returning callee: keep
+			// the conservative answer.
+			return lattice.BottomElem()
+		}
+		return acc
+	}
+
+	callResult := func(call *ir.CallInstr) lattice.Elem {
+		if !done[call.Callee] {
+			return lattice.BottomElem()
+		}
+		return opts.filter(res.Returns[call.Callee])
+	}
+
+	for i := len(cg.Reachable) - 1; i >= 0; i-- {
+		p := cg.Reachable[i]
+		if res.Dead[p] {
+			res.Returns[p] = lattice.BottomElem()
+			res.ExitEnv[p] = make(lattice.Env[*sem.Var])
+			done[p] = true
+			continue
+		}
+		s := ssaOf[p]
+		if s == nil {
+			s = ssa.Build(ctx.Prog.FuncOf[p])
+			ssaOf[p] = s
+		}
+		r := scc.Run(s, scc.Options{
+			Entry:      res.Entry[p],
+			CallResult: callResult,
+			CallExit:   callExit,
+		})
+		// The second analysis is at least as precise as the first
+		// (extra call information only); adopt it as the final
+		// intraprocedural fixpoint.
+		res.Intra[p] = r
+
+		ret := r.ReturnValue()
+		if ret.IsTop() {
+			ret = lattice.BottomElem() // never returns: nothing to propagate
+		}
+		res.Returns[p] = ret
+
+		exit := make(lattice.Env[*sem.Var])
+		for _, f := range p.Params {
+			if e := r.ExitValue(f); e.IsConst() {
+				exit[f] = e
+			}
+		}
+		for _, g := range ctx.Prog.Sem.Globals {
+			if e := r.ExitValue(g); e.IsConst() {
+				exit[g] = e
+			}
+		}
+		res.ExitEnv[p] = exit
+		done[p] = true
+	}
+
+	if opts.ReturnsRefresh {
+		refreshForward(ctx, opts, res, ssaOf)
+	}
+}
+
+// refreshForward performs one additional forward topological traversal
+// that rebuilds every procedure's entry environment with the return and
+// exit summaries available at call sites. The summaries were computed
+// under environments at or below the refreshed ones, so they remain
+// sound over-approximations of runtime behaviour.
+func refreshForward(ctx *Context, opts Options, res *Result, ssaOf map[*sem.Proc]*ssa.SSA) {
+	cg, mr := ctx.CG, ctx.MR
+	if len(cg.Reachable) == 0 {
+		return
+	}
+	main := cg.Reachable[0]
+
+	callResult := func(call *ir.CallInstr) lattice.Elem {
+		return opts.filter(res.Returns[call.Callee])
+	}
+	callExit := func(call *ir.CallInstr, v *sem.Var) lattice.Elem {
+		callee := call.Callee
+		exit := res.ExitEnv[callee]
+		acc := lattice.TopElem()
+		contributed := false
+		for i, a := range call.ByRef {
+			if a != v || i >= len(callee.Params) {
+				continue
+			}
+			f := callee.Params[i]
+			if ctx.MR.Mod[callee].Has(f) {
+				acc = lattice.Meet(acc, opts.filter(exit.Get(f)))
+				contributed = true
+			}
+		}
+		if v.IsGlobal() && ctx.MR.Mod[callee].Has(v) {
+			acc = lattice.Meet(acc, opts.filter(exit.Get(v)))
+			contributed = true
+		}
+		if !contributed || acc.IsTop() {
+			return lattice.BottomElem()
+		}
+		return acc
+	}
+
+	fresh := make(map[*sem.Proc]*scc.Result)
+	dead := make(map[*sem.Proc]bool)
+	for _, p := range cg.Reachable {
+		env := make(lattice.Env[*sem.Var])
+		if p == main {
+			for g, v := range ctx.Prog.Sem.GlobalInit {
+				env[g] = opts.filter(lattice.Const(v))
+			}
+		} else {
+			nExec := 0
+			for _, e := range cg.In[p] {
+				if !cg.IsBackEdge(e) {
+					r := fresh[e.Caller]
+					if dead[e.Caller] || r == nil || !r.Reachable(e.Site) {
+						continue
+					}
+					nExec++
+					for i, f := range p.Params {
+						if i >= len(e.Site.Args) {
+							break
+						}
+						env.MeetInto(f, opts.filter(r.ArgValue(e.Site, i)))
+					}
+					for g := range mr.Ref[p] {
+						if g.IsGlobal() {
+							env.MeetInto(g, opts.filter(r.GlobalValueAtCall(e.Site, g)))
+						}
+					}
+				} else {
+					nExec++
+					for i, f := range p.Params {
+						env.MeetInto(f, res.FI.EdgeArg(e.Site, i))
+					}
+					for g := range mr.Ref[p] {
+						if g.IsGlobal() {
+							env.MeetInto(g, res.FI.GlobalElem(g))
+						}
+					}
+				}
+			}
+			if nExec == 0 {
+				dead[p] = true
+				env = make(lattice.Env[*sem.Var])
+			}
+			for v, e := range env {
+				if e.IsTop() {
+					env[v] = lattice.BottomElem()
+				}
+			}
+		}
+		res.Entry[p] = env
+		s := ssaOf[p]
+		if s == nil {
+			s = ssa.Build(ctx.Prog.FuncOf[p])
+			ssaOf[p] = s
+		}
+		r := scc.Run(s, scc.Options{Entry: env, CallResult: callResult, CallExit: callExit})
+		fresh[p] = r
+		res.Intra[p] = r
+
+		for _, call := range ctx.Prog.FuncOf[p].Calls {
+			vals := make([]lattice.Elem, len(call.Args))
+			for i := range call.Args {
+				vals[i] = opts.filter(r.ArgValue(call, i))
+			}
+			res.ArgVals[call] = vals
+			gm := make(map[*sem.Var]val.Value)
+			vm := make(map[*sem.Var]val.Value)
+			if r.Reachable(call) && !dead[p] {
+				for _, g := range ctx.Prog.Sem.Globals {
+					gv := opts.filter(r.GlobalValueAtCall(call, g))
+					if !gv.IsConst() {
+						continue
+					}
+					if mr.Ref[call.Callee].Has(g) {
+						gm[g] = gv.Val
+						if p.UsesSet[g] {
+							vm[g] = gv.Val
+						}
+					}
+				}
+			}
+			res.GlobalCallVals[call] = gm
+			res.VisibleCallGlobals[call] = vm
+		}
+	}
+	res.Dead = dead
+}

@@ -1,0 +1,169 @@
+package icp
+
+import (
+	"fsicp/internal/ir"
+	"fsicp/internal/lattice"
+	"fsicp/internal/scc"
+	"fsicp/internal/sem"
+	"fsicp/internal/ssa"
+	"fsicp/internal/val"
+)
+
+// runFS executes the paper's Figure 4 algorithm: one forward
+// topological traversal of the PCG, interleaving a single flow-sensitive
+// (SCC) intraprocedural analysis of each procedure with interprocedural
+// propagation. Back edges consult the flow-insensitive solution, which
+// is computed beforehand only when the PCG has cycles.
+func runFS(ctx *Context, opts Options) *Result {
+	res := &Result{
+		Ctx:                ctx,
+		Opts:               opts,
+		Entry:              make(map[*sem.Proc]lattice.Env[*sem.Var]),
+		ArgVals:            make(map[*ir.CallInstr][]lattice.Elem),
+		GlobalCallVals:     make(map[*ir.CallInstr]map[*sem.Var]val.Value),
+		VisibleCallGlobals: make(map[*ir.CallInstr]map[*sem.Var]val.Value),
+		Intra:              make(map[*sem.Proc]*scc.Result),
+		Dead:               make(map[*sem.Proc]bool),
+	}
+	cg, mr := ctx.CG, ctx.MR
+	if len(cg.Reachable) == 0 {
+		return res
+	}
+
+	// The flow-insensitive fallback is needed exactly when back edges
+	// exist (paper §3.2).
+	if cg.HasCycles() {
+		res.FI = runFI(ctx, opts)
+	}
+	res.ProgramGlobalConstants = programGlobalConstants(ctx, opts)
+
+	ssaOf := make(map[*sem.Proc]*ssa.SSA)
+	main := cg.Reachable[0]
+
+	for _, p := range cg.Reachable {
+		env := make(lattice.Env[*sem.Var])
+		if p == main {
+			// Block-data initial constants seed the entry of main.
+			for g, v := range ctx.Prog.Sem.GlobalInit {
+				env[g] = opts.filter(lattice.Const(v))
+			}
+		} else {
+			nExec := 0
+			for _, e := range cg.In[p] {
+				if !cg.IsBackEdge(e) {
+					// Forward edge: the caller has been analysed.
+					r := res.Intra[e.Caller]
+					if res.Dead[e.Caller] || r == nil || !r.Reachable(e.Site) {
+						continue // unreachable call site: contributes ⊤
+					}
+					nExec++
+					for i, f := range p.Params {
+						if i >= len(e.Site.Args) {
+							break
+						}
+						env.MeetInto(f, opts.filter(r.ArgValue(e.Site, i)))
+					}
+					// Sparse global candidates: only globals the callee
+					// (transitively) references are propagated.
+					for g := range mr.Ref[p] {
+						if g.IsGlobal() {
+							env.MeetInto(g, opts.filter(r.GlobalValueAtCall(e.Site, g)))
+						}
+					}
+				} else {
+					// Back edge: use the flow-insensitive solution.
+					res.BackEdgesUsed++
+					nExec++
+					for i, f := range p.Params {
+						env.MeetInto(f, res.FI.EdgeArg(e.Site, i))
+					}
+					for g := range mr.Ref[p] {
+						if g.IsGlobal() {
+							env.MeetInto(g, res.FI.GlobalElem(g))
+						}
+					}
+				}
+			}
+			if nExec == 0 {
+				// Statically reachable but no executable call site: the
+				// procedure is dynamically dead under this solution.
+				res.Dead[p] = true
+				env = make(lattice.Env[*sem.Var])
+			}
+			// A residual ⊤ would claim "never receives a value"; keep
+			// the environment sound by demoting to ⊥.
+			for v, e := range env {
+				if e.IsTop() {
+					env[v] = lattice.BottomElem()
+				}
+			}
+		}
+		res.Entry[p] = env
+
+		// The single flow-sensitive intraprocedural analysis of p.
+		s := ssa.Build(ctx.Prog.FuncOf[p])
+		ssaOf[p] = s
+		r := scc.Run(s, scc.Options{Entry: env})
+		res.Intra[p] = r
+
+		// Record per-call-site results for the metrics and for callees
+		// processed later in the traversal.
+		for _, call := range ctx.Prog.FuncOf[p].Calls {
+			vals := make([]lattice.Elem, len(call.Args))
+			for i := range call.Args {
+				vals[i] = opts.filter(r.ArgValue(call, i))
+			}
+			res.ArgVals[call] = vals
+
+			gm := make(map[*sem.Var]val.Value)
+			vm := make(map[*sem.Var]val.Value)
+			if r.Reachable(call) && !res.Dead[p] {
+				for _, g := range ctx.Prog.Sem.Globals {
+					gv := opts.filter(r.GlobalValueAtCall(call, g))
+					if !gv.IsConst() {
+						continue
+					}
+					if mr.Ref[call.Callee].Has(g) {
+						gm[g] = gv.Val
+						// VIS: the subset of propagated candidates also
+						// visible in the calling procedure; the rest are
+						// "invisible global constants passed at a call
+						// site" (paper §4).
+						if p.UsesSet[g] {
+							vm[g] = gv.Val
+						}
+					}
+				}
+			}
+			res.GlobalCallVals[call] = gm
+			res.VisibleCallGlobals[call] = vm
+		}
+	}
+
+	if opts.ReturnConstants {
+		runReturns(ctx, opts, res, ssaOf)
+	}
+	return res
+}
+
+// programGlobalConstants computes the flow-insensitive program-wide
+// global constants (needed even when the PCG is acyclic, for the
+// Table 1/2 flow-insensitive global columns and as documentation of the
+// block-data solution).
+func programGlobalConstants(ctx *Context, opts Options) map[*sem.Var]val.Value {
+	out := make(map[*sem.Var]val.Value)
+	if len(ctx.CG.Reachable) == 0 {
+		return out
+	}
+	main := ctx.CG.Reachable[0]
+	for g, v := range ctx.Prog.Sem.GlobalInit {
+		if ctx.MR.Mod[main].Has(g) {
+			continue
+		}
+		if !opts.PropagateFloats && v.IsFloat() {
+			continue
+		}
+		out[g] = v
+	}
+	return out
+}

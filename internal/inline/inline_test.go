@@ -1,0 +1,230 @@
+package inline_test
+
+import (
+	"testing"
+
+	"fsicp/internal/inline"
+	"fsicp/internal/interp"
+	"fsicp/internal/ir"
+	"fsicp/internal/irbuild"
+	"fsicp/internal/parser"
+	"fsicp/internal/progen"
+	"fsicp/internal/sem"
+	"fsicp/internal/source"
+	"fsicp/internal/testutil"
+)
+
+const figure1 = `program figure1
+proc main() {
+  call sub1(0)
+}
+proc sub1(f1 int) {
+  var x int
+  var y int
+  if f1 != 0 {
+    y = 1
+  } else {
+    y = 0
+  }
+  x = 0
+  call sub2(y, 4, f1, x)
+}
+proc sub2(f2 int, f3 int, f4 int, f5 int) {
+  var s int
+  s = f2 + f3 + f4 + f5
+  print s
+}`
+
+func TestInlineFigure1(t *testing.T) {
+	ref := interp.Run(testutil.MustBuild(t, figure1), interp.Options{})
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+
+	prog := testutil.MustBuild(t, figure1)
+	rep := inline.Program(prog, inline.Options{})
+	// main's two transitive calls plus the sub2 call inside the (now
+	// dead) body of sub1, which the whole-program pass also expands.
+	if rep.Inlined < 2 {
+		t.Errorf("inlined %d calls, want >= 2", rep.Inlined)
+	}
+	main := prog.FuncOf[prog.Sem.Main]
+	if len(main.Calls) != 0 {
+		t.Errorf("main still has %d calls", len(main.Calls))
+	}
+	got := interp.Run(prog, interp.Options{})
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	if got.Output != ref.Output {
+		t.Errorf("output changed: %q vs %q", got.Output, ref.Output)
+	}
+}
+
+func TestByRefSemanticsPreserved(t *testing.T) {
+	src := `program p
+proc main() {
+  var x int = 1
+  call bump(x)
+  print x
+  call bump(x + 0)
+  print x
+}
+proc bump(b int) {
+  b = b + 10
+}`
+	ref := interp.Run(testutil.MustBuild(t, src), interp.Options{})
+	prog := testutil.MustBuild(t, src)
+	rep := inline.Program(prog, inline.Options{})
+	if rep.Inlined != 2 {
+		t.Fatalf("inlined %d", rep.Inlined)
+	}
+	got := interp.Run(prog, interp.Options{})
+	if got.Output != ref.Output || got.Output != "11\n11\n" {
+		t.Errorf("output %q, want %q", got.Output, ref.Output)
+	}
+}
+
+func TestAliasedFormalsPreserved(t *testing.T) {
+	// Passing the same variable to two by-ref formals: after inlining
+	// both formals map to the same caller variable.
+	src := `program p
+proc main() {
+  var x int = 1
+  call twice(x, x)
+  print x
+}
+proc twice(a int, b int) {
+  a = a + 1
+  b = b * 10
+}`
+	ref := interp.Run(testutil.MustBuild(t, src), interp.Options{})
+	prog := testutil.MustBuild(t, src)
+	inline.Program(prog, inline.Options{})
+	got := interp.Run(prog, interp.Options{})
+	if got.Output != ref.Output || got.Output != "20\n" {
+		t.Errorf("output %q, want 20", got.Output)
+	}
+}
+
+func TestFunctionResult(t *testing.T) {
+	src := `program p
+proc main() {
+  var x int
+  x = add(3, 4) * 2
+  print x
+}
+func add(a int, b int) int {
+  if a > b {
+    return a + b
+  }
+  return b + a
+}`
+	ref := interp.Run(testutil.MustBuild(t, src), interp.Options{})
+	prog := testutil.MustBuild(t, src)
+	rep := inline.Program(prog, inline.Options{})
+	if rep.Inlined != 1 {
+		t.Fatalf("inlined %d", rep.Inlined)
+	}
+	got := interp.Run(prog, interp.Options{})
+	if got.Output != ref.Output || got.Output != "14\n" {
+		t.Errorf("output %q", got.Output)
+	}
+}
+
+func TestRecursionSkipped(t *testing.T) {
+	src := `program p
+proc main() {
+  print fact(5)
+}
+func fact(n int) int {
+  if n <= 1 {
+    return 1
+  }
+  return n * fact(n - 1)
+}`
+	prog := testutil.MustBuild(t, src)
+	rep := inline.Program(prog, inline.Options{})
+	if rep.Inlined != 0 || rep.SkippedRec == 0 {
+		t.Errorf("report: %+v", rep)
+	}
+	got := interp.Run(prog, interp.Options{})
+	if got.Output != "120\n" {
+		t.Errorf("output %q", got.Output)
+	}
+}
+
+func TestChainInliningDepth(t *testing.T) {
+	src := `program p
+proc main() { call a() }
+proc a() { call b() }
+proc b() { call c() }
+proc c() { print 1 }`
+	prog := testutil.MustBuild(t, src)
+	rep := inline.Program(prog, inline.Options{MaxDepth: 8})
+	main := prog.FuncOf[prog.Sem.Main]
+	if len(main.Calls) != 0 {
+		t.Errorf("main still calls after deep inlining (%d inlined)", rep.Inlined)
+	}
+	got := interp.Run(prog, interp.Options{})
+	if got.Output != "1\n" {
+		t.Errorf("output %q", got.Output)
+	}
+}
+
+func TestGlobalsSharedThroughInline(t *testing.T) {
+	src := `program p
+global g int = 1
+proc main() {
+  use g
+  call setg(7)
+  print g
+}
+proc setg(v int) {
+  use g
+  g = v
+}`
+	prog := testutil.MustBuild(t, src)
+	inline.Program(prog, inline.Options{})
+	got := interp.Run(prog, interp.Options{})
+	if got.Output != "7\n" {
+		t.Errorf("output %q", got.Output)
+	}
+}
+
+// TestInlineRandomDifferential: inlining must preserve output on
+// arbitrary generated programs.
+func TestInlineRandomDifferential(t *testing.T) {
+	for seed := int64(1000); seed < 1030; seed++ {
+		src := progen.Generate(progen.Config{Seed: seed, AllowRecursion: seed%2 == 0, AllowFloats: true})
+		build := func() *ir.Program {
+			f := source.NewFile("gen.mf", src)
+			astProg, err := parser.ParseFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := sem.Check(astProg, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := irbuild.Build(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return prog
+		}
+		ref := interp.Run(build(), interp.Options{})
+		if ref.Err != nil {
+			t.Fatalf("seed %d: %v", seed, ref.Err)
+		}
+		p2 := build()
+		inline.Program(p2, inline.Options{MaxDepth: 3})
+		got := interp.Run(p2, interp.Options{MaxSteps: 10_000_000})
+		if got.Err != nil {
+			t.Fatalf("seed %d: inlined program failed: %v\n%s", seed, got.Err, src)
+		}
+		if got.Output != ref.Output {
+			t.Errorf("seed %d: output diverged after inlining\n%s", seed, src)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package interp is a reference interpreter for MiniFort programs in IR
+// form. It exists to be the *soundness oracle* for the constant
+// propagators: it executes the CFG IR directly — the very representation
+// the analyses run on — with physical by-reference cells, and records
+// the value of every formal and global at each procedure entry, each
+// call site, and each return. A constant the analysis claims must match
+// every recorded runtime value; package interp_test and the progen
+// property tests enforce this for every method.
+//
+// By-reference semantics: a bare-identifier actual shares the caller's
+// storage cell with the callee's formal; any other actual is copied
+// into a fresh cell (Fortran argument temporaries), so callee stores
+// are lost. Reference-parameter aliasing therefore "just happens"
+// physically; the analyses' clobbers and MOD closures exist to stay
+// sound with respect to this behaviour.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"fsicp/internal/ast"
+	"fsicp/internal/ir"
+	"fsicp/internal/sem"
+	"fsicp/internal/val"
+)
+
+// Options configures a run.
+type Options struct {
+	// Input supplies values for read statements; nil reads zeros.
+	Input func(t ast.Type) val.Value
+	// MaxSteps bounds execution (instructions + terminators); 0 means
+	// a default of 2,000,000.
+	MaxSteps int
+	// TraceGlobalsAtCalls also records every global's value at every
+	// executed call site (used by the metric soundness tests).
+	TraceGlobalsAtCalls bool
+}
+
+// ErrStepLimit is returned when execution exceeds MaxSteps.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// Observation aggregates the values one variable took at one
+// observation point.
+type Observation struct {
+	First    val.Value
+	Count    int
+	Multiple bool // saw at least two distinct values
+}
+
+// note records one more observed value.
+func (o *Observation) note(v val.Value) {
+	if o.Count == 0 {
+		o.First = v
+	} else if !o.Multiple && !o.First.Equal(v) {
+		o.Multiple = true
+	}
+	o.Count++
+}
+
+// Constant reports whether every observed value was the same, and that
+// value.
+func (o *Observation) Constant() (val.Value, bool) {
+	if o == nil || o.Count == 0 || o.Multiple {
+		return val.Value{}, false
+	}
+	return o.First, true
+}
+
+// Trace is everything the interpreter observed.
+type Trace struct {
+	// Entry[p][v] aggregates v's values at entry to p (formals of p
+	// and all globals).
+	Entry map[*sem.Proc]map[*sem.Var]*Observation
+	// Args[call][i] aggregates the i-th actual's value at the call.
+	Args map[*ir.CallInstr][]*Observation
+	// GlobalsAtCall[call][g] aggregates global values at the call
+	// (only with TraceGlobalsAtCalls).
+	GlobalsAtCall map[*ir.CallInstr]map[*sem.Var]*Observation
+	// Returns[p] aggregates function return values.
+	Returns map[*sem.Proc]*Observation
+	// ExitVars[p][v] aggregates formal/global values at returns from p.
+	ExitVars map[*sem.Proc]map[*sem.Var]*Observation
+	// Invocations[p] counts calls of p.
+	Invocations map[*sem.Proc]int
+}
+
+// Result of a run.
+type Result struct {
+	Output string
+	Steps  int
+	Trace  *Trace
+	// Err is non-nil if execution aborted (step limit, division by
+	// zero); the trace remains valid for everything observed before.
+	Err error
+}
+
+type machine struct {
+	prog    *ir.Program
+	opts    Options
+	globals map[*sem.Var]*val.Value
+	out     strings.Builder
+	steps   int
+	trace   *Trace
+}
+
+// Run executes the program from main.
+func Run(prog *ir.Program, opts Options) *Result {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 2_000_000
+	}
+	m := &machine{
+		prog:    prog,
+		opts:    opts,
+		globals: make(map[*sem.Var]*val.Value),
+		trace: &Trace{
+			Entry:         make(map[*sem.Proc]map[*sem.Var]*Observation),
+			Args:          make(map[*ir.CallInstr][]*Observation),
+			GlobalsAtCall: make(map[*ir.CallInstr]map[*sem.Var]*Observation),
+			Returns:       make(map[*sem.Proc]*Observation),
+			ExitVars:      make(map[*sem.Proc]map[*sem.Var]*Observation),
+			Invocations:   make(map[*sem.Proc]int),
+		},
+	}
+	for _, g := range prog.Sem.Globals {
+		v := val.Zero(g.Type)
+		if init, ok := prog.Sem.GlobalInit[g]; ok {
+			v = init
+		}
+		cell := v
+		m.globals[g] = &cell
+	}
+	res := &Result{Trace: m.trace}
+	defer func() {
+		res.Output = m.out.String()
+		res.Steps = m.steps
+	}()
+	_, err := m.call(prog.Sem.Main, nil)
+	res.Err = err
+	res.Output = m.out.String()
+	res.Steps = m.steps
+	return res
+}
+
+type frame struct {
+	cells map[*sem.Var]*val.Value
+}
+
+func (m *machine) cell(f *frame, v *sem.Var) *val.Value {
+	if v.IsGlobal() {
+		return m.globals[v]
+	}
+	c, ok := f.cells[v]
+	if !ok {
+		nv := val.Zero(v.Type)
+		c = &nv
+		f.cells[v] = c
+	}
+	return c
+}
+
+func (m *machine) observeEntry(p *sem.Proc, f *frame) {
+	obs := m.trace.Entry[p]
+	if obs == nil {
+		obs = make(map[*sem.Var]*Observation)
+		m.trace.Entry[p] = obs
+	}
+	note := func(v *sem.Var, x val.Value) {
+		o := obs[v]
+		if o == nil {
+			o = &Observation{}
+			obs[v] = o
+		}
+		o.note(x)
+	}
+	for _, fp := range p.Params {
+		note(fp, *m.cell(f, fp))
+	}
+	for _, g := range m.prog.Sem.Globals {
+		note(g, *m.globals[g])
+	}
+}
+
+func (m *machine) observeExit(p *sem.Proc, f *frame) {
+	obs := m.trace.ExitVars[p]
+	if obs == nil {
+		obs = make(map[*sem.Var]*Observation)
+		m.trace.ExitVars[p] = obs
+	}
+	note := func(v *sem.Var, x val.Value) {
+		o := obs[v]
+		if o == nil {
+			o = &Observation{}
+			obs[v] = o
+		}
+		o.note(x)
+	}
+	for _, fp := range p.Params {
+		note(fp, *m.cell(f, fp))
+	}
+	for _, g := range m.prog.Sem.Globals {
+		note(g, *m.globals[g])
+	}
+}
+
+// call invokes p with the given argument cells (one per formal).
+func (m *machine) call(p *sem.Proc, argCells []*val.Value) (val.Value, error) {
+	fn := m.prog.FuncOf[p]
+	f := &frame{cells: make(map[*sem.Var]*val.Value)}
+	for i, fp := range p.Params {
+		if i < len(argCells) {
+			f.cells[fp] = argCells[i]
+		}
+	}
+	m.trace.Invocations[p]++
+	m.observeEntry(p, f)
+
+	b := fn.Entry()
+	for {
+		for _, in := range b.Instrs {
+			m.steps++
+			if m.steps > m.opts.MaxSteps {
+				return val.Value{}, ErrStepLimit
+			}
+			if err := m.exec(f, in); err != nil {
+				return val.Value{}, err
+			}
+		}
+		m.steps++
+		if m.steps > m.opts.MaxSteps {
+			return val.Value{}, ErrStepLimit
+		}
+		switch t := b.Term.(type) {
+		case *ir.Jump:
+			b = t.Target
+		case *ir.If:
+			if m.cell(f, t.Cond).B {
+				b = t.Then
+			} else {
+				b = t.Else
+			}
+		case *ir.Ret:
+			var rv val.Value
+			if t.Val != nil {
+				rv = *m.cell(f, t.Val)
+				ro := m.trace.Returns[p]
+				if ro == nil {
+					ro = &Observation{}
+					m.trace.Returns[p] = ro
+				}
+				ro.note(rv)
+			}
+			m.observeExit(p, f)
+			return rv, nil
+		default:
+			return val.Value{}, fmt.Errorf("interp: unterminated block in %s", p.Name)
+		}
+	}
+}
+
+func (m *machine) exec(f *frame, in ir.Instr) error {
+	switch in := in.(type) {
+	case *ir.ConstInstr:
+		*m.cell(f, in.Dst) = in.Val
+	case *ir.CopyInstr:
+		*m.cell(f, in.Dst) = *m.cell(f, in.Src)
+	case *ir.UnaryInstr:
+		v, ok := val.Unary(in.Op, *m.cell(f, in.X))
+		if !ok {
+			return fmt.Errorf("interp: invalid unary %s", in.Op)
+		}
+		*m.cell(f, in.Dst) = v
+	case *ir.BinaryInstr:
+		v, ok := val.Binary(in.Op, *m.cell(f, in.X), *m.cell(f, in.Y))
+		if !ok {
+			return fmt.Errorf("interp: runtime error in %s (division by zero?)", in)
+		}
+		*m.cell(f, in.Dst) = v
+	case *ir.ReadInstr:
+		if m.opts.Input != nil {
+			*m.cell(f, in.Dst) = m.opts.Input(in.Dst.Type)
+		} else {
+			*m.cell(f, in.Dst) = val.Zero(in.Dst.Type)
+		}
+	case *ir.PrintInstr:
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			if a.Var != nil {
+				parts[i] = m.cell(f, a.Var).String()
+			} else {
+				parts[i] = a.Str
+			}
+		}
+		m.out.WriteString(strings.Join(parts, " "))
+		m.out.WriteByte('\n')
+	case *ir.ClobberInstr:
+		// Analysis artifact; aliasing is physical at runtime.
+	case *ir.CallInstr:
+		// Observe actuals first.
+		obs := m.trace.Args[in]
+		if obs == nil {
+			obs = make([]*Observation, len(in.Args))
+			for i := range obs {
+				obs[i] = &Observation{}
+			}
+			m.trace.Args[in] = obs
+		}
+		for i, a := range in.Args {
+			obs[i].note(*m.cell(f, a))
+		}
+		if m.opts.TraceGlobalsAtCalls {
+			gm := m.trace.GlobalsAtCall[in]
+			if gm == nil {
+				gm = make(map[*sem.Var]*Observation)
+				m.trace.GlobalsAtCall[in] = gm
+			}
+			for _, g := range m.prog.Sem.Globals {
+				o := gm[g]
+				if o == nil {
+					o = &Observation{}
+					gm[g] = o
+				}
+				o.note(*m.globals[g])
+			}
+		}
+		cells := make([]*val.Value, len(in.Args))
+		for i, a := range in.Args {
+			if i < len(in.ByRef) && in.ByRef[i] != nil {
+				cells[i] = m.cell(f, in.ByRef[i])
+			} else {
+				copyv := *m.cell(f, a)
+				cells[i] = &copyv
+			}
+		}
+		rv, err := m.call(in.Callee, cells)
+		if err != nil {
+			return err
+		}
+		if in.Dst != nil {
+			*m.cell(f, in.Dst) = rv
+		}
+	default:
+		return fmt.Errorf("interp: unknown instruction %T", in)
+	}
+	return nil
+}

@@ -1,0 +1,334 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"fsicp/internal/ast"
+	"fsicp/internal/interp"
+	"fsicp/internal/testutil"
+	"fsicp/internal/val"
+)
+
+func run(t *testing.T, src string, opts interp.Options) *interp.Result {
+	t.Helper()
+	prog := testutil.MustBuild(t, src)
+	return interp.Run(prog, opts)
+}
+
+func TestHello(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  print "hello", 1 + 2
+}`, interp.Options{})
+	if r.Err != nil {
+		t.Fatalf("err: %v", r.Err)
+	}
+	if r.Output != "hello 3\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  var s int = 0
+  var i int
+  for i = 1, 5 {
+    if i % 2 == 0 {
+      s = s + i * 10
+    } else {
+      s = s + i
+    }
+  }
+  print s
+  var j int = 3
+  while j > 0 {
+    j = j - 1
+  }
+  print j
+}`, interp.Options{})
+	if r.Err != nil {
+		t.Fatalf("err: %v", r.Err)
+	}
+	// 1 + 20 + 3 + 40 + 5 = 69
+	if r.Output != "69\n0\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestByRefMutation(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  var x int = 1
+  call bump(x)
+  print x
+  call bump(x + 0)
+  print x
+}
+proc bump(b int) {
+  b = b + 10
+}`, interp.Options{})
+	if r.Err != nil {
+		t.Fatalf("err: %v", r.Err)
+	}
+	// The first call mutates x by reference; the second passes a temp.
+	if r.Output != "11\n11\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestGlobalSharingAndAlias(t *testing.T) {
+	r := run(t, `program p
+global g int = 5
+proc main() {
+  use g
+  call f(g)
+  print g
+}
+proc f(a int) {
+  use g
+  a = 100
+  print g
+}`, interp.Options{})
+	if r.Err != nil {
+		t.Fatalf("err: %v", r.Err)
+	}
+	// a and g share a cell: assigning a changes g.
+	if r.Output != "100\n100\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  print fact(5)
+}
+func fact(n int) int {
+  if n <= 1 {
+    return 1
+  }
+  return n * fact(n - 1)
+}`, interp.Options{})
+	if r.Err != nil {
+		t.Fatalf("err: %v", r.Err)
+	}
+	if r.Output != "120\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestReadInput(t *testing.T) {
+	vals := []int64{7, 8}
+	i := 0
+	r := run(t, `program p
+proc main() {
+  var a int
+  var b int
+  read a
+  read b
+  print a + b
+}`, interp.Options{Input: func(tp ast.Type) val.Value {
+		v := val.Int(vals[i%len(vals)])
+		i++
+		return v
+	}})
+	if r.Err != nil {
+		t.Fatalf("err: %v", r.Err)
+	}
+	if r.Output != "15\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestDivByZeroAborts(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  var z int = 0
+  print 1 / z
+}`, interp.Options{})
+	if r.Err == nil {
+		t.Fatal("expected runtime error")
+	}
+	if !strings.Contains(r.Err.Error(), "division") {
+		t.Errorf("err: %v", r.Err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  while true {
+  }
+}`, interp.Options{MaxSteps: 1000})
+	if r.Err != interp.ErrStepLimit {
+		t.Fatalf("err: %v, want step limit", r.Err)
+	}
+}
+
+func TestRealArith(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  var x real = 1.5
+  print x * 2.0 + 0.25
+}`, interp.Options{})
+	if r.Output != "3.25\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestTraceEntryObservations(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  call f(1)
+  call f(1)
+  call g(1)
+  call g(2)
+}
+proc f(a int) { print a }
+proc g(b int) { print b }`, interp.Options{})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	prog := r.Trace
+	var fObs, gObs *interp.Observation
+	for p, m := range prog.Entry {
+		for v, o := range m {
+			if p.Name == "f" && v.Name == "a" {
+				fObs = o
+			}
+			if p.Name == "g" && v.Name == "b" {
+				gObs = o
+			}
+		}
+	}
+	if v, ok := fObs.Constant(); !ok || v.I != 1 {
+		t.Errorf("f.a observation: %+v", fObs)
+	}
+	if _, ok := gObs.Constant(); ok {
+		t.Errorf("g.b must vary: %+v", gObs)
+	}
+	for p, n := range prog.Invocations {
+		switch p.Name {
+		case "main":
+			if n != 1 {
+				t.Errorf("main invocations %d", n)
+			}
+		case "f", "g":
+			if n != 2 {
+				t.Errorf("%s invocations %d", p.Name, n)
+			}
+		}
+	}
+}
+
+func TestFuncFallOffReturnsZero(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  print f(0)
+}
+func f(a int) int {
+  if a > 0 {
+    return 7
+  }
+}`, interp.Options{})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Output != "0\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestUninitializedLocalsAreZero(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  var i int
+  var x real
+  var b bool
+  print i, x, b
+}`, interp.Options{})
+	if r.Output != "0 0 false\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestBreakContinueSemantics(t *testing.T) {
+	r := run(t, `program p
+proc main() {
+  var i int
+  var s int = 0
+  for i = 1, 10 {
+    if i == 3 {
+      continue
+    }
+    if i == 6 {
+      break
+    }
+    s = s + i
+  }
+  print s, i
+}`, interp.Options{})
+	// 1+2+4+5 = 12, i stops at 6
+	if r.Output != "12 6\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestExitAndReturnTraces(t *testing.T) {
+	r := run(t, `program p
+global g int = 0
+proc main() {
+  use g
+  var x int
+  x = f(2)
+  x = f(3)
+  print x, g
+}
+func f(n int) int {
+  use g
+  g = g + n
+  return n * 10
+}`, interp.Options{})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	var fReturns *interp.Observation
+	for p, o := range r.Trace.Returns {
+		if p.Name == "f" {
+			fReturns = o
+		}
+	}
+	if fReturns == nil || fReturns.Count != 2 || !fReturns.Multiple {
+		t.Errorf("f returns observation: %+v", fReturns)
+	}
+	// Exit values of g from f: 2 then 5 — varies.
+	for p, m := range r.Trace.ExitVars {
+		if p.Name != "f" {
+			continue
+		}
+		for v, o := range m {
+			if v.Name == "g" {
+				if !o.Multiple {
+					t.Errorf("g exit observation should vary: %+v", o)
+				}
+			}
+			if v.Name == "n" {
+				if c, ok := o.Constant(); ok {
+					t.Errorf("n exit should vary, got constant %v", c)
+				}
+			}
+		}
+	}
+	if r.Output != "30 5\n" {
+		t.Errorf("output %q", r.Output)
+	}
+}
+
+func TestObservationConstant(t *testing.T) {
+	var o interp.Observation
+	if _, ok := o.Constant(); ok {
+		t.Error("empty observation cannot be constant")
+	}
+}

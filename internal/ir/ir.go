@@ -1,0 +1,496 @@
+// Package ir defines the per-procedure control-flow-graph intermediate
+// representation consumed by the analyses.
+//
+// Instructions are flattened three-address operations over sem.Var
+// operands (compiler temporaries carry intermediate expression values).
+// Each basic block ends in exactly one terminator (Jump, If, or Ret).
+// Call instructions retain the original argument syntax trees so that
+// jump-function baselines and the paper's IMM metric can inspect the
+// argument shape.
+//
+// The IR is deliberately not in SSA form: SSA construction (package ssa)
+// happens per procedure after interprocedural MOD/REF is known, so that
+// calls can be modelled as definitions of the by-reference actuals and
+// globals they may modify — exactly the ordering of the paper's
+// compilation model (its Figure 2).
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"fsicp/internal/ast"
+	"fsicp/internal/sem"
+	"fsicp/internal/token"
+	"fsicp/internal/val"
+)
+
+// Program is the whole-program IR.
+type Program struct {
+	Sem    *sem.Program
+	Funcs  []*Func // parallel to Sem.Procs
+	FuncOf map[*sem.Proc]*Func
+
+	// CallSites is every call instruction in the program, in a stable
+	// order; CallInstr.ID indexes this slice.
+	CallSites []*CallInstr
+
+	// AliasClobbersDone records that alias.InsertClobbers already ran,
+	// so re-preparing a transformed program does not duplicate
+	// clobbers.
+	AliasClobbersDone bool
+}
+
+// Func is the CFG of one procedure.
+type Func struct {
+	Proc   *sem.Proc
+	Blocks []*Block // Blocks[0] is the entry block
+	Calls  []*CallInstr
+
+	// AllVars lists every variable the analyses track in this
+	// procedure: formals, locals and temporaries, then every program
+	// global (globals participate whether or not they are visible here,
+	// because constants flow through a procedure to its callees even
+	// when invisible — the paper's VIS vs FS distinction).
+	AllVars  []*sem.Var
+	VarIndex map[*sem.Var]int
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NewBlock appends a new empty block.
+func (f *Func) NewBlock() *Block {
+	b := &Block{Index: len(f.Blocks), Func: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Block is one basic block.
+type Block struct {
+	Index  int
+	Func   *Func
+	Instrs []Instr
+	Term   Terminator
+	Preds  []*Block
+	Succs  []*Block
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d", b.Index) }
+
+// addEdge records a CFG edge.
+func addEdge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// SetTerm installs the terminator and wires CFG edges.
+func (b *Block) SetTerm(t Terminator) {
+	if b.Term != nil {
+		panic("ir: block already terminated")
+	}
+	b.Term = t
+	switch t := t.(type) {
+	case *Jump:
+		addEdge(b, t.Target)
+	case *If:
+		addEdge(b, t.Then)
+		addEdge(b, t.Else)
+	case *Ret:
+	}
+}
+
+// Instr is a non-terminator instruction.
+type Instr interface {
+	// Defs returns the variables this instruction certainly or possibly
+	// defines (call defs are filled in by the modref phase).
+	Defs() []*sem.Var
+	// Uses returns the variable operands read by this instruction.
+	Uses() []*sem.Var
+	String() string
+}
+
+// ConstInstr assigns a literal constant: dst = <value>.
+type ConstInstr struct {
+	Dst *sem.Var
+	Val val.Value
+}
+
+// CopyInstr copies one variable: dst = src.
+type CopyInstr struct {
+	Dst *sem.Var
+	Src *sem.Var
+}
+
+// UnaryInstr applies a unary operator: dst = op x.
+type UnaryInstr struct {
+	Dst *sem.Var
+	Op  token.Kind
+	X   *sem.Var
+}
+
+// BinaryInstr applies a binary operator: dst = x op y.
+type BinaryInstr struct {
+	Dst  *sem.Var
+	Op   token.Kind
+	X, Y *sem.Var
+}
+
+// ReadInstr assigns an external input value: dst = read().
+type ReadInstr struct {
+	Dst *sem.Var
+}
+
+// PrintArg is one print operand: either a variable or a string literal.
+type PrintArg struct {
+	Var *sem.Var // nil for string arguments
+	Str string
+}
+
+// PrintInstr writes values to the program output.
+type PrintInstr struct {
+	Args []PrintArg
+}
+
+// CallInstr invokes a procedure or function.
+type CallInstr struct {
+	ID     int       // global call-site index within the Program
+	Callee *sem.Proc // resolved callee
+	Block  *Block
+
+	// Args holds the flattened value of each actual (always a variable
+	// after IR construction; expressions are computed into temps).
+	Args []*sem.Var
+	// ByRef[i] is non-nil iff the i-th actual is an lvalue passed by
+	// reference (the variable itself); expression actuals pass a
+	// temporary and any callee modification is lost, Fortran-style.
+	ByRef []*sem.Var
+	// ArgSyntax preserves the source expression of each actual for jump
+	// functions and the IMM metric.
+	ArgSyntax []ast.Expr
+
+	// Dst receives the function result (nil for subroutine calls).
+	Dst *sem.Var
+
+	// MayDef is filled by the modref phase: every variable in the
+	// caller's frame this call may modify (by-ref actuals of modified
+	// formals, modified globals, and their aliases).
+	MayDef []*sem.Var
+}
+
+// ClobberInstr marks variables as possibly redefined with unknown
+// values. Inserted for may-alias side effects of assignments.
+type ClobberInstr struct {
+	Vars []*sem.Var
+	// Why documents the clobber for IR dumps.
+	Why string
+}
+
+func (i *ConstInstr) Defs() []*sem.Var  { return []*sem.Var{i.Dst} }
+func (i *CopyInstr) Defs() []*sem.Var   { return []*sem.Var{i.Dst} }
+func (i *UnaryInstr) Defs() []*sem.Var  { return []*sem.Var{i.Dst} }
+func (i *BinaryInstr) Defs() []*sem.Var { return []*sem.Var{i.Dst} }
+func (i *ReadInstr) Defs() []*sem.Var   { return []*sem.Var{i.Dst} }
+func (i *PrintInstr) Defs() []*sem.Var  { return nil }
+func (i *CallInstr) Defs() []*sem.Var {
+	var out []*sem.Var
+	if i.Dst != nil {
+		out = append(out, i.Dst)
+	}
+	return append(out, i.MayDef...)
+}
+func (i *ClobberInstr) Defs() []*sem.Var { return i.Vars }
+
+func (i *ConstInstr) Uses() []*sem.Var  { return nil }
+func (i *CopyInstr) Uses() []*sem.Var   { return []*sem.Var{i.Src} }
+func (i *UnaryInstr) Uses() []*sem.Var  { return []*sem.Var{i.X} }
+func (i *BinaryInstr) Uses() []*sem.Var { return []*sem.Var{i.X, i.Y} }
+func (i *ReadInstr) Uses() []*sem.Var   { return nil }
+func (i *PrintInstr) Uses() []*sem.Var {
+	var out []*sem.Var
+	for _, a := range i.Args {
+		if a.Var != nil {
+			out = append(out, a.Var)
+		}
+	}
+	return out
+}
+func (i *CallInstr) Uses() []*sem.Var    { return i.Args }
+func (i *ClobberInstr) Uses() []*sem.Var { return nil }
+
+func (i *ConstInstr) String() string { return fmt.Sprintf("%s = const %s", i.Dst, i.Val) }
+func (i *CopyInstr) String() string  { return fmt.Sprintf("%s = %s", i.Dst, i.Src) }
+func (i *UnaryInstr) String() string { return fmt.Sprintf("%s = %s%s", i.Dst, i.Op, i.X) }
+func (i *BinaryInstr) String() string {
+	return fmt.Sprintf("%s = %s %s %s", i.Dst, i.X, i.Op, i.Y)
+}
+func (i *ReadInstr) String() string { return fmt.Sprintf("%s = read()", i.Dst) }
+func (i *PrintInstr) String() string {
+	parts := make([]string, len(i.Args))
+	for k, a := range i.Args {
+		if a.Var != nil {
+			parts[k] = a.Var.String()
+		} else {
+			parts[k] = fmt.Sprintf("%q", a.Str)
+		}
+	}
+	return "print " + strings.Join(parts, ", ")
+}
+func (i *CallInstr) String() string {
+	args := make([]string, len(i.Args))
+	for k, a := range i.Args {
+		args[k] = a.String()
+	}
+	s := fmt.Sprintf("call %s(%s)", i.Callee.Name, strings.Join(args, ", "))
+	if i.Dst != nil {
+		s = i.Dst.String() + " = " + s
+	}
+	if len(i.MayDef) > 0 {
+		defs := make([]string, len(i.MayDef))
+		for k, v := range i.MayDef {
+			defs[k] = v.String()
+		}
+		s += " [maydef " + strings.Join(defs, ",") + "]"
+	}
+	return s
+}
+func (i *ClobberInstr) String() string {
+	vars := make([]string, len(i.Vars))
+	for k, v := range i.Vars {
+		vars[k] = v.String()
+	}
+	return "clobber " + strings.Join(vars, ", ") + " (" + i.Why + ")"
+}
+
+// Terminator ends a block.
+type Terminator interface {
+	Uses() []*sem.Var
+	String() string
+	termNode()
+}
+
+// Jump transfers control unconditionally.
+type Jump struct{ Target *Block }
+
+// If branches on a bool variable.
+type If struct {
+	Cond *sem.Var
+	Then *Block
+	Else *Block
+}
+
+// Ret returns from the procedure, with Val set iff it is a function
+// return carrying a value.
+type Ret struct{ Val *sem.Var }
+
+func (*Jump) termNode() {}
+func (*If) termNode()   {}
+func (*Ret) termNode()  {}
+
+func (t *Jump) Uses() []*sem.Var { return nil }
+func (t *If) Uses() []*sem.Var   { return []*sem.Var{t.Cond} }
+func (t *Ret) Uses() []*sem.Var {
+	if t.Val != nil {
+		return []*sem.Var{t.Val}
+	}
+	return nil
+}
+
+func (t *Jump) String() string { return "jump " + t.Target.String() }
+func (t *If) String() string {
+	return fmt.Sprintf("if %s then %s else %s", t.Cond, t.Then, t.Else)
+}
+func (t *Ret) String() string {
+	if t.Val != nil {
+		return "ret " + t.Val.String()
+	}
+	return "ret"
+}
+
+// Dump renders the function CFG for debugging and golden tests.
+func (f *Func) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s", f.Proc.Name)
+	params := make([]string, len(f.Proc.Params))
+	for i, p := range f.Proc.Params {
+		params[i] = p.Name
+	}
+	fmt.Fprintf(&b, "(%s):\n", strings.Join(params, ", "))
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:", blk)
+		if len(blk.Preds) > 0 {
+			preds := make([]string, len(blk.Preds))
+			for i, p := range blk.Preds {
+				preds[i] = p.String()
+			}
+			fmt.Fprintf(&b, " ; preds %s", strings.Join(preds, ","))
+		}
+		b.WriteByte('\n')
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+		if blk.Term != nil {
+			fmt.Fprintf(&b, "  %s\n", blk.Term)
+		} else {
+			b.WriteString("  <unterminated>\n")
+		}
+	}
+	return b.String()
+}
+
+// Dump renders every function.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.Dump())
+	}
+	return b.String()
+}
+
+// ReachableBlocks returns the blocks reachable from entry, in reverse
+// post-order (entry first). Unreachable blocks (e.g. code after return)
+// are excluded, which every dominator/SSA client relies on.
+func (f *Func) ReachableBlocks() []*Block {
+	seen := make([]bool, len(f.Blocks))
+	var order []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(f.Entry())
+	// reverse
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// RebuildCFG recomputes preds/succs from terminators and removes blocks
+// unreachable from the entry, reindexing the rest. Returns the number
+// of removed blocks. Transformation passes (folding, inlining) call it
+// after rewriting terminators or grafting blocks.
+func RebuildCFG(fn *Func) int {
+	for _, b := range fn.Blocks {
+		b.Preds = nil
+		b.Succs = nil
+	}
+	for _, b := range fn.Blocks {
+		switch t := b.Term.(type) {
+		case *Jump:
+			addEdge(b, t.Target)
+		case *If:
+			addEdge(b, t.Then)
+			addEdge(b, t.Else)
+		}
+	}
+	seen := make(map[*Block]bool)
+	var order []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		order = append(order, b)
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+	}
+	dfs(fn.Blocks[0])
+	removed := len(fn.Blocks) - len(order)
+	for _, b := range order {
+		kept := b.Preds[:0]
+		for _, p := range b.Preds {
+			if seen[p] {
+				kept = append(kept, p)
+			}
+		}
+		b.Preds = kept
+	}
+	fn.Blocks = order
+	for i, b := range fn.Blocks {
+		b.Index = i
+	}
+	return removed
+}
+
+// RebuildCallLists refreshes per-function call lists and the program's
+// global call-site index after blocks were added or removed.
+func RebuildCallLists(prog *Program) {
+	prog.CallSites = prog.CallSites[:0]
+	for _, fn := range prog.Funcs {
+		fn.Calls = fn.Calls[:0]
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if call, ok := in.(*CallInstr); ok {
+					call.ID = len(prog.CallSites)
+					call.Block = b
+					prog.CallSites = append(prog.CallSites, call)
+					fn.Calls = append(fn.Calls, call)
+				}
+			}
+		}
+	}
+}
+
+// RegisterVar adds a variable to the function's tracked set if absent.
+func (f *Func) RegisterVar(v *sem.Var) {
+	if _, ok := f.VarIndex[v]; !ok {
+		f.VarIndex[v] = len(f.AllVars)
+		f.AllVars = append(f.AllVars, v)
+	}
+}
+
+// CloneInstr deep-copies one instruction, mapping every variable
+// operand through mapVar. Used by transformation passes that graft code
+// between procedures (inlining, cloning).
+func CloneInstr(in Instr, mapVar func(*sem.Var) *sem.Var) Instr {
+	switch in := in.(type) {
+	case *ConstInstr:
+		return &ConstInstr{Dst: mapVar(in.Dst), Val: in.Val}
+	case *CopyInstr:
+		return &CopyInstr{Dst: mapVar(in.Dst), Src: mapVar(in.Src)}
+	case *UnaryInstr:
+		return &UnaryInstr{Dst: mapVar(in.Dst), Op: in.Op, X: mapVar(in.X)}
+	case *BinaryInstr:
+		return &BinaryInstr{Dst: mapVar(in.Dst), Op: in.Op, X: mapVar(in.X), Y: mapVar(in.Y)}
+	case *ReadInstr:
+		return &ReadInstr{Dst: mapVar(in.Dst)}
+	case *PrintInstr:
+		args := make([]PrintArg, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = PrintArg{Var: mapVar(a.Var), Str: a.Str}
+		}
+		return &PrintInstr{Args: args}
+	case *ClobberInstr:
+		vars := make([]*sem.Var, len(in.Vars))
+		for i, v := range in.Vars {
+			vars[i] = mapVar(v)
+		}
+		return &ClobberInstr{Vars: vars, Why: in.Why}
+	case *CallInstr:
+		nc := &CallInstr{Callee: in.Callee, ArgSyntax: in.ArgSyntax, Dst: mapVar(in.Dst)}
+		nc.Args = make([]*sem.Var, len(in.Args))
+		for i, a := range in.Args {
+			nc.Args[i] = mapVar(a)
+		}
+		nc.ByRef = make([]*sem.Var, len(in.ByRef))
+		for i, a := range in.ByRef {
+			nc.ByRef[i] = mapVar(a)
+		}
+		nc.MayDef = make([]*sem.Var, len(in.MayDef))
+		for i, v := range in.MayDef {
+			nc.MayDef[i] = mapVar(v)
+		}
+		return nc
+	}
+	panic(fmt.Sprintf("ir: cannot clone instruction %T", in))
+}

@@ -1,0 +1,187 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"fsicp/internal/ir"
+	"fsicp/internal/testutil"
+	"fsicp/internal/token"
+)
+
+func TestDefsUses(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+global g int = 1
+proc main() {
+  use g
+  var x int = 2
+  var y int
+  y = x + g
+  read x
+  print y, "done"
+  call f(x, x + 1)
+}
+proc f(a int, b int) { a = b }`)
+	f := testutil.FuncByName(t, p, "main")
+	kinds := map[string]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *ir.ConstInstr:
+				kinds["const"] = true
+				if len(in.Defs()) != 1 || len(in.Uses()) != 0 {
+					t.Errorf("const defs/uses: %v/%v", in.Defs(), in.Uses())
+				}
+			case *ir.BinaryInstr:
+				kinds["binary"] = true
+				if len(in.Uses()) != 2 {
+					t.Errorf("binary uses: %v", in.Uses())
+				}
+			case *ir.ReadInstr:
+				kinds["read"] = true
+				if len(in.Defs()) != 1 {
+					t.Errorf("read defs: %v", in.Defs())
+				}
+			case *ir.PrintInstr:
+				kinds["print"] = true
+				if len(in.Uses()) != 1 { // the string arg is not a var use
+					t.Errorf("print uses: %v", in.Uses())
+				}
+			case *ir.CallInstr:
+				kinds["call"] = true
+				if len(in.Uses()) != 2 {
+					t.Errorf("call uses: %v", in.Uses())
+				}
+			}
+		}
+	}
+	for _, k := range []string{"const", "binary", "read", "print", "call"} {
+		if !kinds[k] {
+			t.Errorf("instruction kind %s not produced", k)
+		}
+	}
+}
+
+func TestCallDefsIncludeMayDef(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {
+  var x int
+  call f(x)
+}
+proc f(a int) { a = 1 }`)
+	f := testutil.FuncByName(t, p, "main")
+	call := f.Calls[0]
+	x := testutil.VarByName(t, f, "x")
+	if len(call.Defs()) != 0 {
+		t.Errorf("before modref, call defs: %v", call.Defs())
+	}
+	call.MayDef = append(call.MayDef, x)
+	if len(call.Defs()) != 1 || call.Defs()[0] != x {
+		t.Errorf("after maydef, call defs: %v", call.Defs())
+	}
+}
+
+func TestTerminatorsAndDump(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {
+  var x int
+  read x
+  if x > 0 {
+    print 1
+  }
+  while x > 0 {
+    x = x - 1
+  }
+}
+func g() int { return 5 }`)
+	f := testutil.FuncByName(t, p, "main")
+	var haveIf, haveJump bool
+	for _, b := range f.Blocks {
+		switch tm := b.Term.(type) {
+		case *ir.If:
+			haveIf = true
+			if len(tm.Uses()) != 1 {
+				t.Errorf("if uses: %v", tm.Uses())
+			}
+		case *ir.Jump:
+			haveJump = true
+			if len(tm.Uses()) != 0 {
+				t.Errorf("jump uses: %v", tm.Uses())
+			}
+		}
+	}
+	if !haveIf || !haveJump {
+		t.Error("missing terminator kinds")
+	}
+	g := testutil.FuncByName(t, p, "g")
+	ret := g.Entry().Term.(*ir.Ret)
+	if len(ret.Uses()) != 1 {
+		t.Errorf("ret uses: %v", ret.Uses())
+	}
+	dump := p.Dump()
+	for _, want := range []string{"func main", "func g", "if ", "jump ", "ret "} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+func TestSetTermPanicsOnDouble(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {}`)
+	f := testutil.FuncByName(t, p, "main")
+	defer func() {
+		if recover() == nil {
+			t.Error("double SetTerm must panic")
+		}
+	}()
+	f.Entry().SetTerm(&ir.Ret{})
+}
+
+func TestReachableBlocksRPO(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {
+  var x int
+  read x
+  if x > 0 {
+    print 1
+  } else {
+    print 2
+  }
+  print 3
+}`)
+	f := testutil.FuncByName(t, p, "main")
+	rpo := f.ReachableBlocks()
+	if rpo[0] != f.Entry() {
+		t.Error("entry must come first")
+	}
+	pos := map[*ir.Block]int{}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	// In an acyclic CFG, every edge goes forward in RPO.
+	for _, b := range rpo {
+		for _, s := range b.Succs {
+			if pos[s] <= pos[b] {
+				t.Errorf("edge %v->%v not forward in RPO", b, s)
+			}
+		}
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {
+  var x int = 1
+  x = -x
+  x = x % 2
+  print x
+}`)
+	f := testutil.FuncByName(t, p, "main")
+	dump := f.Dump()
+	for _, want := range []string{"const 1", token.REM.String(), "print"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package irbuild_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsicp/internal/testutil"
+)
+
+var update = flag.Bool("update", false, "rewrite golden IR dumps")
+
+// goldenCases pin down the exact lowering of each construct; run with
+// -update after an intentional lowering change.
+var goldenCases = []struct{ name, src string }{
+	{"diamond", `program p
+proc main() {
+  var x int
+  read x
+  if x > 0 {
+    x = 1
+  } else {
+    x = 2
+  }
+  print x
+}`},
+	{"forloop", `program p
+proc main() {
+  var i int
+  var s int = 0
+  for i = 1, 10, 2 {
+    s = s + i
+  }
+  print s
+}`},
+	{"whilebreak", `program p
+proc main() {
+  var n int = 10
+  while n > 0 {
+    if n == 3 {
+      break
+    }
+    n = n - 1
+  }
+  print n
+}`},
+	{"callshapes", `program p
+global g int = 1
+proc main() {
+  use g
+  var x int = 2
+  call f(x, x + 1, g, 4)
+  x = h(x) * 2
+}
+proc f(a int, b int, c int, d int) {
+  a = b
+}
+func h(n int) int {
+  return n + g2()
+}
+func g2() int {
+  return 5
+}`},
+	{"strictbool", `program p
+proc main() {
+  var a bool
+  var b bool
+  read a
+  read b
+  var c bool
+  c = a && b || !a
+  print c
+}`},
+}
+
+func TestGoldenIR(t *testing.T) {
+	for _, c := range goldenCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			prog := testutil.MustBuild(t, c.src)
+			got := prog.Dump()
+			path := filepath.Join("testdata", c.name+".ir")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("IR lowering changed; diff against %s (re-run with -update if intended)\n--- got ---\n%s", path, got)
+			}
+		})
+	}
+}

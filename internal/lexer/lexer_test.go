@@ -1,0 +1,156 @@
+package lexer
+
+import (
+	"testing"
+
+	"fsicp/internal/source"
+	"fsicp/internal/token"
+)
+
+func scan(t *testing.T, src string) ([]Token, *source.ErrorList) {
+	t.Helper()
+	f := source.NewFile("test.mf", src)
+	errs := &source.ErrorList{File: f}
+	return New(f, errs).ScanAll(), errs
+}
+
+func kinds(toks []Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	toks, errs := scan(t, "proc main x if42 while")
+	if errs.HasErrors() {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{token.PROC, token.IDENT, token.IDENT, token.IDENT, token.WHILE, token.EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[3].Lit != "if42" {
+		t.Errorf("ident with digits: got %q", toks[3].Lit)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks, errs := scan(t, "+ - * / % == != < <= > >= && || ! = ( ) { } , ;")
+	if errs.HasErrors() {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.LAND, token.LOR, token.NOT, token.ASSIGN,
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.COMMA, token.SEMICOLON, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+		lit  string
+	}{
+		{"42", token.INTLIT, "42"},
+		{"0", token.INTLIT, "0"},
+		{"3.14", token.REALLIT, "3.14"},
+		{".5", token.REALLIT, ".5"},
+		{"1e10", token.REALLIT, "1e10"},
+		{"2.5e-3", token.REALLIT, "2.5e-3"},
+		{"7E+2", token.REALLIT, "7E+2"},
+	}
+	for _, c := range cases {
+		toks, errs := scan(t, c.src)
+		if errs.HasErrors() {
+			t.Errorf("%q: unexpected errors: %v", c.src, errs)
+			continue
+		}
+		if toks[0].Kind != c.kind || toks[0].Lit != c.lit {
+			t.Errorf("%q: got (%v, %q), want (%v, %q)", c.src, toks[0].Kind, toks[0].Lit, c.kind, c.lit)
+		}
+	}
+}
+
+func TestNumberNotExponent(t *testing.T) {
+	// "1e" is the number 1 followed by identifier e... but our lexer
+	// reports an error for an identifier immediately following a number.
+	_, errs := scan(t, "1e")
+	if !errs.HasErrors() {
+		t.Errorf("expected error for '1e'")
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, errs := scan(t, "x # a comment\ny // another\nz")
+	if errs.HasErrors() {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []token.Kind{token.IDENT, token.IDENT, token.IDENT, token.EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	toks, errs := scan(t, `print "hello world"`)
+	if errs.HasErrors() {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if toks[1].Kind != token.STRINGLIT || toks[1].Lit != "hello world" {
+		t.Errorf("got (%v, %q)", toks[1].Kind, toks[1].Lit)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	_, errs := scan(t, `"abc`)
+	if !errs.HasErrors() {
+		t.Error("expected error for unterminated string")
+	}
+}
+
+func TestIllegalChars(t *testing.T) {
+	for _, src := range []string{"@", "$", "&", "|", "~"} {
+		_, errs := scan(t, src)
+		if !errs.HasErrors() {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	f := source.NewFile("t.mf", "ab\ncd ef")
+	errs := &source.ErrorList{File: f}
+	toks := New(f, errs).ScanAll()
+	wantPos := []source.Position{
+		{Filename: "t.mf", Line: 1, Column: 1},
+		{Filename: "t.mf", Line: 2, Column: 1},
+		{Filename: "t.mf", Line: 2, Column: 4},
+	}
+	for i, w := range wantPos {
+		got := f.Position(toks[i].Pos)
+		if got != w {
+			t.Errorf("token %d: got %v, want %v", i, got, w)
+		}
+	}
+}

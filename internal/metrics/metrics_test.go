@@ -1,0 +1,118 @@
+package metrics_test
+
+import (
+	"testing"
+
+	"fsicp/internal/icp"
+	"fsicp/internal/jumpfunc"
+	"fsicp/internal/metrics"
+	"fsicp/internal/testutil"
+)
+
+const src = `program m
+global g int = 5
+global h real = 1.5
+proc main() {
+  use g
+  var x int
+  read x
+  call f(1, -2, x, (3))
+  call f(1, 7, x, g)
+  call noargs()
+}
+proc f(a int, b int, c int, d int) {
+  use g
+  print a, b, c, d, g
+}
+proc noargs() {
+}
+proc dead(z int) { print z }`
+
+func analyze(t *testing.T, method icp.Method, floats bool) *icp.Result {
+	t.Helper()
+	prog := testutil.MustBuild(t, src)
+	ctx := icp.Prepare(prog)
+	return icp.Analyze(ctx, icp.Options{Method: method, PropagateFloats: floats})
+}
+
+func TestCallSiteMetrics(t *testing.T) {
+	r := analyze(t, icp.FlowSensitive, true)
+	m := metrics.CallSiteMetrics(r)
+	if m.Args != 8 {
+		t.Errorf("Args = %d, want 8", m.Args)
+	}
+	// Immediates: 1, -2 (negated literal), (3) (parenthesised literal),
+	// 1, 7 — five in total.
+	if m.Imm != 5 {
+		t.Errorf("Imm = %d, want 5", m.Imm)
+	}
+	// Constants at the sites: the five immediates plus g (=5) at the
+	// second call; x is read (unknown).
+	if m.ConstArgs != 6 {
+		t.Errorf("ConstArgs = %d, want 6", m.ConstArgs)
+	}
+	// g and h are initialised; nothing modifies them.
+	if m.GlobCand != 2 {
+		t.Errorf("GlobCand = %d, want 2", m.GlobCand)
+	}
+	// g ∈ REF(f) and is constant at both f call sites; h is referenced
+	// nowhere.
+	if m.GlobPairs != 2 || m.GlobVis != 2 {
+		t.Errorf("GlobPairs/Vis = %d/%d, want 2/2", m.GlobPairs, m.GlobVis)
+	}
+}
+
+func TestEntryMetrics(t *testing.T) {
+	r := analyze(t, icp.FlowSensitive, true)
+	m := metrics.EntryMetrics(r)
+	// dead(z) is unreachable: not counted.
+	if m.Procs != 3 {
+		t.Errorf("Procs = %d, want 3", m.Procs)
+	}
+	if m.Formals != 4 {
+		t.Errorf("Formals = %d, want 4", m.Formals)
+	}
+	// a = 1 at both sites; b meets -2 and 7 (⊥); c is ⊥; d meets 3 and
+	// 5 (⊥).
+	if m.ConstFormals != 1 {
+		t.Errorf("ConstFormals = %d, want 1", m.ConstFormals)
+	}
+	// g constant at entry of main and f; directly referenced in f only.
+	if m.GlobalEntries != 1 {
+		t.Errorf("GlobalEntries = %d, want 1", m.GlobalEntries)
+	}
+}
+
+func TestFloatFilterOnCandidates(t *testing.T) {
+	on := metrics.CallSiteMetrics(analyze(t, icp.FlowSensitive, true))
+	off := metrics.CallSiteMetrics(analyze(t, icp.FlowSensitive, false))
+	if on.GlobCand != 2 || off.GlobCand != 1 {
+		t.Errorf("candidates on/off = %d/%d, want 2/1", on.GlobCand, off.GlobCand)
+	}
+}
+
+func TestJumpMetrics(t *testing.T) {
+	prog := testutil.MustBuild(t, src)
+	ctx := icp.Prepare(prog)
+	r := jumpfunc.Analyze(ctx, jumpfunc.Literal)
+	cs := metrics.JumpCallSite(r)
+	if cs.Args != 8 || cs.Imm != 5 || cs.ConstArgs != 5 {
+		t.Errorf("jump call-site: %+v", cs)
+	}
+	en := metrics.JumpEntry(r)
+	if en.ConstFormals != 1 || en.Formals != 4 {
+		t.Errorf("jump entry: %+v", en)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if metrics.Pct(1, 0) != "-" {
+		t.Error("divide by zero must render '-'")
+	}
+	if got := metrics.Pct(149, 1000); got != "14.9%" {
+		t.Errorf("Pct = %s", got)
+	}
+	if got := metrics.Pct(1, 3); got != "33.3%" {
+		t.Errorf("Pct = %s", got)
+	}
+}

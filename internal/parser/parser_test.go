@@ -1,0 +1,239 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"fsicp/internal/ast"
+)
+
+const smallProgram = `program demo
+
+global g int = 3
+global pi real = 3.14
+global neg real = -2.5
+global on bool = true
+
+proc main() {
+  use g, pi
+  var x int = 1
+  var y int
+  if x > 0 {
+    y = x + g
+  } else if x < 0 {
+    y = -x
+  } else {
+    y = 0
+  }
+  while y > 0 {
+    y = y - 1
+  }
+  for x = 1, 10, 2 {
+    call helper(x, y + 1)
+  }
+  read y
+  print "y is", y
+  call helper(0, 1)
+}
+
+proc helper(a int, b int) {
+  var t bool
+  t = a == b || a != 0 && b > 2
+  if t {
+    return
+  }
+}
+
+func twice(n int) int {
+  return n * 2
+}
+`
+
+func TestParseSmallProgram(t *testing.T) {
+	prog, err := Parse("demo.mf", smallProgram)
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	if prog.Name != "demo" {
+		t.Errorf("program name: got %q", prog.Name)
+	}
+	if len(prog.Globals) != 4 {
+		t.Errorf("globals: got %d, want 4", len(prog.Globals))
+	}
+	if len(prog.Procs) != 3 {
+		t.Fatalf("procs: got %d, want 3", len(prog.Procs))
+	}
+	main := prog.Procs[0]
+	if main.Name != "main" || main.IsFunc {
+		t.Errorf("main decl wrong: %+v", main)
+	}
+	if len(main.Uses) != 2 || main.Uses[0].Name != "g" || main.Uses[1].Name != "pi" {
+		t.Errorf("use clause: %+v", main.Uses)
+	}
+	fn := prog.Procs[2]
+	if !fn.IsFunc || fn.Result != ast.TypeInt {
+		t.Errorf("func twice: IsFunc=%v Result=%v", fn.IsFunc, fn.Result)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	prog, err := Parse("demo.mf", smallProgram)
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	text1 := ast.Format(prog)
+	prog2, err := Parse("demo2.mf", text1)
+	if err != nil {
+		t.Fatalf("reparse of formatted output failed: %v\n%s", err, text1)
+	}
+	text2 := ast.Format(prog2)
+	if text1 != text2 {
+		t.Errorf("format not stable:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog, err := Parse("p.mf", `program p
+proc main() {
+  var x int
+  x = 1 + 2 * 3 - 4 % 5
+  var b bool
+  b = 1 < 2 && 3 >= 4 || !(5 == 6)
+}`)
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	asg := prog.Procs[0].Body.Stmts[1].(*ast.AssignStmt)
+	got := ast.FormatExpr(asg.Value)
+	if got != "1 + 2 * 3 - 4 % 5" {
+		t.Errorf("arith rendering: %q", got)
+	}
+	top := asg.Value.(*ast.BinaryExpr)
+	if top.Op.String() != "-" {
+		t.Errorf("top op: got %v, want -", top.Op)
+	}
+	b := prog.Procs[0].Body.Stmts[3].(*ast.AssignStmt)
+	bTop := b.Value.(*ast.BinaryExpr)
+	if bTop.Op.String() != "||" {
+		t.Errorf("bool top op: got %v, want ||", bTop.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"missing program", "proc main() {}", "expected program"},
+		{"bad global init", "program p\nglobal g int = x\nproc main() {}", "literal"},
+		{"call without keyword", "program p\nproc main() { foo(1) }\nproc foo(a int) {}", "'call' keyword"},
+		{"proc with result", "program p\nproc main() {}\nproc f(a int) int { }", "use 'func'"},
+		{"global after proc", "program p\nproc main() {}\nglobal g int", "precede"},
+		{"bad statement", "program p\nproc main() { 42 }", "expected statement"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("e.mf", c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err.Error(), c.wantSub)
+			}
+		})
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	prog, err := Parse("p.mf", `program p
+proc main() {
+  var x int
+  if x == 1 {
+    x = 10
+  } else if x == 2 {
+    x = 20
+  } else {
+    x = 30
+  }
+}`)
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	ifs := prog.Procs[0].Body.Stmts[1].(*ast.IfStmt)
+	inner, ok := ifs.Else.(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("else-if not chained: %T", ifs.Else)
+	}
+	if _, ok := inner.Else.(*ast.Block); !ok {
+		t.Errorf("final else: %T", inner.Else)
+	}
+}
+
+func TestForOptionalStep(t *testing.T) {
+	prog, err := Parse("p.mf", `program p
+proc main() {
+  var i int
+  for i = 1, 5 {
+  }
+  for i = 10, 0, -2 {
+  }
+}`)
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	f1 := prog.Procs[0].Body.Stmts[1].(*ast.ForStmt)
+	if f1.Step != nil {
+		t.Errorf("f1 step should be nil")
+	}
+	f2 := prog.Procs[0].Body.Stmts[2].(*ast.ForStmt)
+	if f2.Step == nil {
+		t.Errorf("f2 step missing")
+	}
+}
+
+func TestRecoveryProducesMultipleErrors(t *testing.T) {
+	_, err := Parse("e.mf", `program p
+proc main() {
+  var x int
+  x = )
+  y ==
+}
+proc q( {}
+`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if n := strings.Count(err.Error(), "\n") + 1; n < 2 {
+		t.Errorf("want multiple diagnostics, got %d: %v", n, err)
+	}
+}
+
+func TestDeepNestingRejectedGracefully(t *testing.T) {
+	// Ten thousand opening parens must produce a diagnostic, not a
+	// stack overflow.
+	deep := "program p\nproc main() { var x int\n x = " + strings.Repeat("(", 10000) + "1" + strings.Repeat(")", 10000) + " }"
+	_, err := Parse("deep.mf", deep)
+	if err == nil {
+		t.Fatal("expected nesting-depth error")
+	}
+	if !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Errorf("error: %v", err)
+	}
+	// Deeply nested ifs likewise.
+	var b strings.Builder
+	b.WriteString("program p\nproc main() {\n")
+	for i := 0; i < 5000; i++ {
+		b.WriteString("if true {\n")
+	}
+	for i := 0; i < 5000; i++ {
+		b.WriteString("}\n")
+	}
+	b.WriteString("}\n")
+	if _, err := Parse("deep2.mf", b.String()); err == nil {
+		t.Fatal("expected nesting-depth error for statements")
+	}
+	// Reasonable nesting still parses.
+	mid := "program p\nproc main() { var x int\n x = " + strings.Repeat("(", 100) + "1" + strings.Repeat(")", 100) + " }"
+	if _, err := Parse("mid.mf", mid); err != nil {
+		t.Errorf("100 levels should parse: %v", err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package progen generates random, well-typed, terminating MiniFort
+// programs for property-based testing. Every analysis in this
+// repository is validated against the reference interpreter on these
+// programs: any constant an analysis claims must equal the observed
+// runtime value (package soundness).
+//
+// Termination is guaranteed structurally: counted for-loops use literal
+// bounds and never assign their loop variable, while-loops are emitted
+// with an explicit bounded counter, and recursion always decrements a
+// counter formal guarded by a positivity test.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"fsicp/internal/ast"
+)
+
+// Config controls generation.
+type Config struct {
+	Seed    int64
+	Procs   int // number of procedures besides main (default 6)
+	Globals int // number of globals (default 4)
+	// AllowRecursion permits self-recursive procedures (counter
+	// bounded).
+	AllowRecursion bool
+	// AllowFloats permits real-typed variables and literals.
+	AllowFloats bool
+	// MaxStmts bounds the statement count per procedure body
+	// (default 12).
+	MaxStmts int
+}
+
+type gen struct {
+	rng         *rand.Rand
+	cfg         Config
+	b           strings.Builder
+	loopCounter int
+	callBudget  int
+
+	globals []genVar
+	procs   []*genProc
+}
+
+type genVar struct {
+	name string
+	typ  ast.Type
+}
+
+type genProc struct {
+	name    string
+	params  []genVar
+	isFunc  bool
+	result  ast.Type
+	recurse bool // first param is a recursion counter
+}
+
+// Generate returns the source text of a random program.
+func Generate(cfg Config) string {
+	if cfg.Procs == 0 {
+		cfg.Procs = 6
+	}
+	if cfg.Globals == 0 {
+		cfg.Globals = 4
+	}
+	if cfg.MaxStmts == 0 {
+		cfg.MaxStmts = 12
+	}
+	g := &gen{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+	g.build()
+	return g.b.String()
+}
+
+func (g *gen) pick(n int) int { return g.rng.Intn(n) }
+
+func (g *gen) typ() ast.Type {
+	if g.cfg.AllowFloats && g.pick(4) == 0 {
+		return ast.TypeReal
+	}
+	if g.pick(5) == 0 {
+		return ast.TypeBool
+	}
+	return ast.TypeInt
+}
+
+func (g *gen) lit(t ast.Type) string {
+	switch t {
+	case ast.TypeReal:
+		return fmt.Sprintf("%d.%d", g.pick(50), g.pick(100))
+	case ast.TypeBool:
+		if g.pick(2) == 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("%d", g.pick(20))
+	}
+}
+
+func (g *gen) build() {
+	fmt.Fprintf(&g.b, "program gen%d\n\n", g.cfg.Seed)
+
+	for i := 0; i < g.cfg.Globals; i++ {
+		t := g.typ()
+		v := genVar{name: fmt.Sprintf("g%d", i), typ: t}
+		g.globals = append(g.globals, v)
+		if g.pick(3) != 0 { // most globals are block-data initialised
+			fmt.Fprintf(&g.b, "global %s %s = %s\n", v.name, t, g.lit(t))
+		} else {
+			fmt.Fprintf(&g.b, "global %s %s\n", v.name, t)
+		}
+	}
+	g.b.WriteString("\n")
+
+	// Signatures first so calls can target any later proc.
+	for i := 0; i < g.cfg.Procs; i++ {
+		p := &genProc{name: fmt.Sprintf("p%d", i)}
+		nparams := g.pick(4)
+		if g.cfg.AllowRecursion && g.pick(4) == 0 {
+			p.recurse = true
+			p.params = append(p.params, genVar{name: "rc", typ: ast.TypeInt})
+		}
+		for j := 0; j < nparams; j++ {
+			p.params = append(p.params, genVar{name: fmt.Sprintf("a%d", j), typ: g.typ()})
+		}
+		if !p.recurse && g.pick(4) == 0 {
+			p.isFunc = true
+			p.result = g.typ()
+		}
+		g.procs = append(g.procs, p)
+	}
+
+	g.emitProc(nil) // main
+	for _, p := range g.procs {
+		g.emitProc(p)
+	}
+}
+
+// scope tracks in-scope variables by type during body generation.
+type scope struct {
+	vars     []genVar
+	usedGlob map[string]bool
+}
+
+func (s *scope) byType(t ast.Type) []genVar {
+	var out []genVar
+	for _, v := range s.vars {
+		if v.typ == t {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (g *gen) emitProc(p *genProc) {
+	sc := &scope{usedGlob: make(map[string]bool)}
+	var body strings.Builder
+
+	name := "main"
+	kw := "proc"
+	var callableFrom int
+	if p != nil {
+		name = p.name
+		if p.isFunc {
+			kw = "func"
+		}
+		for i, q := range g.procs {
+			if q == p {
+				callableFrom = i + 1
+			}
+		}
+		params := p.params
+		if p.recurse {
+			params = params[1:] // the counter must stay monotone
+		}
+		sc.vars = append(sc.vars, params...)
+	}
+
+	// Pre-pick the globals this procedure may touch.
+	for _, gv := range g.globals {
+		if g.pick(2) == 0 {
+			sc.usedGlob[gv.name] = true
+			sc.vars = append(sc.vars, gv)
+		}
+	}
+
+	// A few locals.
+	nlocals := 1 + g.pick(3)
+	for i := 0; i < nlocals; i++ {
+		t := g.typ()
+		v := genVar{name: fmt.Sprintf("l%d", i), typ: t}
+		sc.vars = append(sc.vars, v)
+		if g.pick(2) == 0 {
+			fmt.Fprintf(&body, "  var %s %s = %s\n", v.name, t, g.lit(t))
+		} else {
+			fmt.Fprintf(&body, "  var %s %s\n", v.name, t)
+		}
+	}
+
+	g.callBudget = 2
+	nstmts := 2 + g.pick(g.cfg.MaxStmts)
+	for i := 0; i < nstmts; i++ {
+		g.stmt(&body, sc, p, callableFrom, 1)
+	}
+
+	if p != nil && p.recurse {
+		// Guarded self-recursion on the counter.
+		args := []string{"rc - 1"}
+		for _, a := range p.params[1:] {
+			args = append(args, g.expr(sc, a.typ, 1))
+		}
+		fmt.Fprintf(&body, "  if rc > 0 {\n    call %s(%s)\n  }\n", p.name, strings.Join(args, ", "))
+	}
+	// Print something observable, and use each formal so REF is
+	// non-trivial.
+	if p != nil {
+		for _, a := range p.params {
+			fmt.Fprintf(&body, "  print %s\n", a.name)
+		}
+	}
+	if p != nil && p.isFunc {
+		fmt.Fprintf(&body, "  return %s\n", g.expr(sc, p.result, 1))
+	}
+
+	// Header with the use clause gathered above.
+	fmt.Fprintf(&g.b, "%s %s(", kw, name)
+	if p != nil {
+		for i, a := range p.params {
+			if i > 0 {
+				g.b.WriteString(", ")
+			}
+			fmt.Fprintf(&g.b, "%s %s", a.name, a.typ)
+		}
+	}
+	g.b.WriteString(")")
+	if p != nil && p.isFunc {
+		fmt.Fprintf(&g.b, " %s", p.result)
+	}
+	g.b.WriteString(" {\n")
+	var used []string
+	for _, gv := range g.globals {
+		if sc.usedGlob[gv.name] {
+			used = append(used, gv.name)
+		}
+	}
+	if len(used) > 0 {
+		fmt.Fprintf(&g.b, "  use %s\n", strings.Join(used, ", "))
+	}
+	g.b.WriteString(body.String())
+	g.b.WriteString("}\n\n")
+}
+
+func (g *gen) stmt(b *strings.Builder, sc *scope, p *genProc, callableFrom, depth int) {
+	ind := strings.Repeat("  ", depth)
+	choice := g.pick(10)
+	switch {
+	case choice < 4: // assignment
+		v := sc.vars[g.pick(len(sc.vars))]
+		fmt.Fprintf(b, "%s%s = %s\n", ind, v.name, g.expr(sc, v.typ, depth))
+	case choice < 5: // read
+		v := sc.vars[g.pick(len(sc.vars))]
+		fmt.Fprintf(b, "%sread %s\n", ind, v.name)
+	case choice < 7 && depth < 3: // if
+		fmt.Fprintf(b, "%sif %s {\n", ind, g.expr(sc, ast.TypeBool, depth))
+		g.stmt(b, sc, p, callableFrom, depth+1)
+		if g.pick(2) == 0 {
+			fmt.Fprintf(b, "%s} else {\n", ind)
+			g.stmt(b, sc, p, callableFrom, depth+1)
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	case choice < 8 && depth < 3: // bounded for loop
+		g.loopCounter++
+		lv := fmt.Sprintf("lv%d", g.loopCounter)
+		fmt.Fprintf(b, "%svar %s int\n", ind, lv)
+		fmt.Fprintf(b, "%sfor %s = 1, %d {\n", ind, lv, 1+g.pick(5))
+		g.stmt(b, sc, p, callableFrom, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case choice < 9 && callableFrom < len(g.procs) && depth == 1 && g.callBudget > 0: // call
+		g.callBudget--
+		q := g.procs[callableFrom+g.pick(len(g.procs)-callableFrom)]
+		var args []string
+		for i, a := range q.params {
+			if i == 0 && q.recurse {
+				args = append(args, fmt.Sprintf("%d", g.pick(4)))
+				continue
+			}
+			// Sometimes pass a variable (by reference), sometimes an
+			// expression or literal.
+			if vs := sc.byType(a.typ); len(vs) > 0 && g.pick(2) == 0 {
+				args = append(args, vs[g.pick(len(vs))].name)
+			} else {
+				args = append(args, g.expr(sc, a.typ, depth))
+			}
+		}
+		if q.isFunc {
+			if vs := sc.byType(q.result); len(vs) > 0 {
+				fmt.Fprintf(b, "%s%s = %s(%s)\n", ind, vs[g.pick(len(vs))].name, q.name, strings.Join(args, ", "))
+				return
+			}
+		}
+		fmt.Fprintf(b, "%scall %s(%s)\n", ind, q.name, strings.Join(args, ", "))
+	default: // print
+		v := sc.vars[g.pick(len(sc.vars))]
+		fmt.Fprintf(b, "%sprint %s\n", ind, v.name)
+	}
+}
+
+// expr produces a random expression of type t from in-scope variables
+// and literals.
+func (g *gen) expr(sc *scope, t ast.Type, depth int) string {
+	if depth > 3 || g.pick(3) == 0 {
+		if vs := sc.byType(t); len(vs) > 0 && g.pick(2) == 0 {
+			return vs[g.pick(len(vs))].name
+		}
+		return g.lit(t)
+	}
+	switch t {
+	case ast.TypeBool:
+		switch g.pick(3) {
+		case 0:
+			ot := ast.TypeInt
+			return fmt.Sprintf("%s %s %s", g.expr(sc, ot, depth+1), cmpOps[g.pick(len(cmpOps))], g.expr(sc, ot, depth+1))
+		case 1:
+			return fmt.Sprintf("%s %s %s", g.expr(sc, t, depth+1), boolOps[g.pick(len(boolOps))], g.expr(sc, t, depth+1))
+		default:
+			return fmt.Sprintf("!(%s)", g.expr(sc, t, depth+1))
+		}
+	case ast.TypeReal:
+		return fmt.Sprintf("(%s %s %s)", g.expr(sc, t, depth+1), realOps[g.pick(len(realOps))], g.expr(sc, t, depth+1))
+	default:
+		op := intOps[g.pick(len(intOps))]
+		rhs := g.expr(sc, t, depth+1)
+		if op == "/" || op == "%" {
+			// Keep division well-defined: non-zero literal divisor.
+			rhs = fmt.Sprintf("%d", 1+g.pick(9))
+		}
+		return fmt.Sprintf("(%s %s %s)", g.expr(sc, t, depth+1), op, rhs)
+	}
+}
+
+var (
+	cmpOps  = []string{"==", "!=", "<", "<=", ">", ">="}
+	boolOps = []string{"&&", "||"}
+	intOps  = []string{"+", "-", "*", "/", "%"}
+	realOps = []string{"+", "-", "*"}
+)

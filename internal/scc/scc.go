@@ -1,0 +1,359 @@
+// Package scc implements the Sparse Conditional Constant propagation
+// algorithm of Wegman and Zadeck (TOPLAS 1991) over the SSA overlay —
+// the flow-sensitive intraprocedural engine the paper builds on.
+//
+// The propagator is optimistic: every SSA definition starts at ⊤, blocks
+// become executable only when reached along an executable edge, and
+// branches on constant conditions keep the untaken side unreachable, so
+// code made dead by interprocedural constants is discarded during the
+// propagation (which may in turn expose more constants — the paper's
+// Figure 1 relies on exactly this).
+//
+// Interprocedural behaviour is injected through Options: the entry
+// environment supplies the lattice values of formals and globals at
+// procedure entry, and the CallResult hook supplies function-result
+// values (the return-constant extension). Calls lower their may-defined
+// variables (by-ref actuals and globals from MOD) to ⊥.
+package scc
+
+import (
+	"fsicp/internal/ir"
+	"fsicp/internal/lattice"
+	"fsicp/internal/sem"
+	"fsicp/internal/ssa"
+	"fsicp/internal/val"
+)
+
+// Options configures a run.
+type Options struct {
+	// Entry gives the lattice value of formals and globals at procedure
+	// entry. Locals and temporaries always start undefined (⊥ on use
+	// before def). A nil Entry means every formal and global is ⊥ —
+	// plain intraprocedural propagation.
+	Entry lattice.Env[*sem.Var]
+
+	// CallResult, if non-nil, supplies the lattice value of a function
+	// call's result (return-constant extension). Nil, or a nil return
+	// of ⊥, keeps results unknown.
+	CallResult func(call *ir.CallInstr) lattice.Elem
+
+	// CallExit, if non-nil, supplies the post-call lattice value of a
+	// variable the call may define (a by-ref actual or modified
+	// global), derived from the callee's exit environment. Nil keeps
+	// may-defined variables ⊥ after calls.
+	CallExit func(call *ir.CallInstr, v *sem.Var) lattice.Elem
+}
+
+// Result holds the fixpoint.
+type Result struct {
+	S      *ssa.SSA
+	Values []lattice.Elem // indexed by Definition.ID
+	// BlockExec[b.Index] reports whether block b is executable.
+	BlockExec []bool
+	// EdgeExec reports executability of CFG edges (from,to block
+	// indices).
+	EdgeExec map[[2]int]bool
+}
+
+type engine struct {
+	s    *ssa.SSA
+	opts Options
+	res  *Result
+
+	flowWork []flowEdge
+	ssaWork  []*ssa.Definition
+	visited  []bool // block instruction lists evaluated once
+}
+
+type flowEdge struct{ from, to int }
+
+// Run computes the SCC fixpoint for s.
+func Run(s *ssa.SSA, opts Options) *Result {
+	e := &engine{
+		s:    s,
+		opts: opts,
+		res: &Result{
+			S:         s,
+			Values:    make([]lattice.Elem, len(s.Defs)),
+			BlockExec: make([]bool, len(s.Fn.Blocks)),
+			EdgeExec:  make(map[[2]int]bool),
+		},
+		visited: make([]bool, len(s.Fn.Blocks)),
+	}
+	for i := range e.res.Values {
+		e.res.Values[i] = lattice.TopElem()
+	}
+	// Seed entry definitions.
+	for _, d := range s.EntryDefs {
+		switch d.Var.Kind {
+		case sem.KindFormal, sem.KindGlobal:
+			e.lower(d, opts.Entry.Get(d.Var))
+		default:
+			// Undefined local/temp: unknown on use-before-def.
+			e.lower(d, lattice.BottomElem())
+		}
+	}
+	e.markBlock(s.Dom.RPO[0])
+	e.solve()
+	return e.res
+}
+
+func (e *engine) value(d *ssa.Definition) lattice.Elem { return e.res.Values[d.ID] }
+
+// lower monotonically lowers d's value; queues its uses on change.
+func (e *engine) lower(d *ssa.Definition, v lattice.Elem) {
+	nw := lattice.Meet(e.res.Values[d.ID], v)
+	if nw.Eq(e.res.Values[d.ID]) {
+		return
+	}
+	e.res.Values[d.ID] = nw
+	e.ssaWork = append(e.ssaWork, d)
+}
+
+func (e *engine) solve() {
+	for len(e.flowWork) > 0 || len(e.ssaWork) > 0 {
+		for len(e.flowWork) > 0 {
+			edge := e.flowWork[len(e.flowWork)-1]
+			e.flowWork = e.flowWork[:len(e.flowWork)-1]
+			e.processEdge(edge)
+		}
+		for len(e.ssaWork) > 0 {
+			d := e.ssaWork[len(e.ssaWork)-1]
+			e.ssaWork = e.ssaWork[:len(e.ssaWork)-1]
+			e.processUses(d)
+		}
+	}
+}
+
+func (e *engine) addEdge(from, to *ir.Block) {
+	key := [2]int{from.Index, to.Index}
+	if e.res.EdgeExec[key] {
+		return
+	}
+	e.res.EdgeExec[key] = true
+	e.flowWork = append(e.flowWork, flowEdge{from.Index, to.Index})
+}
+
+func (e *engine) processEdge(edge flowEdge) {
+	b := e.s.Fn.Blocks[edge.to]
+	// φs must be re-evaluated whenever a new incoming edge becomes
+	// executable.
+	for _, phi := range e.s.Phis[b.Index] {
+		e.evalPhi(phi)
+	}
+	if !e.res.BlockExec[b.Index] {
+		e.markBlock(b)
+	}
+}
+
+func (e *engine) markBlock(b *ir.Block) {
+	if e.res.BlockExec[b.Index] {
+		return
+	}
+	e.res.BlockExec[b.Index] = true
+	if !e.visited[b.Index] {
+		e.visited[b.Index] = true
+		for _, phi := range e.s.Phis[b.Index] {
+			e.evalPhi(phi)
+		}
+		for _, in := range b.Instrs {
+			e.evalInstr(in)
+		}
+		e.evalTerm(b)
+	}
+}
+
+func (e *engine) processUses(d *ssa.Definition) {
+	for _, u := range d.Uses {
+		switch u.Kind {
+		case ssa.UseInstr:
+			if e.res.BlockExec[u.Block.Index] {
+				e.evalInstr(u.Instr)
+			}
+		case ssa.UsePhi:
+			if e.res.BlockExec[u.Phi.Block.Index] {
+				e.evalPhi(u.Phi)
+			}
+		case ssa.UseTerm:
+			if e.res.BlockExec[u.Block.Index] {
+				e.evalTerm(u.Block)
+			}
+		}
+	}
+}
+
+func (e *engine) evalPhi(phi *Phi) {
+	acc := lattice.TopElem()
+	for i, p := range phi.Block.Preds {
+		if !e.res.EdgeExec[[2]int{p.Index, phi.Block.Index}] {
+			continue
+		}
+		if phi.Args[i] == nil {
+			continue // predecessor unreachable during renaming
+		}
+		acc = lattice.Meet(acc, e.value(phi.Args[i]))
+	}
+	e.lower(phi.Def, acc)
+}
+
+// Phi aliases ssa.Phi for readability inside this package.
+type Phi = ssa.Phi
+
+func (e *engine) evalInstr(in ir.Instr) {
+	defs := e.s.InstrDefs[in]
+	uses := e.s.UseDefs[in]
+	switch in := in.(type) {
+	case *ir.ConstInstr:
+		e.lower(defs[0], lattice.Const(in.Val))
+	case *ir.CopyInstr:
+		e.lower(defs[0], e.value(uses[0]))
+	case *ir.UnaryInstr:
+		e.lower(defs[0], e.foldUnary(in, e.value(uses[0])))
+	case *ir.BinaryInstr:
+		e.lower(defs[0], e.foldBinary(in, e.value(uses[0]), e.value(uses[1])))
+	case *ir.ReadInstr:
+		e.lower(defs[0], lattice.BottomElem())
+	case *ir.PrintInstr:
+		// no defs
+	case *ir.CallInstr:
+		k := 0
+		if in.Dst != nil {
+			rv := lattice.BottomElem()
+			if e.opts.CallResult != nil {
+				rv = e.opts.CallResult(in)
+			}
+			e.lower(defs[0], rv)
+			k = 1
+		}
+		for ; k < len(defs); k++ {
+			if e.opts.CallExit != nil {
+				e.lower(defs[k], e.opts.CallExit(in, defs[k].Var))
+			} else {
+				e.lower(defs[k], lattice.BottomElem())
+			}
+		}
+	case *ir.ClobberInstr:
+		for _, d := range defs {
+			e.lower(d, lattice.BottomElem())
+		}
+	}
+}
+
+func (e *engine) foldUnary(in *ir.UnaryInstr, x lattice.Elem) lattice.Elem {
+	switch {
+	case x.IsTop():
+		return lattice.TopElem()
+	case x.IsBottom():
+		return lattice.BottomElem()
+	}
+	v, ok := val.Unary(in.Op, x.Val)
+	if !ok {
+		return lattice.BottomElem()
+	}
+	return lattice.Const(v)
+}
+
+func (e *engine) foldBinary(in *ir.BinaryInstr, x, y lattice.Elem) lattice.Elem {
+	if x.IsBottom() || y.IsBottom() {
+		return lattice.BottomElem()
+	}
+	if x.IsTop() || y.IsTop() {
+		return lattice.TopElem()
+	}
+	v, ok := val.Binary(in.Op, x.Val, y.Val)
+	if !ok {
+		// Folding failed (e.g. integer division by a constant zero): a
+		// runtime error at execution time, so the result is unknown.
+		return lattice.BottomElem()
+	}
+	return lattice.Const(v)
+}
+
+func (e *engine) evalTerm(b *ir.Block) {
+	switch t := b.Term.(type) {
+	case *ir.Jump:
+		e.addEdge(b, t.Target)
+	case *ir.If:
+		cond := e.value(e.s.TermUses[b.Index][0])
+		switch {
+		case cond.IsTop():
+			// not yet known; wait
+		case cond.IsConst():
+			if cond.Val.B {
+				e.addEdge(b, t.Then)
+			} else {
+				e.addEdge(b, t.Else)
+			}
+		default:
+			e.addEdge(b, t.Then)
+			e.addEdge(b, t.Else)
+		}
+	case *ir.Ret:
+		// no successors
+	}
+}
+
+// --- Result queries -----------------------------------------------------
+
+// ValueOf returns the fixpoint value of a definition.
+func (r *Result) ValueOf(d *ssa.Definition) lattice.Elem { return r.Values[d.ID] }
+
+// Reachable reports whether the call instruction's block is executable.
+func (r *Result) Reachable(call *ir.CallInstr) bool {
+	return r.BlockExec[call.Block.Index]
+}
+
+// ArgValue returns the lattice value of the i-th actual at a call site,
+// or ⊤ if the call site is unreachable (an unreachable call contributes
+// nothing to the meet at the callee).
+func (r *Result) ArgValue(call *ir.CallInstr, i int) lattice.Elem {
+	if !r.Reachable(call) {
+		return lattice.TopElem()
+	}
+	return r.Values[r.S.UseDefs[call][i].ID]
+}
+
+// GlobalValueAtCall returns the lattice value of global g immediately
+// before the call, or ⊤ if the call is unreachable.
+func (r *Result) GlobalValueAtCall(call *ir.CallInstr, g *sem.Var) lattice.Elem {
+	if !r.Reachable(call) {
+		return lattice.TopElem()
+	}
+	return r.Values[r.S.GlobalAtCall(call, g).ID]
+}
+
+// ReturnValue returns the meet of all executable return values (⊤ if no
+// executable return carries a value, e.g. the function never returns).
+func (r *Result) ReturnValue() lattice.Elem {
+	acc := lattice.TopElem()
+	for _, b := range r.S.Dom.RPO {
+		if !r.BlockExec[b.Index] {
+			continue
+		}
+		if t, ok := b.Term.(*ir.Ret); ok && t.Val != nil {
+			acc = lattice.Meet(acc, r.Values[r.S.TermUses[b.Index][0].ID])
+		}
+	}
+	return acc
+}
+
+// VarValueAtEntry returns the entry value the fixpoint settled on for a
+// formal or global.
+func (r *Result) VarValueAtEntry(v *sem.Var) lattice.Elem {
+	return r.Values[r.S.EntryDef(v).ID]
+}
+
+// ExitValue returns the meet of v's value over all executable return
+// points — the value v holds when the procedure returns (⊤ if the
+// procedure never returns, e.g. infinite loop or unreachable).
+func (r *Result) ExitValue(v *sem.Var) lattice.Elem {
+	vi := r.S.Fn.VarIndex[v]
+	acc := lattice.TopElem()
+	for bi, snap := range r.S.RetSnapshots {
+		if !r.BlockExec[bi] {
+			continue
+		}
+		acc = lattice.Meet(acc, r.Values[snap[vi].ID])
+	}
+	return acc
+}

@@ -1,0 +1,177 @@
+// Package source provides source-file bookkeeping for the MiniFort
+// frontend: files, byte-offset positions, line/column resolution, and
+// structured diagnostics.
+//
+// All later phases (lexer, parser, semantic analysis) report errors in
+// terms of Pos values, which are cheap opaque offsets into a File. A File
+// resolves a Pos to a human-readable Position on demand.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a byte offset into a File, plus one. The zero Pos is "no
+// position". Pos values are only meaningful relative to the File that
+// produced them.
+type Pos int
+
+// NoPos is the zero Pos, meaning "position unknown".
+const NoPos Pos = 0
+
+// IsValid reports whether the position is known.
+func (p Pos) IsValid() bool { return p != NoPos }
+
+// Span is a half-open [Start, End) region of a file.
+type Span struct {
+	Start, End Pos
+}
+
+// File holds the contents of one source file and a line-offset index for
+// resolving positions.
+type File struct {
+	Name    string
+	Content string
+	lines   []int // byte offset of the start of each line
+}
+
+// NewFile builds a File and its line index.
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lines = append(f.lines, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lines = append(f.lines, i+1)
+		}
+	}
+	return f
+}
+
+// Pos converts a byte offset into a Pos for this file.
+func (f *File) Pos(offset int) Pos { return Pos(offset + 1) }
+
+// Offset converts a Pos back to a byte offset.
+func (f *File) Offset(p Pos) int { return int(p) - 1 }
+
+// Position is a resolved human-readable location.
+type Position struct {
+	Filename string
+	Line     int // 1-based
+	Column   int // 1-based, in bytes
+}
+
+func (p Position) String() string {
+	if p.Filename == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Column)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// Position resolves a Pos to line/column. An invalid Pos resolves to
+// line 0.
+func (f *File) Position(p Pos) Position {
+	if !p.IsValid() {
+		return Position{Filename: f.Name}
+	}
+	off := f.Offset(p)
+	i := sort.Search(len(f.lines), func(i int) bool { return f.lines[i] > off }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return Position{Filename: f.Name, Line: i + 1, Column: off - f.lines[i] + 1}
+}
+
+// Line returns the text of the 1-based line number, without the newline.
+func (f *File) Line(n int) string {
+	if n < 1 || n > len(f.lines) {
+		return ""
+	}
+	start := f.lines[n-1]
+	end := len(f.Content)
+	if n < len(f.lines) {
+		end = f.lines[n] - 1
+	}
+	return f.Content[start:end]
+}
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	SeverityError Severity = iota
+	SeverityWarning
+	SeverityNote
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityError:
+		return "error"
+	case SeverityWarning:
+		return "warning"
+	case SeverityNote:
+		return "note"
+	}
+	return "unknown"
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Pos      Pos
+	Severity Severity
+	Message  string
+}
+
+// ErrorList collects diagnostics for a single file and implements error.
+type ErrorList struct {
+	File  *File
+	Diags []Diagnostic
+}
+
+// Add appends a diagnostic.
+func (l *ErrorList) Add(pos Pos, sev Severity, format string, args ...any) {
+	l.Diags = append(l.Diags, Diagnostic{Pos: pos, Severity: sev, Message: fmt.Sprintf(format, args...)})
+}
+
+// Errorf appends an error-severity diagnostic.
+func (l *ErrorList) Errorf(pos Pos, format string, args ...any) {
+	l.Add(pos, SeverityError, format, args...)
+}
+
+// HasErrors reports whether any diagnostic has error severity.
+func (l *ErrorList) HasErrors() bool {
+	for _, d := range l.Diags {
+		if d.Severity == SeverityError {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns the list as an error, or nil if there are no errors.
+func (l *ErrorList) Err() error {
+	if l == nil || !l.HasErrors() {
+		return nil
+	}
+	return l
+}
+
+// Error formats every diagnostic, one per line.
+func (l *ErrorList) Error() string {
+	var b strings.Builder
+	for i, d := range l.Diags {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		if l.File != nil {
+			fmt.Fprintf(&b, "%s: ", l.File.Position(d.Pos))
+		}
+		fmt.Fprintf(&b, "%s: %s", d.Severity, d.Message)
+	}
+	return b.String()
+}
+
+// Len returns the number of diagnostics.
+func (l *ErrorList) Len() int { return len(l.Diags) }

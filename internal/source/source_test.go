@@ -1,0 +1,88 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPositions(t *testing.T) {
+	f := NewFile("a.mf", "abc\ndef\n\nxy")
+	cases := []struct {
+		off  int
+		line int
+		col  int
+	}{
+		{0, 1, 1}, {2, 1, 3}, {3, 1, 4}, // the newline itself is column 4
+		{4, 2, 1}, {7, 2, 4},
+		{8, 3, 1},
+		{9, 4, 1}, {10, 4, 2},
+	}
+	for _, c := range cases {
+		got := f.Position(f.Pos(c.off))
+		if got.Line != c.line || got.Column != c.col {
+			t.Errorf("offset %d: got %d:%d, want %d:%d", c.off, got.Line, got.Column, c.line, c.col)
+		}
+	}
+	if f.Offset(f.Pos(5)) != 5 {
+		t.Error("Pos/Offset round trip")
+	}
+}
+
+func TestInvalidPos(t *testing.T) {
+	f := NewFile("a.mf", "x")
+	if NoPos.IsValid() {
+		t.Error("NoPos must be invalid")
+	}
+	p := f.Position(NoPos)
+	if p.Line != 0 || p.Filename != "a.mf" {
+		t.Errorf("invalid position: %+v", p)
+	}
+	if p.String() != "a.mf:0:0" {
+		t.Errorf("String: %s", p.String())
+	}
+}
+
+func TestLine(t *testing.T) {
+	f := NewFile("a.mf", "first\nsecond\nthird")
+	if f.Line(1) != "first" || f.Line(2) != "second" || f.Line(3) != "third" {
+		t.Errorf("lines: %q %q %q", f.Line(1), f.Line(2), f.Line(3))
+	}
+	if f.Line(0) != "" || f.Line(4) != "" {
+		t.Error("out-of-range lines must be empty")
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	f := NewFile("a.mf", "hello\nworld")
+	l := &ErrorList{File: f}
+	if l.Err() != nil {
+		t.Error("empty list is not an error")
+	}
+	l.Add(f.Pos(6), SeverityWarning, "minor %d", 1)
+	if l.HasErrors() {
+		t.Error("warnings are not errors")
+	}
+	if l.Err() != nil {
+		t.Error("warning-only list is not an error")
+	}
+	l.Errorf(f.Pos(0), "bad %s", "thing")
+	if !l.HasErrors() || l.Err() == nil {
+		t.Error("error not registered")
+	}
+	msg := l.Err().Error()
+	if !strings.Contains(msg, "a.mf:1:1: error: bad thing") {
+		t.Errorf("message: %s", msg)
+	}
+	if !strings.Contains(msg, "a.mf:2:1: warning: minor 1") {
+		t.Errorf("message: %s", msg)
+	}
+	if l.Len() != 2 {
+		t.Errorf("len: %d", l.Len())
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if SeverityError.String() != "error" || SeverityWarning.String() != "warning" || SeverityNote.String() != "note" {
+		t.Error("severity rendering")
+	}
+}

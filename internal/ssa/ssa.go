@@ -1,0 +1,390 @@
+// Package ssa converts the CFG IR of one procedure into SSA def-use
+// form, following Cytron, Ferrante, Rosen, Wegman and Zadeck (TOPLAS
+// 1991): φ-functions are placed on iterated dominance frontiers and a
+// dominator-tree walk renames uses to their reaching definitions.
+//
+// The representation is "overlay" SSA: the underlying ir instructions
+// are untouched; this package records, for every instruction operand,
+// which Definition reaches it, and for every instruction, the
+// Definitions it creates. Call instructions define their may-modified
+// variables (ir.CallInstr.MayDef, filled by the modref phase), which is
+// how interprocedural kills become visible to the intraprocedural
+// propagator.
+//
+// Every variable has an implicit entry definition (formal parameter,
+// global at procedure entry, or undefined local); the entry definitions
+// of formals and globals are the injection points for interprocedural
+// constants. For each call site the renamer snapshots the reaching
+// definition of every global, which the flow-sensitive ICP uses to read
+// "the value of global g at this call site".
+package ssa
+
+import (
+	"fmt"
+	"strings"
+
+	"fsicp/internal/dom"
+	"fsicp/internal/ir"
+	"fsicp/internal/sem"
+)
+
+// DefKind classifies a Definition.
+type DefKind int
+
+const (
+	// DefEntry is the implicit definition of a variable at procedure
+	// entry: the incoming formal value, the global's value at entry, or
+	// an undefined local.
+	DefEntry DefKind = iota
+	// DefInstr is a definition created by an instruction.
+	DefInstr
+	// DefPhi is a φ-function.
+	DefPhi
+)
+
+// Definition is one SSA definition of a variable.
+type Definition struct {
+	ID    int
+	Var   *sem.Var
+	Kind  DefKind
+	Block *ir.Block // nil for entry defs (conceptually the entry block)
+
+	// Instr is the defining instruction (DefInstr only) and DefIdx its
+	// position within Instr.Defs().
+	Instr  ir.Instr
+	DefIdx int
+
+	// Phi is set for DefPhi.
+	Phi *Phi
+
+	// Uses lists every use site of this definition.
+	Uses []Use
+}
+
+func (d *Definition) String() string {
+	return fmt.Sprintf("%s@%d", d.Var, d.ID)
+}
+
+// Phi is a φ-function for Var at the head of Block; Args is parallel to
+// Block.Preds.
+type Phi struct {
+	Def   *Definition
+	Var   *sem.Var
+	Block *ir.Block
+	Args  []*Definition
+}
+
+// UseKind classifies a use site.
+type UseKind int
+
+const (
+	UseInstr UseKind = iota // operand of an instruction
+	UsePhi                  // operand of a φ
+	UseTerm                 // operand of a terminator
+)
+
+// Use is one use site of a definition.
+type Use struct {
+	Kind  UseKind
+	Instr ir.Instr  // UseInstr
+	Phi   *Phi      // UsePhi
+	PhiIx int       // which φ argument (i.e. which predecessor edge)
+	Block *ir.Block // UseTerm and UsePhi; for UseInstr, the instr's block
+}
+
+// SSA is the SSA overlay for one function.
+type SSA struct {
+	Fn  *ir.Func
+	Dom *dom.Tree
+
+	// EntryDefs[i] is the entry definition of Fn.AllVars[i].
+	EntryDefs []*Definition
+
+	// Phis[b.Index] lists the φ-functions at the head of block b.
+	Phis [][]*Phi
+
+	// UseDefs[instr][k] is the reaching definition of instr.Uses()[k].
+	UseDefs map[ir.Instr][]*Definition
+
+	// InstrDefs[instr][k] is the Definition for instr.Defs()[k].
+	InstrDefs map[ir.Instr][]*Definition
+
+	// TermUses[b.Index][k] is the reaching definition of
+	// b.Term.Uses()[k].
+	TermUses [][]*Definition
+
+	// GlobalsAtCall[call] holds, per program-global index, the reaching
+	// definition of that global immediately before the call.
+	GlobalsAtCall map[*ir.CallInstr][]*Definition
+
+	// RetSnapshots[b.Index], for a block ending in a Ret, holds the
+	// reaching definition of every variable (indexed like Fn.AllVars)
+	// at the return point. The return-constant extension reads formal
+	// and global exit values from it.
+	RetSnapshots map[int][]*Definition
+
+	// Defs is every Definition, indexed by ID.
+	Defs []*Definition
+
+	globalOffset int // index of first global in Fn.AllVars
+	numGlobals   int
+}
+
+// Build constructs SSA form for fn.
+func Build(fn *ir.Func) *SSA {
+	s := &SSA{
+		Fn:            fn,
+		Dom:           dom.New(fn),
+		UseDefs:       make(map[ir.Instr][]*Definition),
+		InstrDefs:     make(map[ir.Instr][]*Definition),
+		GlobalsAtCall: make(map[*ir.CallInstr][]*Definition),
+		RetSnapshots:  make(map[int][]*Definition),
+	}
+	s.Phis = make([][]*Phi, len(fn.Blocks))
+	s.TermUses = make([][]*Definition, len(fn.Blocks))
+
+	nglobals := 0
+	offset := -1
+	for i, v := range fn.AllVars {
+		if v.IsGlobal() {
+			if offset < 0 {
+				offset = i
+			}
+			nglobals++
+		}
+	}
+	if offset < 0 {
+		offset = len(fn.AllVars)
+	}
+	s.globalOffset = offset
+	s.numGlobals = nglobals
+
+	s.placePhis()
+	s.rename()
+	return s
+}
+
+func (s *SSA) newDef(v *sem.Var, kind DefKind) *Definition {
+	d := &Definition{ID: len(s.Defs), Var: v, Kind: kind}
+	s.Defs = append(s.Defs, d)
+	return d
+}
+
+// placePhis inserts φ-functions using iterated dominance frontiers.
+func (s *SSA) placePhis() {
+	fn := s.Fn
+	nvars := len(fn.AllVars)
+	defBlocks := make([][]*ir.Block, nvars)
+	for _, b := range s.Dom.RPO {
+		for _, in := range b.Instrs {
+			for _, v := range in.Defs() {
+				i := fn.VarIndex[v]
+				defBlocks[i] = append(defBlocks[i], b)
+			}
+		}
+	}
+	hasPhi := make(map[[2]int]bool) // (block, var) -> placed
+	for vi := 0; vi < nvars; vi++ {
+		work := append([]*ir.Block(nil), defBlocks[vi]...)
+		// Every variable also has its entry definition in the entry
+		// block.
+		work = append(work, s.Dom.RPO[0])
+		inWork := make(map[int]bool)
+		for _, b := range work {
+			inWork[b.Index] = true
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, f := range s.Dom.Frontier(b) {
+				key := [2]int{f.Index, vi}
+				if hasPhi[key] {
+					continue
+				}
+				hasPhi[key] = true
+				v := fn.AllVars[vi]
+				phi := &Phi{Var: v, Block: f, Args: make([]*Definition, len(f.Preds))}
+				phi.Def = s.newDef(v, DefPhi)
+				phi.Def.Phi = phi
+				phi.Def.Block = f
+				s.Phis[f.Index] = append(s.Phis[f.Index], phi)
+				if !inWork[f.Index] {
+					inWork[f.Index] = true
+					work = append(work, f)
+				}
+			}
+		}
+	}
+}
+
+// rename walks the dominator tree assigning reaching definitions.
+func (s *SSA) rename() {
+	fn := s.Fn
+	nvars := len(fn.AllVars)
+	stacks := make([][]*Definition, nvars)
+
+	s.EntryDefs = make([]*Definition, nvars)
+	for i, v := range fn.AllVars {
+		d := s.newDef(v, DefEntry)
+		s.EntryDefs[i] = d
+		stacks[i] = append(stacks[i], d)
+	}
+
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		pushed := make([]int, 0, 8)
+		push := func(d *Definition) {
+			vi := fn.VarIndex[d.Var]
+			stacks[vi] = append(stacks[vi], d)
+			pushed = append(pushed, vi)
+		}
+		top := func(v *sem.Var) *Definition {
+			st := stacks[fn.VarIndex[v]]
+			return st[len(st)-1]
+		}
+
+		for _, phi := range s.Phis[b.Index] {
+			phi.Def.Block = b
+			push(phi.Def)
+		}
+		for _, in := range b.Instrs {
+			uses := in.Uses()
+			uds := make([]*Definition, len(uses))
+			for k, v := range uses {
+				d := top(v)
+				uds[k] = d
+				d.Uses = append(d.Uses, Use{Kind: UseInstr, Instr: in, Block: b})
+			}
+			s.UseDefs[in] = uds
+
+			if call, ok := in.(*ir.CallInstr); ok && s.numGlobals > 0 {
+				snap := make([]*Definition, s.numGlobals)
+				for gi := 0; gi < s.numGlobals; gi++ {
+					snap[gi] = top(fn.AllVars[s.globalOffset+gi])
+				}
+				s.GlobalsAtCall[call] = snap
+			}
+
+			defs := in.Defs()
+			ids := make([]*Definition, len(defs))
+			for k, v := range defs {
+				d := s.newDef(v, DefInstr)
+				d.Instr = in
+				d.DefIdx = k
+				d.Block = b
+				ids[k] = d
+				push(d)
+			}
+			s.InstrDefs[in] = ids
+		}
+		if b.Term != nil {
+			uses := b.Term.Uses()
+			tds := make([]*Definition, len(uses))
+			for k, v := range uses {
+				d := top(v)
+				tds[k] = d
+				d.Uses = append(d.Uses, Use{Kind: UseTerm, Block: b})
+			}
+			s.TermUses[b.Index] = tds
+			if _, isRet := b.Term.(*ir.Ret); isRet {
+				snap := make([]*Definition, nvars)
+				for vi, v := range fn.AllVars {
+					snap[vi] = top(v)
+				}
+				s.RetSnapshots[b.Index] = snap
+			}
+		}
+		for _, succ := range b.Succs {
+			pi := predIndex(succ, b)
+			for _, phi := range s.Phis[succ.Index] {
+				d := top(phi.Var)
+				phi.Args[pi] = d
+				d.Uses = append(d.Uses, Use{Kind: UsePhi, Phi: phi, PhiIx: pi, Block: succ})
+			}
+		}
+		for _, c := range s.Dom.Children(b) {
+			walk(c)
+		}
+		for i := len(pushed) - 1; i >= 0; i-- {
+			vi := pushed[i]
+			stacks[vi] = stacks[vi][:len(stacks[vi])-1]
+		}
+	}
+	walk(s.Dom.RPO[0])
+}
+
+func predIndex(b *ir.Block, pred *ir.Block) int {
+	for i, p := range b.Preds {
+		if p == pred {
+			return i
+		}
+	}
+	panic("ssa: predecessor not found")
+}
+
+// EntryDef returns the entry definition of v.
+func (s *SSA) EntryDef(v *sem.Var) *Definition {
+	return s.EntryDefs[s.Fn.VarIndex[v]]
+}
+
+// GlobalAtCall returns the reaching definition of global g just before
+// call. g must be a global registered in Fn.AllVars.
+func (s *SSA) GlobalAtCall(call *ir.CallInstr, g *sem.Var) *Definition {
+	gi := s.Fn.VarIndex[g] - s.globalOffset
+	return s.GlobalsAtCall[call][gi]
+}
+
+// NumGlobals returns how many globals the function tracks.
+func (s *SSA) NumGlobals() int { return s.numGlobals }
+
+// GlobalByOffset returns the gi-th tracked global.
+func (s *SSA) GlobalByOffset(gi int) *sem.Var {
+	return s.Fn.AllVars[s.globalOffset+gi]
+}
+
+// GlobalOffsetOf returns the offset of global g in call snapshots.
+func (s *SSA) GlobalOffsetOf(g *sem.Var) int {
+	return s.Fn.VarIndex[g] - s.globalOffset
+}
+
+// Dump renders the SSA overlay for debugging.
+func (s *SSA) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ssa %s:\n", s.Fn.Proc.Name)
+	for _, blk := range s.Dom.RPO {
+		fmt.Fprintf(&b, "%s:\n", blk)
+		for _, phi := range s.Phis[blk.Index] {
+			args := make([]string, len(phi.Args))
+			for i, a := range phi.Args {
+				if a == nil {
+					args[i] = "?"
+				} else {
+					args[i] = a.String()
+				}
+			}
+			fmt.Fprintf(&b, "  %s = phi(%s)\n", phi.Def, strings.Join(args, ", "))
+		}
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s", in)
+			if uds := s.UseDefs[in]; len(uds) > 0 {
+				parts := make([]string, len(uds))
+				for i, d := range uds {
+					parts[i] = d.String()
+				}
+				fmt.Fprintf(&b, " ; uses %s", strings.Join(parts, ","))
+			}
+			if ids := s.InstrDefs[in]; len(ids) > 0 {
+				parts := make([]string, len(ids))
+				for i, d := range ids {
+					parts[i] = d.String()
+				}
+				fmt.Fprintf(&b, " ; defs %s", strings.Join(parts, ","))
+			}
+			b.WriteByte('\n')
+		}
+		if blk.Term != nil {
+			fmt.Fprintf(&b, "  %s\n", blk.Term)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package ssa
+
+import (
+	"fmt"
+
+	"fsicp/internal/ir"
+)
+
+// Verify checks the structural invariants of the SSA overlay and
+// returns every violation found (empty means well-formed):
+//
+//   - every use's reaching definition is a definition of the same
+//     variable;
+//   - every instruction-use definition dominates the using
+//     instruction's block (or is in the same block, defined earlier);
+//   - every φ argument's definition dominates the corresponding
+//     predecessor block;
+//   - every definition registered for an instruction matches the
+//     instruction's Defs() list;
+//   - def-use back edges are consistent (every recorded use points
+//     back to a definition that lists it).
+//
+// It exists because dominance-based SSA construction bugs are silent:
+// the constant propagator would still run, just on wrong def-use
+// chains. The property tests verify every randomly generated program.
+func (s *SSA) Verify() []string {
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	// Block positions of instructions for same-block ordering checks.
+	instrBlock := make(map[ir.Instr]*ir.Block)
+	instrPos := make(map[ir.Instr]int)
+	for _, b := range s.Dom.RPO {
+		for i, in := range b.Instrs {
+			instrBlock[in] = b
+			instrPos[in] = i
+		}
+	}
+
+	defPos := func(d *Definition) (blk *ir.Block, pos int) {
+		switch d.Kind {
+		case DefEntry:
+			return s.Dom.RPO[0], -2 // before everything
+		case DefPhi:
+			return d.Block, -1 // φs precede instructions
+		default:
+			return d.Block, instrPos[d.Instr]
+		}
+	}
+
+	// dominatesUse: definition d must dominate a use at (b, pos).
+	dominatesUse := func(d *Definition, b *ir.Block, pos int) bool {
+		db, dp := defPos(d)
+		if db == b {
+			return dp < pos
+		}
+		return s.Dom.Dominates(db, b)
+	}
+
+	for in, uds := range s.UseDefs {
+		b := instrBlock[in]
+		if b == nil {
+			continue // unreachable code is not renamed
+		}
+		uses := in.Uses()
+		if len(uses) != len(uds) {
+			report("%s: %d uses but %d reaching defs", in, len(uses), len(uds))
+			continue
+		}
+		for k, d := range uds {
+			if d == nil {
+				report("%s: use %d has no reaching def", in, k)
+				continue
+			}
+			if d.Var != uses[k] {
+				report("%s: use %d of %s resolved to def of %s", in, k, uses[k], d.Var)
+			}
+			if !dominatesUse(d, b, instrPos[in]) {
+				report("%s: def %s does not dominate use", in, d)
+			}
+		}
+	}
+
+	for in, ids := range s.InstrDefs {
+		defs := in.Defs()
+		if len(defs) != len(ids) {
+			report("%s: %d defs but %d definitions", in, len(defs), len(ids))
+			continue
+		}
+		for k, d := range ids {
+			if d.Var != defs[k] {
+				report("%s: def %d of %s registered as %s", in, k, defs[k], d.Var)
+			}
+			if d.Kind != DefInstr || d.Instr != in {
+				report("%s: def %d not linked back to instruction", in, k)
+			}
+		}
+	}
+
+	for _, b := range s.Dom.RPO {
+		for _, phi := range s.Phis[b.Index] {
+			if len(phi.Args) != len(b.Preds) {
+				report("phi %s in %s: %d args for %d preds", phi.Def, b, len(phi.Args), len(b.Preds))
+				continue
+			}
+			for i, a := range phi.Args {
+				pred := b.Preds[i]
+				if !s.Dom.Reachable(pred) {
+					continue // argument from unreachable predecessor is unconstrained
+				}
+				if a == nil {
+					report("phi %s in %s: nil arg %d from reachable pred %s", phi.Def, b, i, pred)
+					continue
+				}
+				if a.Var != phi.Var {
+					report("phi %s: arg %d is a def of %s", phi.Def, i, a.Var)
+				}
+				// The arg's def must dominate the end of the predecessor.
+				db, _ := defPos(a)
+				if db != pred && !s.Dom.Dominates(db, pred) {
+					report("phi %s: arg %d def %s does not dominate pred %s", phi.Def, i, a, pred)
+				}
+			}
+		}
+		// Terminator uses.
+		tds := s.TermUses[b.Index]
+		if b.Term != nil {
+			uses := b.Term.Uses()
+			if len(uses) != len(tds) {
+				report("%s terminator: %d uses, %d defs", b, len(uses), len(tds))
+			} else {
+				for k, d := range tds {
+					if d.Var != uses[k] {
+						report("%s terminator: use %d mismatched", b, k)
+					}
+					if !dominatesUse(d, b, len(b.Instrs)) {
+						report("%s terminator: def %s does not dominate", b, d)
+					}
+				}
+			}
+		}
+	}
+
+	// Def-use back-edge consistency.
+	for _, d := range s.Defs {
+		for _, u := range d.Uses {
+			switch u.Kind {
+			case UseInstr:
+				found := false
+				for _, x := range s.UseDefs[u.Instr] {
+					if x == d {
+						found = true
+					}
+				}
+				if !found {
+					report("def %s lists use in %s not recorded there", d, u.Instr)
+				}
+			case UsePhi:
+				if u.Phi.Args[u.PhiIx] != d {
+					report("def %s lists phi use %d not recorded", d, u.PhiIx)
+				}
+			case UseTerm:
+				found := false
+				for _, x := range s.TermUses[u.Block.Index] {
+					if x == d {
+						found = true
+					}
+				}
+				if !found {
+					report("def %s lists terminator use in %s not recorded", d, u.Block)
+				}
+			}
+		}
+	}
+	return bad
+}

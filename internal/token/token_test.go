@@ -1,0 +1,57 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]Kind{
+		"proc": PROC, "func": FUNC, "while": WHILE, "true": TRUE,
+		"int": INT, "notakeyword": IDENT, "Proc": IDENT,
+	}
+	for s, want := range cases {
+		if got := Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if !IDENT.IsLiteral() || !INTLIT.IsLiteral() || ADD.IsLiteral() {
+		t.Error("literal classification")
+	}
+	if !ADD.IsOperator() || !SEMICOLON.IsOperator() || PROC.IsOperator() {
+		t.Error("operator classification")
+	}
+	if !PROC.IsKeyword() || !CONTINUE.IsKeyword() || IDENT.IsKeyword() {
+		t.Error("keyword classification")
+	}
+}
+
+func TestPrecedenceLadder(t *testing.T) {
+	// || < && < comparisons < additive < multiplicative.
+	if !(LOR.Precedence() < LAND.Precedence() &&
+		LAND.Precedence() < EQL.Precedence() &&
+		EQL.Precedence() < ADD.Precedence() &&
+		ADD.Precedence() < MUL.Precedence()) {
+		t.Error("precedence ladder broken")
+	}
+	for _, k := range []Kind{LPAREN, PROC, IDENT, NOT, ASSIGN} {
+		if k.Precedence() != 0 {
+			t.Errorf("%v must have no binary precedence", k)
+		}
+	}
+	// All comparison operators share a level.
+	for _, k := range []Kind{NEQ, LSS, LEQ, GTR, GEQ} {
+		if k.Precedence() != EQL.Precedence() {
+			t.Errorf("%v precedence differs from ==", k)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if ADD.String() != "+" || PROC.String() != "proc" || EOF.String() != "EOF" {
+		t.Error("token rendering")
+	}
+	if Kind(999).String() != "Kind(999)" {
+		t.Errorf("unknown kind rendering: %s", Kind(999))
+	}
+}

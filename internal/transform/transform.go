@@ -1,0 +1,243 @@
+// Package transform implements the paper's transformation step: the
+// output of interprocedural constant propagation is materialised in the
+// program representation during the backward walk of the compilation
+// model (its Figure 2, step 6).
+//
+// Two entry points:
+//
+//   - CountSubstitutions measures the Metzger–Stroud metric used by the
+//     paper's Table 5: the number of intraprocedural constant
+//     substitutions enabled by a given interprocedural solution. A
+//     substitution is one executable operand occurrence of a
+//     source-level variable (formal, local, or global — not a compiler
+//     temporary) whose reaching definition the propagator proves
+//     constant.
+//
+//   - Apply rewrites the IR in place: it prepends constant assignments
+//     for interprocedural constants at procedure entries (only for
+//     variables the procedure references, as the paper specifies),
+//     folds instructions with constant results, rewrites branches on
+//     constant conditions into jumps, and removes unreachable blocks.
+//     The reference interpreter produces identical output on the
+//     transformed program — the differential property the tests check.
+package transform
+
+import (
+	"fsicp/internal/icp"
+	"fsicp/internal/ir"
+	"fsicp/internal/lattice"
+	"fsicp/internal/scc"
+	"fsicp/internal/sem"
+	"fsicp/internal/ssa"
+)
+
+// EnvFn supplies the interprocedural entry environment of a procedure.
+type EnvFn func(p *sem.Proc) lattice.Env[*sem.Var]
+
+// Count is the substitution report.
+type Count struct {
+	Substitutions     int
+	ByProc            map[*sem.Proc]int
+	FoldedBranches    int
+	UnreachableBlocks int
+}
+
+// CountSubstitutions runs one intraprocedural SCC per reachable
+// procedure, seeded with env(p), and counts constant substitutions.
+// This mirrors the paper's flow-insensitive pipeline, which defers the
+// intraprocedural propagation to code-generation time; for the
+// flow-sensitive method the numbers match its interleaved analysis.
+func CountSubstitutions(ctx *icp.Context, env EnvFn) Count {
+	c := Count{ByProc: make(map[*sem.Proc]int)}
+	for _, p := range ctx.CG.Reachable {
+		s := ssa.Build(ctx.Prog.FuncOf[p])
+		r := scc.Run(s, scc.Options{Entry: env(p)})
+		n := countProc(r)
+		c.ByProc[p] = n
+		c.Substitutions += n
+		for _, b := range s.Dom.RPO {
+			if !r.BlockExec[b.Index] {
+				c.UnreachableBlocks++
+				continue
+			}
+			if _, ok := b.Term.(*ir.If); ok {
+				if cond := r.ValueOf(s.TermUses[b.Index][0]); cond.IsConst() {
+					c.FoldedBranches++
+				}
+			}
+		}
+	}
+	return c
+}
+
+func sourceVar(v *sem.Var) bool { return v.Kind != sem.KindTemp }
+
+func countProc(r *scc.Result) int {
+	s := r.S
+	n := 0
+	for _, b := range s.Dom.RPO {
+		if !r.BlockExec[b.Index] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			uds := s.UseDefs[in]
+			for k, v := range in.Uses() {
+				if sourceVar(v) && r.ValueOf(uds[k]).IsConst() {
+					n++
+				}
+			}
+		}
+		if b.Term != nil {
+			tds := s.TermUses[b.Index]
+			for k, v := range b.Term.Uses() {
+				if sourceVar(v) && r.ValueOf(tds[k]).IsConst() {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Report summarises an Apply run.
+type Report struct {
+	EntryAssignments int
+	FoldedInstrs     int
+	FoldedBranches   int
+	RemovedBlocks    int
+}
+
+// Apply rewrites prog in place to reflect the interprocedural solution.
+// The context's call graph and SSA overlays are invalidated; rebuild
+// them if further analysis is needed.
+func Apply(ctx *icp.Context, env EnvFn) Report {
+	var rep Report
+	for _, p := range ctx.CG.Reachable {
+		rep.add(applyProc(ctx, p, env(p)))
+	}
+	ir.RebuildCallLists(ctx.Prog)
+	return rep
+}
+
+func (r *Report) add(o Report) {
+	r.EntryAssignments += o.EntryAssignments
+	r.FoldedInstrs += o.FoldedInstrs
+	r.FoldedBranches += o.FoldedBranches
+	r.RemovedBlocks += o.RemovedBlocks
+}
+
+func applyProc(ctx *icp.Context, p *sem.Proc, env lattice.Env[*sem.Var]) Report {
+	var rep Report
+	fn := ctx.Prog.FuncOf[p]
+
+	// 1. Materialise entry constants as assignments, for referenced
+	// variables only (paper §3: "Assignment statements are created only
+	// for those variables that are referenced in that procedure").
+	var entry []ir.Instr
+	for _, v := range fn.AllVars {
+		e := env.Get(v)
+		if !e.IsConst() {
+			continue
+		}
+		if v.Kind != sem.KindFormal && !v.IsGlobal() {
+			continue
+		}
+		if !ctx.MR.DRef[p].Has(v) {
+			continue
+		}
+		entry = append(entry, &ir.ConstInstr{Dst: v, Val: e.Val})
+		rep.EntryAssignments++
+	}
+	if len(entry) > 0 {
+		eb := fn.Entry()
+		eb.Instrs = append(entry, eb.Instrs...)
+	}
+
+	// 2. Fold with a fresh intraprocedural analysis (the inserted
+	// assignments carry the interprocedural facts).
+	s := ssa.Build(fn)
+	r := scc.Run(s, scc.Options{Entry: env})
+
+	for _, b := range s.Dom.RPO {
+		if !r.BlockExec[b.Index] {
+			continue
+		}
+		for i, in := range b.Instrs {
+			switch in.(type) {
+			case *ir.CopyInstr, *ir.UnaryInstr, *ir.BinaryInstr:
+				d := s.InstrDefs[in][0]
+				if v := r.ValueOf(d); v.IsConst() {
+					b.Instrs[i] = &ir.ConstInstr{Dst: in.Defs()[0], Val: v.Val}
+					rep.FoldedInstrs++
+				}
+			}
+		}
+		if iff, ok := b.Term.(*ir.If); ok {
+			if cond := r.ValueOf(s.TermUses[b.Index][0]); cond.IsConst() {
+				target := iff.Else
+				if cond.Val.B {
+					target = iff.Then
+				}
+				b.Term = &ir.Jump{Target: target}
+				rep.FoldedBranches++
+			}
+		}
+	}
+
+	// 3. Recompute edges from terminators, drop unreachable blocks.
+	rep.RemovedBlocks += ir.RebuildCFG(fn)
+	return rep
+}
+
+// RemoveDeadProcedures deletes procedures that cannot execute under the
+// analysis: statically unreachable from main, or reachable only through
+// call sites the flow-sensitive solution proved dead. Calls inside dead
+// procedures disappear with them. Returns the removed procedures'
+// names. Apply should run first so dead call sites are already gone
+// from live code.
+func RemoveDeadProcedures(ctx *icp.Context, dead map[*sem.Proc]bool) []string {
+	prog := ctx.Prog
+	keep := make(map[*sem.Proc]bool)
+	for _, p := range ctx.CG.Reachable {
+		if !dead[p] {
+			keep[p] = true
+		}
+	}
+	// A kept procedure may still call a dead one through a call site
+	// the analysis proved unreachable but Apply did not prune (e.g. no
+	// constant condition guarded it). Keep callees of surviving call
+	// sites to stay executable.
+	changed := true
+	for changed {
+		changed = false
+		for p := range keep {
+			for _, call := range prog.FuncOf[p].Calls {
+				if !keep[call.Callee] {
+					keep[call.Callee] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	var removed []string
+	var funcs []*ir.Func
+	var procs []*sem.Proc
+	for _, fn := range prog.Funcs {
+		if keep[fn.Proc] {
+			funcs = append(funcs, fn)
+			procs = append(procs, fn.Proc)
+			continue
+		}
+		removed = append(removed, fn.Proc.Name)
+		delete(prog.FuncOf, fn.Proc)
+		delete(prog.Sem.ProcByName, fn.Proc.Name)
+	}
+	prog.Funcs = funcs
+	prog.Sem.Procs = procs
+	for i, p := range procs {
+		p.Index = i
+	}
+	ir.RebuildCallLists(prog)
+	return removed
+}

@@ -1,0 +1,189 @@
+package val
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fsicp/internal/ast"
+	"fsicp/internal/token"
+)
+
+// Generate produces arbitrary well-typed values for testing/quick.
+func (Value) Generate(r *rand.Rand, _ int) reflect.Value {
+	var v Value
+	switch r.Intn(3) {
+	case 0:
+		v = Int(int64(r.Intn(21) - 10))
+	case 1:
+		v = Real(float64(r.Intn(41)-20) / 4)
+	default:
+		v = Bool(r.Intn(2) == 0)
+	}
+	return reflect.ValueOf(v)
+}
+
+func TestEqualIsEquivalence(t *testing.T) {
+	refl := func(v Value) bool { return v.Equal(v) }
+	if err := quick.Check(refl, nil); err != nil {
+		t.Error(err)
+	}
+	sym := func(a, b Value) bool { return a.Equal(b) == b.Equal(a) }
+	if err := quick.Check(sym, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddMulCommutative(t *testing.T) {
+	f := func(a, b Value) bool {
+		if a.Type != b.Type || a.Type == ast.TypeBool {
+			return true
+		}
+		for _, op := range []token.Kind{token.ADD, token.MUL} {
+			x, okx := Binary(op, a, b)
+			y, oky := Binary(op, b, a)
+			if okx != oky || (okx && !x.Equal(y)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComparisonTrichotomyInt(t *testing.T) {
+	f := func(a, b Value) bool {
+		if a.Type != ast.TypeInt || b.Type != ast.TypeInt {
+			return true
+		}
+		lt, _ := Binary(token.LSS, a, b)
+		eq, _ := Binary(token.EQL, a, b)
+		gt, _ := Binary(token.GTR, a, b)
+		n := 0
+		for _, v := range []Value{lt, eq, gt} {
+			if v.B {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnaryMinusInvolution(t *testing.T) {
+	f := func(a Value) bool {
+		if a.Type == ast.TypeBool {
+			return true
+		}
+		x, ok := Unary(token.SUB, a)
+		if !ok {
+			return false
+		}
+		y, ok := Unary(token.SUB, x)
+		return ok && y.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNotInvolution(t *testing.T) {
+	f := func(b bool) bool {
+		x, ok := Unary(token.NOT, Bool(b))
+		if !ok {
+			return false
+		}
+		y, ok := Unary(token.NOT, x)
+		return ok && y.B == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	if _, ok := Binary(token.QUO, Int(1), Int(0)); ok {
+		t.Error("int 1/0 must fail")
+	}
+	if _, ok := Binary(token.REM, Int(1), Int(0)); ok {
+		t.Error("int 1%0 must fail")
+	}
+	v, ok := Binary(token.QUO, Real(1), Real(0))
+	if !ok || !math.IsInf(v.R, 1) {
+		t.Errorf("real 1/0 = %v, %v; want +Inf", v, ok)
+	}
+}
+
+func TestMixedTypesRejected(t *testing.T) {
+	if _, ok := Binary(token.ADD, Int(1), Real(1)); ok {
+		t.Error("int + real must be rejected")
+	}
+	if _, ok := Binary(token.LAND, Int(1), Int(1)); ok {
+		t.Error("&& on ints must be rejected")
+	}
+	if _, ok := Unary(token.NOT, Int(1)); ok {
+		t.Error("!int must be rejected")
+	}
+	if _, ok := Unary(token.SUB, Bool(true)); ok {
+		t.Error("-bool must be rejected")
+	}
+}
+
+func TestResultTypes(t *testing.T) {
+	cases := []struct {
+		op   token.Kind
+		in   ast.Type
+		want ast.Type
+		ok   bool
+	}{
+		{token.ADD, ast.TypeInt, ast.TypeInt, true},
+		{token.ADD, ast.TypeReal, ast.TypeReal, true},
+		{token.ADD, ast.TypeBool, ast.TypeInvalid, false},
+		{token.REM, ast.TypeInt, ast.TypeInt, true},
+		{token.REM, ast.TypeReal, ast.TypeInvalid, false},
+		{token.LSS, ast.TypeInt, ast.TypeBool, true},
+		{token.LSS, ast.TypeBool, ast.TypeInvalid, false},
+		{token.EQL, ast.TypeBool, ast.TypeBool, true},
+		{token.LAND, ast.TypeBool, ast.TypeBool, true},
+		{token.LAND, ast.TypeInt, ast.TypeInvalid, false},
+	}
+	for _, c := range cases {
+		got, ok := ResultType(c.op, c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ResultType(%v, %v) = %v,%v; want %v,%v", c.op, c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestZeroAndString(t *testing.T) {
+	if Zero(ast.TypeInt).String() != "0" ||
+		Zero(ast.TypeReal).String() != "0" ||
+		Zero(ast.TypeBool).String() != "false" {
+		t.Error("zero rendering")
+	}
+	if Int(-3).String() != "-3" || Real(2.5).String() != "2.5" || Bool(true).String() != "true" {
+		t.Error("value rendering")
+	}
+}
+
+func TestNaN(t *testing.T) {
+	n := Real(math.NaN())
+	if !n.IsNaN() {
+		t.Error("IsNaN")
+	}
+	if n.Equal(n) {
+		t.Error("NaN must not equal itself (value-comparison semantics)")
+	}
+}
+
+func TestIsFloat(t *testing.T) {
+	if !Real(1).IsFloat() || Int(1).IsFloat() || Bool(true).IsFloat() {
+		t.Error("IsFloat classification")
+	}
+}
