@@ -7,6 +7,8 @@
 package fsicp_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"fsicp/internal/bench"
@@ -288,4 +290,29 @@ func BenchmarkJumpFunctionsWithReturns(b *testing.B) {
 func BenchmarkIterative(b *testing.B) {
 	runSuite(b, compileSuite(b, bench.SPECfp92()),
 		icp.Options{Method: icp.FlowSensitiveIterative, PropagateFloats: true})
+}
+
+// BenchmarkAnalyzeParallel compares the wavefront scheduler's worker
+// counts on the largest synthetic SPEC program (013.spice2g6, 120
+// procedures). On a multi-core machine the higher worker counts should
+// beat workers=1; the solution is byte-identical either way (the
+// determinism test asserts that).
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	profile := bench.SPECfp92()[0]
+	ctx, err := tables.Compile(profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := icp.Options{Method: icp.FlowSensitive, PropagateFloats: true, Workers: w}
+			for i := 0; i < b.N; i++ {
+				icp.Analyze(ctx, opts)
+			}
+		})
+	}
 }

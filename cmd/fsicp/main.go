@@ -13,6 +13,8 @@
 //	-cg      print the call graph with back edges marked
 //	-run     execute the program with the reference interpreter
 //	-transform apply the solution to the IR and print the result
+//	-stats   print the per-pass timing table (load + analysis passes)
+//	-workers N bound the per-level analysis concurrency (0 = GOMAXPROCS)
 //
 // With no file argument, fsicp reads from standard input.
 package main
@@ -39,6 +41,8 @@ func main() {
 	run := flag.Bool("run", false, "execute the program")
 	doTransform := flag.Bool("transform", false, "apply the solution and print the transformed IR")
 	doInline := flag.Bool("inline", false, "inline all non-recursive calls before analysing")
+	showStats := flag.Bool("stats", false, "print the per-pass timing table")
+	workers := flag.Int("workers", 0, "analysis workers per wavefront level (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -85,7 +89,7 @@ func main() {
 
 	switch *method {
 	case "fs", "fi", "iter":
-		cfg := fsicp.Config{PropagateFloats: *floats, ReturnConstants: *returns}
+		cfg := fsicp.Config{PropagateFloats: *floats, ReturnConstants: *returns, Workers: *workers}
 		switch *method {
 		case "fi":
 			cfg.Method = fsicp.FlowInsensitive
@@ -121,6 +125,9 @@ func main() {
 			fmt.Printf("transform: %d entry assignments, %d folded instructions, %d folded branches, %d removed blocks\n",
 				ea, fi2, fb, rb)
 			fmt.Print(prog.DumpIR())
+		}
+		if *showStats {
+			fmt.Print(a.StatsTable())
 		}
 	case "literal", "intra", "passthrough", "polynomial":
 		kinds := map[string]fsicp.JumpFunctionKind{

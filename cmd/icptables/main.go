@@ -10,6 +10,8 @@
 //	icptables -table fig1     # Figure 1 per-method comparison
 //	icptables -table time     # FI vs FS analysis time
 //	icptables -table backedge # back-edge ratio sweep (§3.2)
+//	icptables -table methods  # every method and baseline, run concurrently
+//	icptables -stats          # also print the aggregated per-pass timing table
 package main
 
 import (
@@ -18,13 +20,15 @@ import (
 	"os"
 
 	"fsicp/internal/bench"
+	"fsicp/internal/driver"
 	"fsicp/internal/tables"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,fig1,time,backedge,inline,clone,iter,use,all")
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,fig1,time,backedge,inline,clone,iter,use,methods,all")
 	iters := flag.Int("iters", 3, "timing iterations for -table time")
 	depth := flag.Int("depth", 8, "chain depth for -table backedge")
+	stats := flag.Bool("stats", false, "print the aggregated per-pass timing table")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -32,17 +36,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	var tr *driver.Trace
+	if *stats {
+		tr = driver.NewTrace()
+	}
+
 	var spec, first *tables.Suite
 	needSpec := map[string]bool{"1": true, "2": true, "time": true, "all": true}
 	needFirst := map[string]bool{"3": true, "4": true, "5": true, "all": true}
 	var err error
 	if needSpec[*table] {
-		if spec, err = tables.LoadSuite(bench.SPECfp92(), true); err != nil {
+		if spec, err = tables.LoadSuiteTraced(bench.SPECfp92(), true, tr); err != nil {
 			fail(err)
 		}
 	}
 	if needFirst[*table] {
-		if first, err = tables.LoadSuite(bench.FirstRelease(), false); err != nil {
+		if first, err = tables.LoadSuiteTraced(bench.FirstRelease(), false, tr); err != nil {
 			fail(err)
 		}
 	}
@@ -93,6 +102,12 @@ func main() {
 			fail(err)
 		}
 		show(s)
+	case "methods":
+		s, err := tables.MethodMatrixTable(bench.SPECfp92(), true)
+		if err != nil {
+			fail(err)
+		}
+		show(s)
 	case "all":
 		s, err := tables.Figure1Table()
 		if err != nil {
@@ -126,7 +141,20 @@ func main() {
 			fail(err)
 		}
 		show(s5)
+		s6, err := tables.MethodMatrixTable(bench.SPECfp92(), true)
+		if err != nil {
+			fail(err)
+		}
+		show(s6)
 	default:
 		fail(fmt.Errorf("unknown table %q", *table))
+	}
+
+	if *stats {
+		if len(tr.Passes()) == 0 {
+			fmt.Println("no passes recorded (-stats instruments the suite-loading tables: 1,2,3,4,5,time,all)")
+		} else {
+			fmt.Println(tr.Table())
+		}
 	}
 }

@@ -33,15 +33,20 @@ import (
 	"strings"
 	"time"
 
+	"fsicp/internal/alias"
 	"fsicp/internal/ast"
+	"fsicp/internal/callgraph"
 	"fsicp/internal/clone"
+	"fsicp/internal/driver"
 	"fsicp/internal/icp"
 	"fsicp/internal/inline"
 	"fsicp/internal/interp"
+	"fsicp/internal/ir"
 	"fsicp/internal/irbuild"
 	"fsicp/internal/jumpfunc"
 	"fsicp/internal/lattice"
 	"fsicp/internal/metrics"
+	"fsicp/internal/modref"
 	"fsicp/internal/parser"
 	"fsicp/internal/sem"
 	"fsicp/internal/source"
@@ -71,11 +76,12 @@ func (m Method) String() string {
 	switch m {
 	case FlowInsensitive:
 		return "flow-insensitive"
+	case FlowSensitive:
+		return "flow-sensitive"
 	case FlowSensitiveIterative:
 		return "flow-sensitive-iterative"
-	default:
-		return "flow-sensitive"
 	}
+	return fmt.Sprintf("unknown(%d)", int(m))
 }
 
 // Config selects and configures an analysis.
@@ -94,6 +100,11 @@ type Config struct {
 	// environments — constants flowing out of one callee and into a
 	// sibling's entry become visible.
 	ReturnsRefresh bool
+	// Workers bounds the number of procedures the flow-sensitive
+	// methods analyse concurrently per wavefront level of the call
+	// graph (0 means GOMAXPROCS). Analysis results are byte-identical
+	// for every worker count.
+	Workers int
 }
 
 // JumpFunctionKind selects a baseline jump-function implementation
@@ -108,34 +119,97 @@ const (
 )
 
 func (k JumpFunctionKind) String() string {
-	return [...]string{"literal", "intra", "pass-through", "polynomial"}[k]
+	switch k {
+	case Literal:
+		return "literal"
+	case IntraConstant:
+		return "intra"
+	case PassThrough:
+		return "pass-through"
+	case Polynomial:
+		return "polynomial"
+	}
+	return fmt.Sprintf("unknown(%d)", int(k))
 }
 
 // Program is a loaded, checked, lowered MiniFort program with its
 // interprocedural context (call graph, aliases, MOD/REF) prepared.
+//
+// A Program may be analysed from multiple goroutines concurrently:
+// Analyze, AnalyzeJumpFunctions, and the read-only accessors never
+// mutate the program. Transform, Clone, Inline, and
+// RemoveDeadProcedures DO mutate the program in place and must not race
+// with any other use of it.
 type Program struct {
-	ctx *icp.Context
+	ctx   *icp.Context
+	trace *driver.Trace // load-pipeline pass records
 }
 
 // Load parses, checks, and lowers MiniFort source text, then runs the
 // pre-ICP interprocedural phases (call graph, reference-parameter
 // aliases, MOD/REF). Errors carry positions and one line per
 // diagnostic.
+//
+// The pipeline runs as named passes under the pass manager
+// (internal/driver); the per-pass timings are carried into every
+// Analysis and reported by Analysis.Stats.
 func Load(filename, src string) (*Program, error) {
 	f := source.NewFile(filename, src)
-	astProg, err := parser.ParseFile(f)
+	var (
+		astProg *ast.Program
+		semProg *sem.Program
+		irProg  *ir.Program
+		cg      *callgraph.Graph
+		al      *alias.Info
+		mr      *modref.Info
+	)
+	m := driver.NewManager()
+	m.Add(driver.Pass{Name: "parse", Run: func(st *driver.PassStats) (err error) {
+		astProg, err = parser.ParseFile(f)
+		return err
+	}})
+	m.Add(driver.Pass{Name: "sem", Deps: []string{"parse"}, Run: func(st *driver.PassStats) (err error) {
+		semProg, err = sem.Check(astProg, f)
+		return err
+	}})
+	m.Add(driver.Pass{Name: "irbuild", Deps: []string{"sem"}, Run: func(st *driver.PassStats) (err error) {
+		irProg, err = irbuild.Build(semProg)
+		if err == nil {
+			st.Procs = len(irProg.Funcs)
+		}
+		return err
+	}})
+	m.Add(driver.Pass{Name: "callgraph", Deps: []string{"irbuild"}, Run: func(st *driver.PassStats) error {
+		cg = callgraph.Build(irProg)
+		st.Procs = len(cg.Reachable)
+		back, total := cg.BackEdgeRatio()
+		st.Notes = fmt.Sprintf("%d edges, %d back", total, back)
+		return nil
+	}})
+	m.Add(driver.Pass{Name: "alias", Deps: []string{"callgraph"}, Run: func(st *driver.PassStats) error {
+		al = alias.Compute(irProg, cg)
+		st.Procs = len(cg.Reachable)
+		return nil
+	}})
+	m.Add(driver.Pass{Name: "modref", Deps: []string{"alias"}, Run: func(st *driver.PassStats) error {
+		mr = modref.Compute(irProg, cg, al)
+		st.Procs = len(cg.Reachable)
+		return nil
+	}})
+	// Clobber insertion mutates the IR, so it must follow MOD/REF,
+	// which reads the pre-clobber program.
+	m.Add(driver.Pass{Name: "clobbers", Deps: []string{"modref"}, Run: func(st *driver.PassStats) error {
+		al.InsertClobbers(irProg, cg)
+		return nil
+	}})
+	trace, err := m.Run()
 	if err != nil {
 		return nil, err
 	}
-	semProg, err := sem.Check(astProg, f)
-	if err != nil {
-		return nil, err
-	}
-	irProg, err := irbuild.Build(semProg)
-	if err != nil {
-		return nil, err
-	}
-	return &Program{ctx: icp.Prepare(irProg)}, nil
+	return &Program{
+		ctx:   &icp.Context{Prog: irProg, CG: cg, AL: al, MR: mr},
+		trace: trace,
+	}, nil
 }
 
 // Procedures returns the names of the procedures reachable from main,
@@ -171,17 +245,30 @@ type Constant struct {
 
 // Analysis is the outcome of one ICP run.
 type Analysis struct {
-	prog *Program
-	res  *icp.Result
-	cfg  Config
+	prog  *Program
+	res   *icp.Result
+	cfg   Config
+	trace *driver.Trace
 }
 
-// Analyze runs the selected ICP method.
+// Analyze runs the selected ICP method. It is safe to call concurrently
+// on the same Program (each call gets its own result and trace).
 func (p *Program) Analyze(cfg Config) *Analysis {
+	// Every analysis carries its own trace, seeded with the load
+	// pipeline's pass records so Stats reports the whole journey from
+	// source text to solution.
+	tr := driver.NewTrace()
+	if p.trace != nil {
+		for _, st := range p.trace.Passes() {
+			tr.Record(st)
+		}
+	}
 	opts := icp.Options{
 		PropagateFloats: cfg.PropagateFloats,
 		ReturnConstants: cfg.ReturnConstants,
 		ReturnsRefresh:  cfg.ReturnsRefresh,
+		Workers:         cfg.Workers,
+		Trace:           tr,
 	}
 	switch cfg.Method {
 	case FlowInsensitive:
@@ -191,8 +278,18 @@ func (p *Program) Analyze(cfg Config) *Analysis {
 	default:
 		opts.Method = icp.FlowSensitive
 	}
-	return &Analysis{prog: p, res: icp.Analyze(p.ctx, opts), cfg: cfg}
+	return &Analysis{prog: p, res: icp.Analyze(p.ctx, opts), cfg: cfg, trace: tr}
 }
+
+// Stats returns one record per pipeline pass that ran for this
+// analysis, in execution order: the load passes (parse through
+// clobbers) followed by the analysis passes (ssa, FI, FS, returns,
+// metrics, ...).
+func (a *Analysis) Stats() []driver.PassStats { return a.trace.Passes() }
+
+// StatsTable renders Stats as an aligned per-pass timing table (the
+// -stats output of cmd/fsicp).
+func (a *Analysis) StatsTable() string { return a.trace.Table() }
 
 // Constants lists every interprocedural constant the method
 // established, sorted by procedure then variable.
@@ -267,10 +364,22 @@ func (a *Analysis) CallSites() []CallSiteInfo {
 				info.Args = append(info.Args, "")
 			}
 		}
-		for _, v := range vals {
-			if v.IsTop() {
-				info.Reachable = false
-				break
+		// Reachability comes from the flow-sensitive solution itself: a
+		// site in a dead procedure or an unexecuted block is dead even
+		// when it passes no arguments (⊤ argument values alone would
+		// miss zero-arg calls).
+		if a.res.Dead[e.Caller] {
+			info.Reachable = false
+		} else if r := a.res.Intra[e.Caller]; r != nil {
+			info.Reachable = r.Reachable(e.Site)
+		} else {
+			// Flow-insensitive method: no intraprocedural fixpoint; fall
+			// back to the ⊤-argument signal.
+			for _, v := range vals {
+				if v.IsTop() {
+					info.Reachable = false
+					break
+				}
 			}
 		}
 		out = append(out, info)
@@ -340,7 +449,11 @@ type EntryMetrics struct {
 
 // CallSiteMetrics computes the call-site constant-candidate counts.
 func (a *Analysis) CallSiteMetrics() CallSiteMetrics {
-	m := metrics.CallSiteMetrics(a.res)
+	var m metrics.CallSite
+	a.trace.Time("metrics", func(st *driver.PassStats) {
+		m = metrics.CallSiteMetrics(a.res)
+		st.Notes = "call sites"
+	})
 	return CallSiteMetrics{
 		Args: m.Args, Imm: m.Imm, ConstArgs: m.ConstArgs,
 		GlobCand: m.GlobCand, GlobPairs: m.GlobPairs, GlobVis: m.GlobVis,
@@ -349,7 +462,11 @@ func (a *Analysis) CallSiteMetrics() CallSiteMetrics {
 
 // EntryMetrics computes the propagated-constant counts.
 func (a *Analysis) EntryMetrics() EntryMetrics {
-	m := metrics.EntryMetrics(a.res)
+	var m metrics.Entry
+	a.trace.Time("metrics", func(st *driver.PassStats) {
+		m = metrics.EntryMetrics(a.res)
+		st.Notes = "entries"
+	})
 	return EntryMetrics{
 		Formals: m.Formals, ConstFormals: m.ConstFormals,
 		Procs: m.Procs, GlobalEntries: m.GlobalEntries,
@@ -485,7 +602,11 @@ func (p *Program) AnalyzeJumpFunctionsWithReturns(kind JumpFunctionKind) *JumpAn
 // upward-exposed-use computation; one reverse traversal, REF on back
 // edges).
 func (p *Program) Use() map[string][]string {
-	use := icp.ComputeUse(p.ctx)
+	var use map[*sem.Proc]modref.Set
+	p.trace.Time("use", func(st *driver.PassStats) {
+		use = icp.ComputeUse(p.ctx)
+		st.Procs = len(p.ctx.CG.Reachable)
+	})
 	out := make(map[string][]string, len(use))
 	for q, set := range use {
 		var names []string

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"time"
+
+	"fsicp/internal/driver"
+	"fsicp/internal/icp"
+	"fsicp/internal/jumpfunc"
+)
+
+// MatrixEntry is one method's outcome in a method matrix: its name, the
+// wall-clock time of its analysis, and the number of constant formals it
+// proved (the headline precision number every comparison in the paper
+// uses).
+type MatrixEntry struct {
+	Name         string
+	Wall         time.Duration
+	ConstFormals int
+	ConstEntries int // constant formals + constant global entries
+}
+
+// Matrix is the outcome of running every ICP method and every
+// jump-function baseline over one program. Entries keeps a fixed order
+// (the three ICP methods, then the four baselines), so output derived
+// from it is deterministic regardless of scheduling.
+type Matrix struct {
+	Entries []MatrixEntry
+	// Wall is the wall-clock time of the whole concurrent run; Serial
+	// is the sum of the per-method times (what a serial loop would
+	// cost).
+	Wall   time.Duration
+	Serial time.Duration
+}
+
+// Speedup reports how much the concurrent run beat the serial sum
+// (1.0 means no benefit, e.g. on a single-core machine).
+func (m Matrix) Speedup() float64 {
+	if m.Wall <= 0 {
+		return 1
+	}
+	return float64(m.Serial) / float64(m.Wall)
+}
+
+// RunMatrix analyses ctx with the three ICP methods and the four
+// jump-function baselines concurrently (the methods are independent and
+// the analyses never mutate the program). workers bounds the
+// concurrency (0 means GOMAXPROCS); the flow-sensitive methods run
+// their own wavefronts serially here so the matrix-level parallelism is
+// the only source of concurrency.
+func RunMatrix(ctx *icp.Context, floats bool, workers int) Matrix {
+	methods := []struct {
+		name string
+		run  func() (constFormals, constEntries int)
+	}{
+		{"flow-insensitive", icpRunner(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: floats, Workers: 1})},
+		{"flow-sensitive", icpRunner(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: floats, Workers: 1})},
+		{"flow-sensitive-iterative", icpRunner(ctx, icp.Options{Method: icp.FlowSensitiveIterative, PropagateFloats: floats, Workers: 1})},
+		{"jf-literal", jfRunner(ctx, jumpfunc.Literal)},
+		{"jf-intra", jfRunner(ctx, jumpfunc.Intra)},
+		{"jf-pass-through", jfRunner(ctx, jumpfunc.PassThrough)},
+		{"jf-polynomial", jfRunner(ctx, jumpfunc.Polynomial)},
+	}
+
+	m := Matrix{Entries: make([]MatrixEntry, len(methods))}
+	start := time.Now()
+	driver.Parallel(len(methods), driver.Workers(workers), func(i int) {
+		t0 := time.Now()
+		cf, ce := methods[i].run()
+		m.Entries[i] = MatrixEntry{
+			Name:         methods[i].name,
+			Wall:         time.Since(t0),
+			ConstFormals: cf,
+			ConstEntries: ce,
+		}
+	})
+	m.Wall = time.Since(start)
+	for _, e := range m.Entries {
+		m.Serial += e.Wall
+	}
+	return m
+}
+
+func icpRunner(ctx *icp.Context, opts icp.Options) func() (int, int) {
+	return func() (int, int) {
+		res := icp.Analyze(ctx, opts)
+		formals, entries := 0, 0
+		for _, p := range ctx.CG.Reachable {
+			nf := len(res.ConstantFormals(p))
+			formals += nf
+			entries += nf
+			for _, g := range ctx.Prog.Sem.Globals {
+				if _, ok := res.EntryConstant(p, g); ok && ctx.MR.DRef[p].Has(g) {
+					entries++
+				}
+			}
+		}
+		return formals, entries
+	}
+}
+
+func jfRunner(ctx *icp.Context, kind jumpfunc.Kind) func() (int, int) {
+	return func() (int, int) {
+		res := jumpfunc.Analyze(ctx, kind)
+		formals := 0
+		for _, p := range ctx.CG.Reachable {
+			formals += len(res.ConstantFormals(p))
+		}
+		// The baselines propagate formals only; entry count equals the
+		// formal count.
+		return formals, formals
+	}
+}

@@ -1,0 +1,242 @@
+// Package driver is the pass-manager layer of the pipeline: it models
+// the compilation and analysis phases as named passes with declared
+// dependencies, runs them in dependency order, and collects one
+// PassStats record per pass into a Trace.
+//
+// The package also provides the wavefront scheduler the flow-sensitive
+// ICP methods use to analyse independent procedures concurrently: the
+// forward-edge DAG of the program call graph is condensed into
+// topological levels (Levels) and every procedure of a level runs on a
+// bounded worker pool (Wavefront), with a barrier between levels. The
+// paper's traversal invariant — a procedure is analysed only after all
+// of its forward-edge callers — is exactly the level order, so the
+// schedule is semantics-preserving for any worker count.
+package driver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PassStats records one execution of a named pass.
+type PassStats struct {
+	Name  string
+	Wall  time.Duration
+	Procs int    // procedures processed (0 when not applicable)
+	Notes string // free-form detail, e.g. "workers=8 levels=4"
+}
+
+// Trace is an ordered, concurrency-safe collection of PassStats
+// records. A nil *Trace is valid and discards every record, so callers
+// can thread an optional trace without nil checks.
+type Trace struct {
+	mu  sync.Mutex
+	rec []PassStats
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record appends one record. No-op on a nil trace.
+func (t *Trace) Record(st PassStats) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.rec = append(t.rec, st)
+	t.mu.Unlock()
+}
+
+// Time runs f, measuring its wall-clock time, and records the result
+// under name. f may fill in Procs and Notes; Name and Wall are set by
+// Time. f always runs, even on a nil trace.
+func (t *Trace) Time(name string, f func(st *PassStats)) {
+	st := PassStats{Name: name}
+	start := time.Now()
+	f(&st)
+	st.Wall = time.Since(start)
+	st.Name = name
+	t.Record(st)
+}
+
+// Passes returns a copy of the recorded stats in record order.
+func (t *Trace) Passes() []PassStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]PassStats(nil), t.rec...)
+}
+
+// Total returns the summed wall-clock time of every record.
+func (t *Trace) Total() time.Duration {
+	var sum time.Duration
+	for _, st := range t.Passes() {
+		sum += st.Wall
+	}
+	return sum
+}
+
+// Table renders the trace as an aligned per-pass timing table. Records
+// sharing a name (a pass run repeatedly, e.g. across a suite) are
+// aggregated into one row — runs counted, wall times and procs summed —
+// in first-seen order.
+func (t *Trace) Table() string {
+	passes := t.Passes()
+	type row struct {
+		name  string
+		runs  int
+		wall  time.Duration
+		procs int
+		notes string
+	}
+	var rows []*row
+	index := make(map[string]*row)
+	for _, st := range passes {
+		r := index[st.Name]
+		if r == nil {
+			r = &row{name: st.Name}
+			index[st.Name] = r
+			rows = append(rows, r)
+		}
+		r.runs++
+		r.wall += st.Wall
+		r.procs += st.Procs
+		if st.Notes != "" {
+			r.notes = st.Notes
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %5s %10s %6s  %s\n", "PASS", "RUNS", "WALL", "PROCS", "NOTES")
+	var total time.Duration
+	for _, r := range rows {
+		procs := ""
+		if r.procs > 0 {
+			procs = fmt.Sprint(r.procs)
+		}
+		fmt.Fprintf(&b, "%-16s %5d %10s %6s  %s\n", r.name, r.runs, fmtDuration(r.wall), procs, r.notes)
+		total += r.wall
+	}
+	fmt.Fprintf(&b, "%-16s %5s %10s\n", "TOTAL", "", fmtDuration(total))
+	return b.String()
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// Pass is one named pipeline stage. Deps lists the names of passes that
+// must complete before it runs. Run receives the pass's own stats
+// record to fill in Procs and Notes; returning an error aborts the
+// pipeline.
+type Pass struct {
+	Name string
+	Deps []string
+	Run  func(st *PassStats) error
+}
+
+// Manager validates a pass graph and runs it in dependency order.
+type Manager struct {
+	passes []Pass
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager { return &Manager{} }
+
+// Add registers a pass. Registration order breaks ties among passes
+// whose dependencies are satisfied simultaneously, keeping the schedule
+// deterministic.
+func (m *Manager) Add(p Pass) { m.passes = append(m.passes, p) }
+
+// Run executes every registered pass in dependency order, recording one
+// PassStats per pass into the returned trace. It fails on duplicate
+// names, unknown dependencies, dependency cycles, and the first pass
+// error; the trace holds the passes that completed before the failure.
+func (m *Manager) Run() (*Trace, error) {
+	tr := NewTrace()
+	return tr, m.RunInto(tr)
+}
+
+// RunInto is Run recording into an existing trace.
+func (m *Manager) RunInto(tr *Trace) error {
+	order, err := m.schedule()
+	if err != nil {
+		return err
+	}
+	for _, p := range order {
+		var runErr error
+		tr.Time(p.Name, func(st *PassStats) {
+			runErr = p.Run(st)
+		})
+		if runErr != nil {
+			return fmt.Errorf("pass %s: %w", p.Name, runErr)
+		}
+	}
+	return nil
+}
+
+// schedule topologically sorts the passes, stable in registration
+// order.
+func (m *Manager) schedule() ([]Pass, error) {
+	byName := make(map[string]int, len(m.passes))
+	for i, p := range m.passes {
+		if _, dup := byName[p.Name]; dup {
+			return nil, fmt.Errorf("duplicate pass %q", p.Name)
+		}
+		byName[p.Name] = i
+	}
+	indeg := make([]int, len(m.passes))
+	succs := make([][]int, len(m.passes))
+	for i, p := range m.passes {
+		for _, d := range p.Deps {
+			j, ok := byName[d]
+			if !ok {
+				return nil, fmt.Errorf("pass %q depends on unknown pass %q", p.Name, d)
+			}
+			succs[j] = append(succs[j], i)
+			indeg[i]++
+		}
+	}
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	var order []Pass
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		next := ready
+		ready = nil
+		for _, i := range next {
+			order = append(order, m.passes[i])
+			for _, s := range succs[i] {
+				indeg[s]--
+				if indeg[s] == 0 {
+					ready = append(ready, s)
+				}
+			}
+		}
+	}
+	if len(order) != len(m.passes) {
+		var stuck []string
+		for i, d := range indeg {
+			if d > 0 {
+				stuck = append(stuck, m.passes[i].Name)
+			}
+		}
+		return nil, fmt.Errorf("dependency cycle among passes: %s", strings.Join(stuck, ", "))
+	}
+	return order, nil
+}

@@ -1,0 +1,128 @@
+package driver
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: n when positive,
+// otherwise GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Levels partitions items 0..n-1 into topological levels of the DAG
+// described by deps: deps(i) lists the items that must complete before
+// item i. An item's level is the length of its longest dependency
+// chain, so every item of a level is independent of every other and
+// depends only on strictly earlier levels. Duplicate dependencies are
+// allowed; self-dependencies are ignored. Panics on a dependency cycle
+// (the callers' DAGs — forward call-graph edges — are acyclic by
+// construction).
+func Levels(n int, deps func(i int) []int) [][]int {
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, d := range deps(i) {
+			if d == i {
+				continue
+			}
+			succs[d] = append(succs[d], i)
+			indeg[i]++
+		}
+	}
+	var frontier []int
+	for i, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	var levels [][]int
+	placed := 0
+	for len(frontier) > 0 {
+		sort.Ints(frontier)
+		levels = append(levels, frontier)
+		placed += len(frontier)
+		var next []int
+		for _, i := range frontier {
+			for _, s := range succs[i] {
+				indeg[s]--
+				if indeg[s] == 0 {
+					next = append(next, s)
+				}
+			}
+		}
+		frontier = next
+	}
+	if placed != n {
+		panic("driver.Levels: dependency cycle")
+	}
+	return levels
+}
+
+// MaxWidth returns the size of the widest level — the schedule's
+// available parallelism.
+func MaxWidth(levels [][]int) int {
+	w := 0
+	for _, lv := range levels {
+		if len(lv) > w {
+			w = len(lv)
+		}
+	}
+	return w
+}
+
+// Wavefront runs fn(item) for every item of every level, in level
+// order with a barrier between levels; items within a level run
+// concurrently on at most workers goroutines (0 = GOMAXPROCS). fn must
+// therefore only read state produced by earlier levels and write state
+// no other item of its level touches.
+func Wavefront(levels [][]int, workers int, fn func(item int)) {
+	workers = Workers(workers)
+	for _, lv := range levels {
+		runLevel(lv, workers, fn)
+	}
+}
+
+// Parallel runs fn(0..n-1) concurrently on at most workers goroutines —
+// a single-level wavefront for embarrassingly parallel pre-passes.
+func Parallel(n, workers int, fn func(item int)) {
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	runLevel(items, Workers(workers), fn)
+}
+
+func runLevel(items []int, workers int, fn func(item int)) {
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for _, it := range items {
+			fn(it)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				fn(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -25,11 +25,13 @@
 package icp
 
 import (
+	"fmt"
 	"time"
 
 	"fsicp/internal/alias"
 	"fsicp/internal/ast"
 	"fsicp/internal/callgraph"
+	"fsicp/internal/driver"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/modref"
@@ -57,16 +59,28 @@ func (m Method) String() string {
 	switch m {
 	case FlowInsensitive:
 		return "flow-insensitive"
+	case FlowSensitive:
+		return "flow-sensitive"
 	case FlowSensitiveIterative:
 		return "flow-sensitive-iterative"
-	default:
-		return "flow-sensitive"
 	}
+	return fmt.Sprintf("unknown(%d)", int(m))
 }
 
 // Options configures an analysis.
 type Options struct {
 	Method Method
+
+	// Workers bounds the number of procedures the flow-sensitive
+	// methods analyse concurrently per wavefront level (0 means
+	// GOMAXPROCS). The solution is byte-identical for every worker
+	// count.
+	Workers int
+
+	// Trace, when non-nil, receives one driver.PassStats record per
+	// analysis pass (ssa, FI, FS, returns, ...). A nil trace records
+	// nothing.
+	Trace *driver.Trace
 
 	// PropagateFloats enables interprocedural propagation of
 	// floating-point constants (the paper reports results both ways;
@@ -193,8 +207,11 @@ func Analyze(ctx *Context, opts Options) *Result {
 	var res *Result
 	switch opts.Method {
 	case FlowInsensitive:
-		fi := runFI(ctx, opts)
-		res = fi.toResult(ctx, opts)
+		opts.Trace.Time("FI", func(st *driver.PassStats) {
+			fi := runFI(ctx, opts)
+			res = fi.toResult(ctx, opts)
+			st.Procs = len(ctx.CG.Reachable)
+		})
 	case FlowSensitiveIterative:
 		res = runFSIterative(ctx, opts)
 	default:

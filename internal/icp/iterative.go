@@ -1,12 +1,14 @@
 package icp
 
 import (
-	"fsicp/internal/ir"
+	"fmt"
+	"sync/atomic"
+
+	"fsicp/internal/driver"
 	"fsicp/internal/lattice"
 	"fsicp/internal/scc"
 	"fsicp/internal/sem"
 	"fsicp/internal/ssa"
-	"fsicp/internal/val"
 )
 
 // runFSIterative implements the comparison point the paper's §3.2
@@ -24,137 +26,157 @@ import (
 // On an acyclic PCG the one-pass method produces exactly the same
 // solution (the equivalence test in the icp tests and the property
 // tests check this).
+//
+// Each fixpoint round runs as a parallel wavefront over the
+// forward-edge DAG's topological levels. The serial traversal reads, at
+// procedure p, the current round's results of forward-edge callers
+// (they precede p in topological order) and the previous round's
+// results of back-edge callers (they follow p, or are p itself). The
+// wavefront preserves exactly that: forward edges read the
+// current-round slots of earlier levels (complete behind the barrier),
+// back edges read a snapshot taken at round start. Rounds, re-analysis
+// counts, and the solution are therefore identical to the serial
+// schedule for every worker count.
 func runFSIterative(ctx *Context, opts Options) *Result {
-	res := &Result{
-		Ctx:                ctx,
-		Opts:               opts,
-		Entry:              make(map[*sem.Proc]lattice.Env[*sem.Var]),
-		ArgVals:            make(map[*ir.CallInstr][]lattice.Elem),
-		GlobalCallVals:     make(map[*ir.CallInstr]map[*sem.Var]val.Value),
-		VisibleCallGlobals: make(map[*ir.CallInstr]map[*sem.Var]val.Value),
-		Intra:              make(map[*sem.Proc]*scc.Result),
-		Dead:               make(map[*sem.Proc]bool),
-	}
-	cg, mr := ctx.CG, ctx.MR
-	if len(cg.Reachable) == 0 {
+	res := newResult(ctx, opts)
+	cg := ctx.CG
+	n := len(cg.Reachable)
+	if n == 0 {
 		return res
 	}
 	res.ProgramGlobalConstants = programGlobalConstants(ctx, opts)
-	main := cg.Reachable[0]
 
-	ssaOf := make(map[*sem.Proc]*ssa.SSA)
-	for _, p := range cg.Reachable {
-		ssaOf[p] = ssa.Build(ctx.Prog.FuncOf[p])
-	}
+	workers := driver.Workers(opts.Workers)
+	var ssaOf []*ssa.SSA
+	opts.Trace.Time("ssa", func(st *driver.PassStats) {
+		ssaOf = buildSSAs(ctx, workers)
+		st.Procs = n
+		st.Notes = fmt.Sprintf("workers=%d", workers)
+	})
 
-	// computeEnv builds p's entry environment from the latest results
-	// of every caller; callers without results yet contribute ⊤
-	// (optimism), as do unreachable call sites.
-	computeEnv := func(p *sem.Proc) (lattice.Env[*sem.Var], bool) {
-		env := make(lattice.Env[*sem.Var])
-		if p == main {
-			for g, v := range ctx.Prog.Sem.GlobalInit {
-				env[g] = opts.filter(lattice.Const(v))
-			}
-			return env, true
-		}
-		nExec := 0
-		for _, e := range cg.In[p] {
-			r := res.Intra[e.Caller]
-			if r == nil || res.Dead[e.Caller] || !r.Reachable(e.Site) {
-				continue
-			}
-			nExec++
-			for i, f := range p.Params {
-				if i >= len(e.Site.Args) {
-					break
+	// Current state, one slot per PCG position (owner-written only), and
+	// the round-start snapshot back edges read from.
+	intra := make([]*scc.Result, n)
+	entry := make([]lattice.Env[*sem.Var], n)
+	dead := make([]bool, n)
+	prevIntra := make([]*scc.Result, n)
+	prevDead := make([]bool, n)
+
+	levels := forwardLevels(cg)
+	var sccRuns atomic.Int64
+
+	opts.Trace.Time("FS-iterative", func(st *driver.PassStats) {
+		// Iterate to the global fixpoint. The PCG order keeps the round
+		// count low; a guard bounds runaway loops (the lattice
+		// guarantees termination, the guard guards the guarantee).
+		const maxRounds = 1000
+		for round := 0; round < maxRounds; round++ {
+			res.Iterations = round + 1
+			copy(prevIntra, intra)
+			copy(prevDead, dead)
+			var changed atomic.Bool
+			driver.Wavefront(levels, workers, func(i int) {
+				env, live := iterEntryEnv(ctx, opts, i, intra, dead, prevIntra, prevDead)
+				first := intra[i] == nil
+				if !first && dead[i] == !live && envEq(entry[i], env) {
+					return
 				}
-				env.MeetInto(f, opts.filter(r.ArgValue(e.Site, i)))
-			}
-			for g := range mr.Ref[p] {
-				if g.IsGlobal() {
-					env.MeetInto(g, opts.filter(r.GlobalValueAtCall(e.Site, g)))
+				dead[i] = !live
+				if !live {
+					env = make(lattice.Env[*sem.Var])
 				}
+				entry[i] = env
+				intra[i] = scc.Run(ssaOf[i], scc.Options{Entry: env})
+				sccRuns.Add(1)
+				changed.Store(true)
+			})
+			if !changed.Load() {
+				break
 			}
 		}
-		for v, el := range env {
-			if el.IsTop() {
-				env[v] = lattice.BottomElem()
-			}
-		}
-		return env, nExec > 0
-	}
+		st.Procs = n
+		st.Notes = fmt.Sprintf("workers=%d rounds=%d", workers, res.Iterations)
+	})
+	res.SCCRuns = int(sccRuns.Load())
 
-	envEq := func(a, b lattice.Env[*sem.Var]) bool {
-		if len(a) != len(b) {
-			return false
-		}
-		for k, v := range a {
-			w, ok := b[k]
-			if !ok || !v.Eq(w) {
-				return false
-			}
-		}
-		return true
-	}
-
-	// Iterate to the global fixpoint. The PCG order keeps the round
-	// count low; a guard bounds runaway loops (the lattice guarantees
-	// termination, the guard guards the guarantee).
-	const maxRounds = 1000
-	for round := 0; round < maxRounds; round++ {
-		changed := false
-		res.Iterations = round + 1
-		for _, p := range cg.Reachable {
-			env, live := computeEnv(p)
-			first := res.Intra[p] == nil
-			if !first && res.Dead[p] == !live && envEq(res.Entry[p], env) {
-				continue
-			}
-			res.Dead[p] = !live
-			res.Entry[p] = env
-			if !live {
-				env = make(lattice.Env[*sem.Var])
-				res.Entry[p] = env
-			}
-			res.Intra[p] = scc.Run(ssaOf[p], scc.Options{Entry: env})
-			res.SCCRuns++
-			changed = true
-		}
-		if !changed {
-			break
+	for i, p := range cg.Reachable {
+		res.Entry[p] = entry[i]
+		res.Intra[p] = intra[i]
+		if dead[i] {
+			res.Dead[p] = true
 		}
 	}
 
 	// Record call-site data from the final fixpoint.
-	for _, p := range cg.Reachable {
-		r := res.Intra[p]
-		for _, call := range ctx.Prog.FuncOf[p].Calls {
-			vals := make([]lattice.Elem, len(call.Args))
-			for i := range call.Args {
-				vals[i] = opts.filter(r.ArgValue(call, i))
-			}
-			res.ArgVals[call] = vals
-
-			gm := make(map[*sem.Var]val.Value)
-			vm := make(map[*sem.Var]val.Value)
-			if r.Reachable(call) && !res.Dead[p] {
-				for _, g := range ctx.Prog.Sem.Globals {
-					gv := opts.filter(r.GlobalValueAtCall(call, g))
-					if !gv.IsConst() {
-						continue
-					}
-					if mr.Ref[call.Callee].Has(g) {
-						gm[g] = gv.Val
-						if p.UsesSet[g] {
-							vm[g] = gv.Val
-						}
-					}
-				}
-			}
-			res.GlobalCallVals[call] = gm
-			res.VisibleCallGlobals[call] = vm
-		}
+	sites := make([][]callSiteData, n)
+	driver.Parallel(n, workers, func(i int) {
+		p := cg.Reachable[i]
+		sites[i] = collectCallSites(ctx, opts, p, intra[i], dead[i])
+	})
+	for i := range sites {
+		res.mergeCallSites(sites[i])
 	}
 	return res
+}
+
+// iterEntryEnv builds p's entry environment from every caller's latest
+// result: current-round slots for forward-edge callers, the round-start
+// snapshot for back-edge callers (including self-calls). Callers
+// without results yet contribute ⊤ (optimism), as do unreachable call
+// sites.
+func iterEntryEnv(ctx *Context, opts Options, pos int, intra []*scc.Result, dead []bool, prevIntra []*scc.Result, prevDead []bool) (lattice.Env[*sem.Var], bool) {
+	cg, mr := ctx.CG, ctx.MR
+	p := cg.Reachable[pos]
+	env := make(lattice.Env[*sem.Var])
+	if pos == 0 {
+		for g, v := range ctx.Prog.Sem.GlobalInit {
+			env[g] = opts.filter(lattice.Const(v))
+		}
+		return env, true
+	}
+	nExec := 0
+	for _, e := range cg.In[p] {
+		j := cg.Pos[e.Caller]
+		var r *scc.Result
+		var deadCaller bool
+		if cg.IsBackEdge(e) {
+			r, deadCaller = prevIntra[j], prevDead[j]
+		} else {
+			r, deadCaller = intra[j], dead[j]
+		}
+		if r == nil || deadCaller || !r.Reachable(e.Site) {
+			continue
+		}
+		nExec++
+		for i, f := range p.Params {
+			if i >= len(e.Site.Args) {
+				break
+			}
+			env.MeetInto(f, opts.filter(r.ArgValue(e.Site, i)))
+		}
+		for g := range mr.Ref[p] {
+			if g.IsGlobal() {
+				env.MeetInto(g, opts.filter(r.GlobalValueAtCall(e.Site, g)))
+			}
+		}
+	}
+	for v, el := range env {
+		if el.IsTop() {
+			env[v] = lattice.BottomElem()
+		}
+	}
+	return env, nExec > 0
+}
+
+func envEq(a, b lattice.Env[*sem.Var]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || !v.Eq(w) {
+			return false
+		}
+	}
+	return true
 }

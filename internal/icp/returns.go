@@ -1,12 +1,14 @@
 package icp
 
 import (
+	"fmt"
+
+	"fsicp/internal/driver"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/scc"
 	"fsicp/internal/sem"
 	"fsicp/internal/ssa"
-	"fsicp/internal/val"
 )
 
 // runReturns implements the paper's §3.2 return-constant extension: one
@@ -20,97 +22,79 @@ import (
 // For back edges of the reverse traversal (callees not yet reprocessed,
 // i.e. recursion) the fallback is ⊥ — a flow-insensitive return
 // solution, precomputed trivially.
-func runReturns(ctx *Context, opts Options, res *Result, ssaOf map[*sem.Proc]*ssa.SSA) {
+//
+// The reverse traversal is scheduled as a wavefront over the
+// forward-edge DAG's reverse topological levels. A callee counts as
+// processed exactly when its position is strictly after the caller's —
+// the same set the serial reverse traversal has completed when it
+// reaches the caller — and every such callee sits in an earlier reverse
+// level, behind the barrier, so the parallel schedule reads exactly
+// what the serial one reads.
+func runReturns(ctx *Context, opts Options, res *Result, ssaOf []*ssa.SSA) {
 	res.Returns = make(map[*sem.Proc]lattice.Elem)
 	res.ExitEnv = make(map[*sem.Proc]lattice.Env[*sem.Var])
 	cg := ctx.CG
+	n := len(cg.Reachable)
 
-	done := make(map[*sem.Proc]bool)
+	returns := make([]lattice.Elem, n)
+	exits := make([]lattice.Env[*sem.Var], n)
+	intra := make([]*scc.Result, n)
 
-	// callExit maps a may-defined caller variable at a call site to
-	// the callee's exit value for it, per the rules in DESIGN.md: a
-	// by-ref actual takes the exit value of every modified formal it
-	// is bound to; a modified global takes its own exit value; a
-	// variable only in MayDef via alias closure stays ⊥.
-	callExit := func(call *ir.CallInstr, v *sem.Var) lattice.Elem {
-		callee := call.Callee
-		if !done[callee] {
-			return lattice.BottomElem()
-		}
-		exit := res.ExitEnv[callee]
-		acc := lattice.TopElem()
-		contributed := false
-		for i, a := range call.ByRef {
-			if a != v || i >= len(callee.Params) {
-				continue
-			}
-			f := callee.Params[i]
-			if ctx.MR.Mod[callee].Has(f) {
-				acc = lattice.Meet(acc, opts.filter(exit.Get(f)))
-				contributed = true
-			}
-		}
-		if v.IsGlobal() && ctx.MR.Mod[callee].Has(v) {
-			acc = lattice.Meet(acc, opts.filter(exit.Get(v)))
-			contributed = true
-		}
-		if !contributed || acc.IsTop() {
-			// Alias-closure member or a never-returning callee: keep
-			// the conservative answer.
-			return lattice.BottomElem()
-		}
-		return acc
-	}
-
-	callResult := func(call *ir.CallInstr) lattice.Elem {
-		if !done[call.Callee] {
-			return lattice.BottomElem()
-		}
-		return opts.filter(res.Returns[call.Callee])
-	}
-
-	for i := len(cg.Reachable) - 1; i >= 0; i-- {
+	driver.Wavefront(reverseLevels(cg), driver.Workers(opts.Workers), func(i int) {
 		p := cg.Reachable[i]
 		if res.Dead[p] {
-			res.Returns[p] = lattice.BottomElem()
-			res.ExitEnv[p] = make(lattice.Env[*sem.Var])
-			done[p] = true
-			continue
+			returns[i] = lattice.BottomElem()
+			exits[i] = make(lattice.Env[*sem.Var])
+			return
 		}
-		s := ssaOf[p]
-		if s == nil {
-			s = ssa.Build(ctx.Prog.FuncOf[p])
-			ssaOf[p] = s
+
+		// processed reports whether a callee's summaries are available
+		// from this traversal: exactly the procedures after position i,
+		// which the reverse wavefront has completed in earlier levels.
+		processed := func(callee *sem.Proc) (lattice.Env[*sem.Var], lattice.Elem, bool) {
+			j := cg.Pos[callee]
+			if j <= i {
+				return nil, lattice.Elem{}, false
+			}
+			return exits[j], returns[j], true
 		}
-		r := scc.Run(s, scc.Options{
-			Entry:      res.Entry[p],
-			CallResult: callResult,
-			CallExit:   callExit,
+
+		r := scc.Run(ssaOf[i], scc.Options{
+			Entry: res.Entry[p],
+			CallResult: func(call *ir.CallInstr) lattice.Elem {
+				_, ret, ok := processed(call.Callee)
+				if !ok {
+					return lattice.BottomElem()
+				}
+				return opts.filter(ret)
+			},
+			CallExit: func(call *ir.CallInstr, v *sem.Var) lattice.Elem {
+				exit, _, ok := processed(call.Callee)
+				if !ok {
+					return lattice.BottomElem()
+				}
+				return callExitValue(ctx, opts, call, v, exit)
+			},
 		})
 		// The second analysis is at least as precise as the first
 		// (extra call information only); adopt it as the final
 		// intraprocedural fixpoint.
-		res.Intra[p] = r
+		intra[i] = r
 
 		ret := r.ReturnValue()
 		if ret.IsTop() {
 			ret = lattice.BottomElem() // never returns: nothing to propagate
 		}
-		res.Returns[p] = ret
+		returns[i] = ret
+		exits[i] = exitEnv(ctx, p, r)
+	})
 
-		exit := make(lattice.Env[*sem.Var])
-		for _, f := range p.Params {
-			if e := r.ExitValue(f); e.IsConst() {
-				exit[f] = e
-			}
+	for i, p := range cg.Reachable {
+		res.Returns[p] = returns[i]
+		res.ExitEnv[p] = exits[i]
+		if intra[i] != nil {
+			res.Intra[p] = intra[i]
 		}
-		for _, g := range ctx.Prog.Sem.Globals {
-			if e := r.ExitValue(g); e.IsConst() {
-				exit[g] = e
-			}
-		}
-		res.ExitEnv[p] = exit
-		done[p] = true
 	}
 
 	if opts.ReturnsRefresh {
@@ -118,131 +102,107 @@ func runReturns(ctx *Context, opts Options, res *Result, ssaOf map[*sem.Proc]*ss
 	}
 }
 
+// callExitValue maps a may-defined caller variable at a call site to
+// the callee's exit value for it, per the rules in DESIGN.md: a by-ref
+// actual takes the exit value of every modified formal it is bound to;
+// a modified global takes its own exit value; a variable only in MayDef
+// via alias closure stays ⊥.
+func callExitValue(ctx *Context, opts Options, call *ir.CallInstr, v *sem.Var, exit lattice.Env[*sem.Var]) lattice.Elem {
+	callee := call.Callee
+	acc := lattice.TopElem()
+	contributed := false
+	for i, a := range call.ByRef {
+		if a != v || i >= len(callee.Params) {
+			continue
+		}
+		f := callee.Params[i]
+		if ctx.MR.Mod[callee].Has(f) {
+			acc = lattice.Meet(acc, opts.filter(exit.Get(f)))
+			contributed = true
+		}
+	}
+	if v.IsGlobal() && ctx.MR.Mod[callee].Has(v) {
+		acc = lattice.Meet(acc, opts.filter(exit.Get(v)))
+		contributed = true
+	}
+	if !contributed || acc.IsTop() {
+		// Alias-closure member or a never-returning callee: keep the
+		// conservative answer.
+		return lattice.BottomElem()
+	}
+	return acc
+}
+
+// exitEnv extracts the constant exit values of p's formals and the
+// globals from its final fixpoint.
+func exitEnv(ctx *Context, p *sem.Proc, r *scc.Result) lattice.Env[*sem.Var] {
+	exit := make(lattice.Env[*sem.Var])
+	for _, f := range p.Params {
+		if e := r.ExitValue(f); e.IsConst() {
+			exit[f] = e
+		}
+	}
+	for _, g := range ctx.Prog.Sem.Globals {
+		if e := r.ExitValue(g); e.IsConst() {
+			exit[g] = e
+		}
+	}
+	return exit
+}
+
 // refreshForward performs one additional forward topological traversal
 // that rebuilds every procedure's entry environment with the return and
 // exit summaries available at call sites. The summaries were computed
 // under environments at or below the refreshed ones, so they remain
-// sound over-approximations of runtime behaviour.
-func refreshForward(ctx *Context, opts Options, res *Result, ssaOf map[*sem.Proc]*ssa.SSA) {
-	cg, mr := ctx.CG, ctx.MR
-	if len(cg.Reachable) == 0 {
+// sound over-approximations of runtime behaviour. The traversal runs as
+// the same forward wavefront as runFS; the summaries are complete and
+// read-only by now, so the hooks are safe from any worker.
+func refreshForward(ctx *Context, opts Options, res *Result, ssaOf []*ssa.SSA) {
+	cg := ctx.CG
+	n := len(cg.Reachable)
+	if n == 0 {
 		return
 	}
-	main := cg.Reachable[0]
 
 	callResult := func(call *ir.CallInstr) lattice.Elem {
 		return opts.filter(res.Returns[call.Callee])
 	}
 	callExit := func(call *ir.CallInstr, v *sem.Var) lattice.Elem {
-		callee := call.Callee
-		exit := res.ExitEnv[callee]
-		acc := lattice.TopElem()
-		contributed := false
-		for i, a := range call.ByRef {
-			if a != v || i >= len(callee.Params) {
-				continue
-			}
-			f := callee.Params[i]
-			if ctx.MR.Mod[callee].Has(f) {
-				acc = lattice.Meet(acc, opts.filter(exit.Get(f)))
-				contributed = true
-			}
-		}
-		if v.IsGlobal() && ctx.MR.Mod[callee].Has(v) {
-			acc = lattice.Meet(acc, opts.filter(exit.Get(v)))
-			contributed = true
-		}
-		if !contributed || acc.IsTop() {
-			return lattice.BottomElem()
-		}
-		return acc
+		return callExitValue(ctx, opts, call, v, res.ExitEnv[call.Callee])
 	}
 
-	fresh := make(map[*sem.Proc]*scc.Result)
-	dead := make(map[*sem.Proc]bool)
-	for _, p := range cg.Reachable {
-		env := make(lattice.Env[*sem.Var])
-		if p == main {
-			for g, v := range ctx.Prog.Sem.GlobalInit {
-				env[g] = opts.filter(lattice.Const(v))
-			}
-		} else {
-			nExec := 0
-			for _, e := range cg.In[p] {
-				if !cg.IsBackEdge(e) {
-					r := fresh[e.Caller]
-					if dead[e.Caller] || r == nil || !r.Reachable(e.Site) {
-						continue
-					}
-					nExec++
-					for i, f := range p.Params {
-						if i >= len(e.Site.Args) {
-							break
-						}
-						env.MeetInto(f, opts.filter(r.ArgValue(e.Site, i)))
-					}
-					for g := range mr.Ref[p] {
-						if g.IsGlobal() {
-							env.MeetInto(g, opts.filter(r.GlobalValueAtCall(e.Site, g)))
-						}
-					}
-				} else {
-					nExec++
-					for i, f := range p.Params {
-						env.MeetInto(f, res.FI.EdgeArg(e.Site, i))
-					}
-					for g := range mr.Ref[p] {
-						if g.IsGlobal() {
-							env.MeetInto(g, res.FI.GlobalElem(g))
-						}
-					}
-				}
-			}
-			if nExec == 0 {
-				dead[p] = true
-				env = make(lattice.Env[*sem.Var])
-			}
-			for v, e := range env {
-				if e.IsTop() {
-					env[v] = lattice.BottomElem()
-				}
-			}
-		}
-		res.Entry[p] = env
-		s := ssaOf[p]
-		if s == nil {
-			s = ssa.Build(ctx.Prog.FuncOf[p])
-			ssaOf[p] = s
-		}
-		r := scc.Run(s, scc.Options{Entry: env, CallResult: callResult, CallExit: callExit})
-		fresh[p] = r
-		res.Intra[p] = r
+	fresh := make([]*scc.Result, n)
+	entry := make([]lattice.Env[*sem.Var], n)
+	dead := make([]bool, n)
+	sites := make([][]callSiteData, n)
 
-		for _, call := range ctx.Prog.FuncOf[p].Calls {
-			vals := make([]lattice.Elem, len(call.Args))
-			for i := range call.Args {
-				vals[i] = opts.filter(r.ArgValue(call, i))
-			}
-			res.ArgVals[call] = vals
-			gm := make(map[*sem.Var]val.Value)
-			vm := make(map[*sem.Var]val.Value)
-			if r.Reachable(call) && !dead[p] {
-				for _, g := range ctx.Prog.Sem.Globals {
-					gv := opts.filter(r.GlobalValueAtCall(call, g))
-					if !gv.IsConst() {
-						continue
-					}
-					if mr.Ref[call.Callee].Has(g) {
-						gm[g] = gv.Val
-						if p.UsesSet[g] {
-							vm[g] = gv.Val
-						}
-					}
-				}
-			}
-			res.GlobalCallVals[call] = gm
-			res.VisibleCallGlobals[call] = vm
+	workers := driver.Workers(opts.Workers)
+	opts.Trace.Time("returns-refresh", func(st *driver.PassStats) {
+		levels := forwardLevels(cg)
+		byPos := func(q *sem.Proc) (*scc.Result, bool) {
+			j := cg.Pos[q]
+			return fresh[j], dead[j]
 		}
+		driver.Wavefront(levels, workers, func(i int) {
+			p := cg.Reachable[i]
+			env, live, _ := entryEnv(ctx, opts, p, byPos, res.FI)
+			entry[i] = env
+			dead[i] = !live
+			r := scc.Run(ssaOf[i], scc.Options{Entry: env, CallResult: callResult, CallExit: callExit})
+			fresh[i] = r
+			sites[i] = collectCallSites(ctx, opts, p, r, !live)
+		})
+		st.Procs = n
+		st.Notes = fmt.Sprintf("workers=%d levels=%d", workers, len(levels))
+	})
+
+	res.Dead = make(map[*sem.Proc]bool)
+	for i, p := range cg.Reachable {
+		res.Entry[p] = entry[i]
+		res.Intra[p] = fresh[i]
+		if dead[i] {
+			res.Dead[p] = true
+		}
+		res.mergeCallSites(sites[i])
 	}
-	res.Dead = dead
 }

@@ -1,6 +1,9 @@
 package icp
 
 import (
+	"fmt"
+
+	"fsicp/internal/driver"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/scc"
@@ -14,8 +17,93 @@ import (
 // (SCC) intraprocedural analysis of each procedure with interprocedural
 // propagation. Back edges consult the flow-insensitive solution, which
 // is computed beforehand only when the PCG has cycles.
+//
+// The traversal is scheduled as a parallel wavefront over the
+// forward-edge DAG's topological levels: a procedure's entry
+// environment depends only on its forward-edge callers (earlier levels,
+// complete behind a barrier) and the precomputed flow-insensitive
+// fallback on back edges, so every procedure of a level can be analysed
+// concurrently. Each worker writes only its own position-indexed slots;
+// the slots are merged into the Result maps serially, so the outcome is
+// byte-identical for every worker count.
 func runFS(ctx *Context, opts Options) *Result {
-	res := &Result{
+	res := newResult(ctx, opts)
+	cg := ctx.CG
+	n := len(cg.Reachable)
+	if n == 0 {
+		return res
+	}
+
+	// The flow-insensitive fallback is needed exactly when back edges
+	// exist (paper §3.2).
+	if cg.HasCycles() {
+		opts.Trace.Time("FI", func(st *driver.PassStats) {
+			res.FI = runFI(ctx, opts)
+			st.Procs = n
+			st.Notes = "back-edge fallback"
+		})
+	}
+	res.ProgramGlobalConstants = programGlobalConstants(ctx, opts)
+
+	workers := driver.Workers(opts.Workers)
+	var ssaOf []*ssa.SSA
+	opts.Trace.Time("ssa", func(st *driver.PassStats) {
+		ssaOf = buildSSAs(ctx, workers)
+		st.Procs = n
+		st.Notes = fmt.Sprintf("workers=%d", workers)
+	})
+
+	intra := make([]*scc.Result, n)
+	entry := make([]lattice.Env[*sem.Var], n)
+	dead := make([]bool, n)
+	backUsed := make([]int, n)
+	sites := make([][]callSiteData, n)
+
+	opts.Trace.Time("FS", func(st *driver.PassStats) {
+		levels := forwardLevels(cg)
+		byPos := func(q *sem.Proc) (*scc.Result, bool) {
+			j := cg.Pos[q]
+			return intra[j], dead[j]
+		}
+		driver.Wavefront(levels, workers, func(i int) {
+			p := cg.Reachable[i]
+			env, live, nBack := entryEnv(ctx, opts, p, byPos, res.FI)
+			entry[i] = env
+			dead[i] = !live
+			backUsed[i] = nBack
+
+			// The single flow-sensitive intraprocedural analysis of p.
+			r := scc.Run(ssaOf[i], scc.Options{Entry: env})
+			intra[i] = r
+			sites[i] = collectCallSites(ctx, opts, p, r, !live)
+		})
+		st.Procs = n
+		st.Notes = fmt.Sprintf("workers=%d levels=%d width=%d", workers, len(levels), driver.MaxWidth(levels))
+	})
+
+	// Deterministic merge, in topological order.
+	for i, p := range cg.Reachable {
+		res.Entry[p] = entry[i]
+		res.Intra[p] = intra[i]
+		if dead[i] {
+			res.Dead[p] = true
+		}
+		res.BackEdgesUsed += backUsed[i]
+		res.mergeCallSites(sites[i])
+	}
+
+	if opts.ReturnConstants {
+		opts.Trace.Time("returns", func(st *driver.PassStats) {
+			runReturns(ctx, opts, res, ssaOf)
+			st.Procs = n
+		})
+	}
+	return res
+}
+
+// newResult allocates the shared Result map set.
+func newResult(ctx *Context, opts Options) *Result {
+	return &Result{
 		Ctx:                ctx,
 		Opts:               opts,
 		Entry:              make(map[*sem.Proc]lattice.Env[*sem.Var]),
@@ -25,125 +113,6 @@ func runFS(ctx *Context, opts Options) *Result {
 		Intra:              make(map[*sem.Proc]*scc.Result),
 		Dead:               make(map[*sem.Proc]bool),
 	}
-	cg, mr := ctx.CG, ctx.MR
-	if len(cg.Reachable) == 0 {
-		return res
-	}
-
-	// The flow-insensitive fallback is needed exactly when back edges
-	// exist (paper §3.2).
-	if cg.HasCycles() {
-		res.FI = runFI(ctx, opts)
-	}
-	res.ProgramGlobalConstants = programGlobalConstants(ctx, opts)
-
-	ssaOf := make(map[*sem.Proc]*ssa.SSA)
-	main := cg.Reachable[0]
-
-	for _, p := range cg.Reachable {
-		env := make(lattice.Env[*sem.Var])
-		if p == main {
-			// Block-data initial constants seed the entry of main.
-			for g, v := range ctx.Prog.Sem.GlobalInit {
-				env[g] = opts.filter(lattice.Const(v))
-			}
-		} else {
-			nExec := 0
-			for _, e := range cg.In[p] {
-				if !cg.IsBackEdge(e) {
-					// Forward edge: the caller has been analysed.
-					r := res.Intra[e.Caller]
-					if res.Dead[e.Caller] || r == nil || !r.Reachable(e.Site) {
-						continue // unreachable call site: contributes ⊤
-					}
-					nExec++
-					for i, f := range p.Params {
-						if i >= len(e.Site.Args) {
-							break
-						}
-						env.MeetInto(f, opts.filter(r.ArgValue(e.Site, i)))
-					}
-					// Sparse global candidates: only globals the callee
-					// (transitively) references are propagated.
-					for g := range mr.Ref[p] {
-						if g.IsGlobal() {
-							env.MeetInto(g, opts.filter(r.GlobalValueAtCall(e.Site, g)))
-						}
-					}
-				} else {
-					// Back edge: use the flow-insensitive solution.
-					res.BackEdgesUsed++
-					nExec++
-					for i, f := range p.Params {
-						env.MeetInto(f, res.FI.EdgeArg(e.Site, i))
-					}
-					for g := range mr.Ref[p] {
-						if g.IsGlobal() {
-							env.MeetInto(g, res.FI.GlobalElem(g))
-						}
-					}
-				}
-			}
-			if nExec == 0 {
-				// Statically reachable but no executable call site: the
-				// procedure is dynamically dead under this solution.
-				res.Dead[p] = true
-				env = make(lattice.Env[*sem.Var])
-			}
-			// A residual ⊤ would claim "never receives a value"; keep
-			// the environment sound by demoting to ⊥.
-			for v, e := range env {
-				if e.IsTop() {
-					env[v] = lattice.BottomElem()
-				}
-			}
-		}
-		res.Entry[p] = env
-
-		// The single flow-sensitive intraprocedural analysis of p.
-		s := ssa.Build(ctx.Prog.FuncOf[p])
-		ssaOf[p] = s
-		r := scc.Run(s, scc.Options{Entry: env})
-		res.Intra[p] = r
-
-		// Record per-call-site results for the metrics and for callees
-		// processed later in the traversal.
-		for _, call := range ctx.Prog.FuncOf[p].Calls {
-			vals := make([]lattice.Elem, len(call.Args))
-			for i := range call.Args {
-				vals[i] = opts.filter(r.ArgValue(call, i))
-			}
-			res.ArgVals[call] = vals
-
-			gm := make(map[*sem.Var]val.Value)
-			vm := make(map[*sem.Var]val.Value)
-			if r.Reachable(call) && !res.Dead[p] {
-				for _, g := range ctx.Prog.Sem.Globals {
-					gv := opts.filter(r.GlobalValueAtCall(call, g))
-					if !gv.IsConst() {
-						continue
-					}
-					if mr.Ref[call.Callee].Has(g) {
-						gm[g] = gv.Val
-						// VIS: the subset of propagated candidates also
-						// visible in the calling procedure; the rest are
-						// "invisible global constants passed at a call
-						// site" (paper §4).
-						if p.UsesSet[g] {
-							vm[g] = gv.Val
-						}
-					}
-				}
-			}
-			res.GlobalCallVals[call] = gm
-			res.VisibleCallGlobals[call] = vm
-		}
-	}
-
-	if opts.ReturnConstants {
-		runReturns(ctx, opts, res, ssaOf)
-	}
-	return res
 }
 
 // programGlobalConstants computes the flow-insensitive program-wide

@@ -11,6 +11,7 @@ import (
 
 	"fsicp/internal/bench"
 	"fsicp/internal/clone"
+	"fsicp/internal/driver"
 	"fsicp/internal/icp"
 	"fsicp/internal/inline"
 	"fsicp/internal/irbuild"
@@ -59,6 +60,13 @@ func Compile(p bench.Profile) (*icp.Context, error) {
 // Benchmarks are independent, so the work fans out across goroutines;
 // results keep the profile order.
 func LoadSuite(profiles []bench.Profile, floats bool) (*Suite, error) {
+	return LoadSuiteTraced(profiles, floats, nil)
+}
+
+// LoadSuiteTraced is LoadSuite with per-pass instrumentation: every
+// analysis records its passes into tr (suite-wide, aggregated by pass
+// name). A nil trace records nothing.
+func LoadSuiteTraced(profiles []bench.Profile, floats bool, tr *driver.Trace) (*Suite, error) {
 	s := &Suite{Floats: floats, Benches: make([]*Bench, len(profiles))}
 	errs := make([]error, len(profiles))
 	var wg sync.WaitGroup
@@ -66,7 +74,12 @@ func LoadSuite(profiles []bench.Profile, floats bool) (*Suite, error) {
 		wg.Add(1)
 		go func(i int, p bench.Profile) {
 			defer wg.Done()
-			ctx, err := Compile(p)
+			var ctx *icp.Context
+			var err error
+			tr.Time("compile", func(st *driver.PassStats) {
+				ctx, err = Compile(p)
+				st.Notes = p.Name
+			})
 			if err != nil {
 				errs[i] = err
 				return
@@ -74,8 +87,8 @@ func LoadSuite(profiles []bench.Profile, floats bool) (*Suite, error) {
 			s.Benches[i] = &Bench{
 				Profile: p,
 				Ctx:     ctx,
-				FI:      icp.Analyze(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: floats}),
-				FS:      icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: floats}),
+				FI:      icp.Analyze(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: floats, Trace: tr}),
+				FS:      icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: floats, Trace: tr}),
 			}
 		}(i, p)
 	}
@@ -86,6 +99,30 @@ func LoadSuite(profiles []bench.Profile, floats bool) (*Suite, error) {
 		}
 	}
 	return s, nil
+}
+
+// MethodMatrixTable runs every ICP method and every jump-function
+// baseline concurrently over each benchmark (bench.RunMatrix) and
+// renders the per-method precision and timing, with the speedup of the
+// concurrent run over the serial sum.
+func MethodMatrixTable(profiles []bench.Profile, floats bool) (string, error) {
+	var b strings.Builder
+	b.WriteString(header("Method matrix: all methods and baselines, run concurrently per benchmark",
+		"PROGRAM        ", "METHOD                  ", "CONST", "ENTRY", "    WALL"))
+	for _, p := range profiles {
+		ctx, err := Compile(p)
+		if err != nil {
+			return "", err
+		}
+		m := bench.RunMatrix(ctx, floats, 0)
+		for _, e := range m.Entries {
+			fmt.Fprintf(&b, "%-15s | %-24s | %5d | %5d | %8s\n",
+				p.Name, e.Name, e.ConstFormals, e.ConstEntries, round(e.Wall))
+		}
+		fmt.Fprintf(&b, "%-15s | %-24s |       |       | %8s (%.2fx vs serial %s)\n",
+			p.Name, "(concurrent)", round(m.Wall), m.Speedup(), round(m.Serial))
+	}
+	return b.String(), nil
 }
 
 func header(title string, cols ...string) string {

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Full verification gate: build, vet, format, race-enabled tests.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ok"
