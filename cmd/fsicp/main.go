@@ -15,6 +15,10 @@
 //	-transform apply the solution to the IR and print the result
 //	-stats   print the per-pass timing table (load + analysis passes)
 //	-workers N bound the per-level analysis concurrency (0 = GOMAXPROCS)
+//	-json    emit the analysis as machine-readable JSON
+//	-watch   keep running: re-analyse incrementally whenever the file
+//	         changes, printing only the constant deltas and the reuse
+//	         the incremental engine achieved
 //
 // With no file argument, fsicp reads from standard input.
 package main
@@ -24,9 +28,32 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	fsicp "fsicp"
 )
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fsicp: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// icpConfig maps a -method value to an ICP configuration; ok is false
+// for the jump-function baselines and unknown methods.
+func icpConfig(method string, floats, returns bool, workers int) (fsicp.Config, bool) {
+	cfg := fsicp.Config{PropagateFloats: floats, ReturnConstants: returns, Workers: workers}
+	switch method {
+	case "fi":
+		cfg.Method = fsicp.FlowInsensitive
+	case "iter":
+		cfg.Method = fsicp.FlowSensitiveIterative
+	case "fs":
+		cfg.Method = fsicp.FlowSensitive
+	default:
+		return cfg, false
+	}
+	return cfg, true
+}
 
 func main() {
 	method := flag.String("method", "fs", "fs|fi|iter|literal|intra|passthrough|polynomial")
@@ -43,12 +70,9 @@ func main() {
 	doInline := flag.Bool("inline", false, "inline all non-recursive calls before analysing")
 	showStats := flag.Bool("stats", false, "print the per-pass timing table")
 	workers := flag.Int("workers", 0, "analysis workers per wavefront level (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit the analysis as JSON (fs/fi/iter only)")
+	watch := flag.Bool("watch", false, "re-analyse incrementally whenever the file changes, printing constant deltas")
 	flag.Parse()
-
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "fsicp: "+format+"\n", args...)
-		os.Exit(1)
-	}
 
 	name := "<stdin>"
 	var src []byte
@@ -63,11 +87,24 @@ func main() {
 		fail("%v", err)
 	}
 
+	if *watch {
+		if flag.NArg() == 0 {
+			fail("-watch needs a file argument")
+		}
+		cfg, ok := icpConfig(*method, *floats, *returns, *workers)
+		if !ok {
+			fail("-watch supports the fs|fi|iter methods, not %q", *method)
+		}
+		watchLoop(name, cfg, 500*time.Millisecond)
+	}
+
 	prog, err := fsicp.Load(name, string(src))
 	if err != nil {
 		fail("%v", err)
 	}
-	fmt.Println(prog)
+	if !*jsonOut {
+		fmt.Println(prog)
+	}
 
 	if *doInline {
 		n, rec, growth := prog.Inline(4)
@@ -87,18 +124,16 @@ func main() {
 		fmt.Print(prog.DumpIR())
 	}
 
-	switch *method {
-	case "fs", "fi", "iter":
-		cfg := fsicp.Config{PropagateFloats: *floats, ReturnConstants: *returns, Workers: *workers}
-		switch *method {
-		case "fi":
-			cfg.Method = fsicp.FlowInsensitive
-		case "iter":
-			cfg.Method = fsicp.FlowSensitiveIterative
-		default:
-			cfg.Method = fsicp.FlowSensitive
-		}
+	if cfg, ok := icpConfig(*method, *floats, *returns, *workers); ok {
 		a := prog.Analyze(cfg)
+		if *jsonOut {
+			b, err := buildReport(prog, a, cfg).encode()
+			if err != nil {
+				fail("%v", err)
+			}
+			os.Stdout.Write(b)
+			return
+		}
 		fmt.Printf("%s analysis in %v", cfg.Method, a.Duration())
 		if n := a.UsedFlowInsensitiveFallback(); n > 0 {
 			fmt.Printf(" (%d back edges used the flow-insensitive fallback)", n)
@@ -129,18 +164,17 @@ func main() {
 		if *showStats {
 			fmt.Print(a.StatsTable())
 		}
-	case "literal", "intra", "passthrough", "polynomial":
-		kinds := map[string]fsicp.JumpFunctionKind{
-			"literal": fsicp.Literal, "intra": fsicp.IntraConstant,
-			"passthrough": fsicp.PassThrough, "polynomial": fsicp.Polynomial,
-		}
-		a := prog.AnalyzeJumpFunctions(kinds[*method])
+	} else if kind, ok := map[string]fsicp.JumpFunctionKind{
+		"literal": fsicp.Literal, "intra": fsicp.IntraConstant,
+		"passthrough": fsicp.PassThrough, "polynomial": fsicp.Polynomial,
+	}[*method]; ok {
+		a := prog.AnalyzeJumpFunctions(kind)
 		fmt.Printf("%s jump functions\n", *method)
 		printConstants(a.Constants())
 		if *showSubst {
 			fmt.Printf("substitutions: %d\n", a.Substitutions())
 		}
-	default:
+	} else {
 		fail("unknown method %q", *method)
 	}
 

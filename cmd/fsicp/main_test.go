@@ -1,0 +1,64 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	fsicp "fsicp"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONReportGolden pins the -json output shape: the report must be
+// byte-identical across runs (it carries no timings) and across worker
+// counts, and any intentional change to the encoding must update the
+// golden file (go test ./cmd/fsicp -update).
+func TestJSONReportGolden(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/programs/constants.mf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := fsicp.Load("constants.mf", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fsicp.Config{
+		Method:          fsicp.FlowSensitive,
+		PropagateFloats: true,
+		ReturnConstants: true,
+		Workers:         1,
+	}
+	got, err := buildReport(prog, prog.Analyze(cfg), cfg).encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "report.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./cmd/fsicp -update)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("JSON report drifted from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The report must not depend on the worker count.
+	cfg.Workers = 8
+	again, err := buildReport(prog, prog.Analyze(cfg), cfg).encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(got) {
+		t.Error("JSON report differs between worker counts")
+	}
+}

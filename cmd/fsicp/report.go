@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+
+	fsicp "fsicp"
+)
+
+// Report is the machine-readable shape of one analysis, emitted by the
+// -json flag. It contains only deterministic facts (no timings), so
+// the same source and configuration always produce byte-identical
+// output; the golden test pins the encoding.
+type Report struct {
+	Program       ProgramInfo           `json:"program"`
+	Method        string                `json:"method"`
+	Floats        bool                  `json:"propagateFloats"`
+	Constants     []fsicp.Constant      `json:"constants"`
+	CallSites     []fsicp.CallSiteInfo  `json:"callSites"`
+	CallMetrics   fsicp.CallSiteMetrics `json:"callSiteMetrics"`
+	EntryMetrics  fsicp.EntryMetrics    `json:"entryMetrics"`
+	BackEdgesUsed int                   `json:"backEdgesUsed"`
+	// Returns maps function name to its proven return constant (only
+	// when the return-constant extension ran and proved any).
+	Returns map[string]string `json:"returns,omitempty"`
+}
+
+// ProgramInfo summarises the loaded program.
+type ProgramInfo struct {
+	Procedures int `json:"procedures"`
+	CallEdges  int `json:"callEdges"`
+	BackEdges  int `json:"backEdges"`
+}
+
+// buildReport gathers the report for one analysis.
+func buildReport(prog *fsicp.Program, a *fsicp.Analysis, cfg fsicp.Config) Report {
+	back, total := prog.BackEdges()
+	r := Report{
+		Program:       ProgramInfo{Procedures: len(prog.Procedures()), CallEdges: total, BackEdges: back},
+		Method:        cfg.Method.String(),
+		Floats:        cfg.PropagateFloats,
+		Constants:     a.Constants(),
+		CallSites:     a.CallSites(),
+		CallMetrics:   a.CallSiteMetrics(),
+		EntryMetrics:  a.EntryMetrics(),
+		BackEdgesUsed: a.UsedFlowInsensitiveFallback(),
+	}
+	if cfg.ReturnConstants {
+		for _, name := range prog.Procedures() {
+			if v, ok := a.ReturnConstant(name); ok {
+				if r.Returns == nil {
+					r.Returns = make(map[string]string)
+				}
+				r.Returns[name] = v
+			}
+		}
+	}
+	return r
+}
+
+// encode renders the report as indented JSON with a trailing newline.
+func (r Report) encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	fsicp "fsicp"
+)
+
+// watchLoop re-analyses the file whenever its content changes, through
+// one incremental Session per run of the command, printing only the
+// constant deltas each version introduces plus the reuse achieved.
+// It polls (no inotify dependency) and never returns.
+func watchLoop(name string, cfg fsicp.Config, interval time.Duration) {
+	src, err := os.ReadFile(name)
+	if err != nil {
+		fail("%v", err)
+	}
+	sess, err := fsicp.NewSession(name, string(src))
+	if err != nil {
+		fail("%v", err)
+	}
+	a := sess.Analyze(cfg)
+	fmt.Printf("watching %s (%s)\n", name, cfg.Method)
+	printConstants(a.Constants())
+	last := a.Constants()
+	lastSrc := string(src)
+
+	for {
+		time.Sleep(interval)
+		b, err := os.ReadFile(name)
+		if err != nil || string(b) == lastSrc {
+			continue
+		}
+		lastSrc = string(b)
+		if _, err := sess.Update(lastSrc); err != nil {
+			// Keep the previous good version; the next edit may fix it.
+			fmt.Fprintf(os.Stderr, "fsicp: %v\n", err)
+			continue
+		}
+		a := sess.Analyze(cfg)
+		cur := a.Constants()
+		reused, hits, misses := a.Incremental()
+		fmt.Printf("-- v%d: reused %d procedures, value cache %d/%d\n",
+			sess.Version(), reused, hits, hits+misses)
+		ds := fsicp.DiffConstants(last, cur)
+		if len(ds) == 0 {
+			fmt.Println("   no constant changes")
+		}
+		for _, d := range ds {
+			fmt.Printf("   %s\n", d)
+		}
+		last = cur
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"fsicp/internal/clone"
 	"fsicp/internal/driver"
 	"fsicp/internal/icp"
+	"fsicp/internal/incr"
 	"fsicp/internal/inline"
 	"fsicp/internal/interp"
 	"fsicp/internal/ir"
@@ -237,10 +238,10 @@ func (p *Program) DumpCallGraph() string { return p.ctx.CG.Dump() }
 
 // Constant is one interprocedurally propagated constant.
 type Constant struct {
-	Proc  string // procedure at whose entry the constant holds
-	Var   string // formal parameter or global name
-	Value string
-	Kind  string // "formal" or "global"
+	Proc  string `json:"proc"` // procedure at whose entry the constant holds
+	Var   string `json:"var"`  // formal parameter or global name
+	Value string `json:"value"`
+	Kind  string `json:"kind"` // "formal" or "global"
 }
 
 // Analysis is the outcome of one ICP run.
@@ -254,6 +255,12 @@ type Analysis struct {
 // Analyze runs the selected ICP method. It is safe to call concurrently
 // on the same Program (each call gets its own result and trace).
 func (p *Program) Analyze(cfg Config) *Analysis {
+	return p.analyze(cfg, nil)
+}
+
+// analyze implements Analyze and Session.Analyze; eng is the session's
+// incremental engine (nil for a cold run).
+func (p *Program) analyze(cfg Config, eng *incr.Engine) *Analysis {
 	// Every analysis carries its own trace, seeded with the load
 	// pipeline's pass records so Stats reports the whole journey from
 	// source text to solution.
@@ -269,6 +276,7 @@ func (p *Program) Analyze(cfg Config) *Analysis {
 		ReturnsRefresh:  cfg.ReturnsRefresh,
 		Workers:         cfg.Workers,
 		Trace:           tr,
+		Incr:            eng,
 	}
 	switch cfg.Method {
 	case FlowInsensitive:
@@ -342,13 +350,13 @@ func (a *Analysis) UsedFlowInsensitiveFallback() int { return a.res.BackEdgesUse
 // call-site constant candidates; they are the raw material for
 // transformations like procedure cloning.
 type CallSiteInfo struct {
-	Caller string
-	Callee string
+	Caller string `json:"caller"`
+	Callee string `json:"callee"`
 	// Args holds one entry per actual: the constant's rendering, or
 	// "" when the argument is not constant at this site.
-	Args []string
+	Args []string `json:"args"`
 	// Reachable is false when the analysis proved the call site dead.
-	Reachable bool
+	Reachable bool `json:"reachable"`
 }
 
 // CallSites lists every call site with its constant arguments.
@@ -367,11 +375,13 @@ func (a *Analysis) CallSites() []CallSiteInfo {
 		// Reachability comes from the flow-sensitive solution itself: a
 		// site in a dead procedure or an unexecuted block is dead even
 		// when it passes no arguments (⊤ argument values alone would
-		// miss zero-arg calls).
+		// miss zero-arg calls). The portable summary carries it, so a
+		// procedure reused from the incremental cache answers the same
+		// as a freshly analysed one.
 		if a.res.Dead[e.Caller] {
 			info.Reachable = false
-		} else if r := a.res.Intra[e.Caller]; r != nil {
-			info.Reachable = r.Reachable(e.Site)
+		} else if sum := a.res.Proc[e.Caller]; sum != nil {
+			info.Reachable = sum.Sites[a.res.SiteIndex[e.Site]].Reachable
 		} else {
 			// Flow-insensitive method: no intraprocedural fixpoint; fall
 			// back to the ⊤-argument signal.
@@ -438,13 +448,20 @@ func (a *Analysis) AnnotatedListing() string {
 
 // CallSiteMetrics is the paper's Table 1 row shape.
 type CallSiteMetrics struct {
-	Args, Imm, ConstArgs         int
-	GlobCand, GlobPairs, GlobVis int
+	Args      int `json:"args"`
+	Imm       int `json:"immediate"`
+	ConstArgs int `json:"constArgs"`
+	GlobCand  int `json:"globalCandidates"`
+	GlobPairs int `json:"globalPairs"`
+	GlobVis   int `json:"globalVisible"`
 }
 
 // EntryMetrics is the paper's Table 2 row shape.
 type EntryMetrics struct {
-	Formals, ConstFormals, Procs, GlobalEntries int
+	Formals       int `json:"formals"`
+	ConstFormals  int `json:"constFormals"`
+	Procs         int `json:"procs"`
+	GlobalEntries int `json:"globalEntries"`
 }
 
 // CallSiteMetrics computes the call-site constant-candidate counts.

@@ -283,6 +283,73 @@ func TestFacadeCallSitesAndListing(t *testing.T) {
 	}
 }
 
+// TestFacadeDeadSitesAndZeroArgCalls pins CallSites and
+// AnnotatedListing on the awkward cases: calls that pass no arguments
+// (so there are no ⊤ argument values to reveal deadness) sitting in a
+// branch the analysis folds away, and a procedure reachable in the
+// call graph only through that dead code.
+func TestFacadeDeadSitesAndZeroArgCalls(t *testing.T) {
+	p := load(t, `program p
+global g int = 1
+proc main() {
+  use g
+  call live()
+  if g > 1 {
+    call dead()
+  }
+}
+proc live() {
+  use g
+  print g
+}
+proc dead() {
+  use g
+  call deadleaf()
+}
+proc deadleaf() {
+  print 0
+}`)
+	a := p.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true})
+	want := map[string]bool{ // caller->callee : reachable
+		"main->live":     true,
+		"main->dead":     false,
+		"dead->deadleaf": false,
+	}
+	sites := a.CallSites()
+	if len(sites) != len(want) {
+		t.Fatalf("call sites: %d, want %d", len(sites), len(want))
+	}
+	for _, cs := range sites {
+		key := cs.Caller + "->" + cs.Callee
+		r, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected call site %s", key)
+			continue
+		}
+		if cs.Reachable != r {
+			t.Errorf("%s: Reachable = %v, want %v", key, cs.Reachable, r)
+		}
+		if len(cs.Args) != 0 {
+			t.Errorf("%s: zero-arg call reported %d args", key, len(cs.Args))
+		}
+	}
+	listing := a.AnnotatedListing()
+	for _, wantLine := range []string{
+		"proc live()",
+		"proc dead()\n  # unreachable under this solution",
+		"proc deadleaf()\n  # unreachable under this solution",
+	} {
+		if !strings.Contains(listing, wantLine) {
+			t.Errorf("listing missing %q:\n%s", wantLine, listing)
+		}
+	}
+	// live's entry must still carry the global constant even though it
+	// takes no formals.
+	if !strings.Contains(listing, "g = 1") {
+		t.Errorf("listing missing live's entry constant g = 1:\n%s", listing)
+	}
+}
+
 func TestFacadeUse(t *testing.T) {
 	p := load(t, `program p
 global g int = 1

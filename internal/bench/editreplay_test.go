@@ -1,0 +1,67 @@
+package bench_test
+
+import (
+	"testing"
+	"time"
+
+	fsicp "fsicp"
+	"fsicp/internal/bench"
+)
+
+func TestSpeedupGuards(t *testing.T) {
+	cases := []struct {
+		name         string
+		wall, serial time.Duration
+		want         float64
+	}{
+		{"zero wall", 0, time.Second, 1},
+		{"zero serial", time.Second, 0, 1},
+		{"negative wall", -time.Second, time.Second, 1},
+		{"sub-microsecond wall", 500 * time.Nanosecond, time.Second, 1},
+		{"sub-microsecond serial", time.Second, 500 * time.Nanosecond, 1},
+		{"real ratio", time.Second, 4 * time.Second, 4},
+	}
+	for _, c := range cases {
+		m := bench.Matrix{Wall: c.wall, Serial: c.serial}
+		if got := m.Speedup(); got != c.want {
+			t.Errorf("%s: Speedup() = %v, want %v", c.name, got, c.want)
+		}
+		r := bench.EditReplayResult{IncrWall: c.wall, ColdWall: c.serial}
+		if got := r.Speedup(); got != c.want {
+			t.Errorf("%s: EditReplayResult.Speedup() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestEditReplaySmall replays a short edit sequence on a mid-size
+// profile, asserting the two pipelines agree (RunEditReplay verifies
+// per-edit) and that the session actually reused work.
+func TestEditReplaySmall(t *testing.T) {
+	p := bench.SPECfp92()[1] // mid-size profile keeps the test quick
+	r, err := bench.RunEditReplay(p, 6, fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Edits == 0 {
+		t.Fatal("every edit was rejected; the mutator is not producing valid programs")
+	}
+	if r.ProcsReused == 0 && r.CacheHits == 0 {
+		t.Error("no reuse across the replay; the incremental engine is not engaging")
+	}
+	t.Log(r)
+}
+
+// BenchmarkEditReplay is the PR's headline measurement: incremental
+// versus cold wall time over an edit stream on the suite's largest
+// synthetic program (013.spice2g6, 120 procedures).
+func BenchmarkEditReplay(b *testing.B) {
+	p := bench.SPECfp92()[0]
+	cfg := fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true}
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunEditReplay(p, 10, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup(), "speedup")
+	}
+}

@@ -30,12 +30,24 @@ type Matrix struct {
 	// cost).
 	Wall   time.Duration
 	Serial time.Duration
+	// Workers is the concurrency bound the matrix ran under (after the
+	// 0-means-GOMAXPROCS default was applied), so reports can say what
+	// produced the speedup.
+	Workers int
 }
 
 // Speedup reports how much the concurrent run beat the serial sum
-// (1.0 means no benefit, e.g. on a single-core machine).
+// (1.0 means no benefit, e.g. on a single-core machine). Degenerate
+// timings — a zero or negative wall or serial sum, or a run too short
+// for the clock to measure meaningfully — report 1 rather than a
+// nonsense ratio.
 func (m Matrix) Speedup() float64 {
-	if m.Wall <= 0 {
+	if m.Wall <= 0 || m.Serial <= 0 {
+		return 1
+	}
+	if m.Wall < time.Microsecond || m.Serial < time.Microsecond {
+		// Sub-microsecond samples are clock noise; a ratio of two of
+		// them is meaningless (and can be wildly large).
 		return 1
 	}
 	return float64(m.Serial) / float64(m.Wall)
@@ -61,7 +73,7 @@ func RunMatrix(ctx *icp.Context, floats bool, workers int) Matrix {
 		{"jf-polynomial", jfRunner(ctx, jumpfunc.Polynomial)},
 	}
 
-	m := Matrix{Entries: make([]MatrixEntry, len(methods))}
+	m := Matrix{Entries: make([]MatrixEntry, len(methods)), Workers: driver.Workers(workers)}
 	start := time.Now()
 	driver.Parallel(len(methods), driver.Workers(workers), func(i int) {
 		t0 := time.Now()

@@ -27,6 +27,15 @@ type PassStats struct {
 	Wall  time.Duration
 	Procs int    // procedures processed (0 when not applicable)
 	Notes string // free-form detail, e.g. "workers=8 levels=4"
+
+	// Cached reports that this run reused previous results instead of
+	// recomputing (a memoized pass skipped via Reuse, or an analysis
+	// pass that reused at least one per-procedure result).
+	Cached bool
+	// Hits and Misses count procedure-level result-cache lookups
+	// performed during the pass (zero when the pass has no cache).
+	Hits   int
+	Misses int
 }
 
 // Trace is an ordered, concurrency-safe collection of PassStats
@@ -88,11 +97,14 @@ func (t *Trace) Total() time.Duration {
 func (t *Trace) Table() string {
 	passes := t.Passes()
 	type row struct {
-		name  string
-		runs  int
-		wall  time.Duration
-		procs int
-		notes string
+		name   string
+		runs   int
+		cached int
+		wall   time.Duration
+		procs  int
+		hits   int
+		misses int
+		notes  string
 	}
 	var rows []*row
 	index := make(map[string]*row)
@@ -104,8 +116,13 @@ func (t *Trace) Table() string {
 			rows = append(rows, r)
 		}
 		r.runs++
+		if st.Cached {
+			r.cached++
+		}
 		r.wall += st.Wall
 		r.procs += st.Procs
+		r.hits += st.Hits
+		r.misses += st.Misses
 		if st.Notes != "" {
 			r.notes = st.Notes
 		}
@@ -118,7 +135,14 @@ func (t *Trace) Table() string {
 		if r.procs > 0 {
 			procs = fmt.Sprint(r.procs)
 		}
-		fmt.Fprintf(&b, "%-16s %5d %10s %6s  %s\n", r.name, r.runs, fmtDuration(r.wall), procs, r.notes)
+		notes := r.notes
+		if r.hits+r.misses > 0 {
+			notes = strings.TrimSpace(notes + fmt.Sprintf(" cache=%d/%d", r.hits, r.hits+r.misses))
+		}
+		if r.cached > 0 {
+			notes = strings.TrimSpace(notes + fmt.Sprintf(" cached=%d/%d", r.cached, r.runs))
+		}
+		fmt.Fprintf(&b, "%-16s %5d %10s %6s  %s\n", r.name, r.runs, fmtDuration(r.wall), procs, notes)
 		total += r.wall
 	}
 	fmt.Fprintf(&b, "%-16s %5s %10s\n", "TOTAL", "", fmtDuration(total))
@@ -140,19 +164,57 @@ func fmtDuration(d time.Duration) string {
 // must complete before it runs. Run receives the pass's own stats
 // record to fill in Procs and Notes; returning an error aborts the
 // pipeline.
+//
+// Fingerprint and Reuse opt a pass into memoization (see Memo): when
+// the manager has a memo and the pass's fingerprint matches the one
+// recorded by a previous run, Reuse is called instead of Run to
+// reinstall the previous outputs. Both must be set together for
+// memoization to apply; Fingerprint must cover every input the pass
+// reads, and Reuse must leave the pipeline in the same state Run
+// would have.
 type Pass struct {
 	Name string
 	Deps []string
 	Run  func(st *PassStats) error
+
+	Fingerprint func() string
+	Reuse       func(st *PassStats) error
+}
+
+// Memo records pass fingerprints across runs of a pipeline over
+// successive versions of the same input, enabling Pass.Reuse. The
+// zero value is ready to use. A Memo is not safe for concurrent use;
+// it is meant to be owned by one long-lived session.
+type Memo struct {
+	keys map[string]string
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo { return &Memo{} }
+
+func (m *Memo) match(name, key string) bool {
+	return m.keys[name] == key && key != ""
+}
+
+func (m *Memo) set(name, key string) {
+	if m.keys == nil {
+		m.keys = make(map[string]string)
+	}
+	m.keys[name] = key
 }
 
 // Manager validates a pass graph and runs it in dependency order.
 type Manager struct {
 	passes []Pass
+	memo   *Memo
 }
 
 // NewManager returns an empty manager.
 func NewManager() *Manager { return &Manager{} }
+
+// SetMemo attaches a memo for cross-run pass reuse. Passing nil
+// disables memoization (the default).
+func (m *Manager) SetMemo(memo *Memo) { m.memo = memo }
 
 // Add registers a pass. Registration order breaks ties among passes
 // whose dependencies are satisfied simultaneously, keeping the schedule
@@ -176,9 +238,23 @@ func (m *Manager) RunInto(tr *Trace) error {
 	}
 	for _, p := range order {
 		var runErr error
-		tr.Time(p.Name, func(st *PassStats) {
-			runErr = p.Run(st)
-		})
+		key := ""
+		if m.memo != nil && p.Fingerprint != nil && p.Reuse != nil {
+			key = p.Fingerprint()
+		}
+		if key != "" && m.memo.match(p.Name, key) {
+			tr.Time(p.Name, func(st *PassStats) {
+				st.Cached = true
+				runErr = p.Reuse(st)
+			})
+		} else {
+			tr.Time(p.Name, func(st *PassStats) {
+				runErr = p.Run(st)
+			})
+			if runErr == nil && key != "" {
+				m.memo.set(p.Name, key)
+			}
+		}
 		if runErr != nil {
 			return fmt.Errorf("pass %s: %w", p.Name, runErr)
 		}

@@ -207,3 +207,132 @@ func TestWorkers(t *testing.T) {
 		t.Error("Workers must default to at least 1")
 	}
 }
+
+func TestManagerMemo(t *testing.T) {
+	memo := NewMemo()
+	fp := "v1"
+	runs, reuses := 0, 0
+	build := func() *Manager {
+		m := NewManager()
+		m.SetMemo(memo)
+		m.Add(Pass{
+			Name:        "work",
+			Run:         func(st *PassStats) error { runs++; return nil },
+			Fingerprint: func() string { return fp },
+			Reuse:       func(st *PassStats) error { reuses++; return nil },
+		})
+		return m
+	}
+
+	// First run: fingerprint unknown, Run executes and the key is stored.
+	tr, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 || reuses != 0 {
+		t.Fatalf("cold run: runs=%d reuses=%d, want 1/0", runs, reuses)
+	}
+	if tr.Passes()[0].Cached {
+		t.Error("cold run recorded Cached=true")
+	}
+
+	// Same fingerprint: Reuse executes instead of Run.
+	tr, err = build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 || reuses != 1 {
+		t.Fatalf("warm run: runs=%d reuses=%d, want 1/1", runs, reuses)
+	}
+	if !tr.Passes()[0].Cached {
+		t.Error("warm run did not record Cached=true")
+	}
+
+	// Changed fingerprint: Run executes again and the new key replaces
+	// the old one.
+	fp = "v2"
+	if _, err := build().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 || reuses != 1 {
+		t.Fatalf("changed run: runs=%d reuses=%d, want 2/1", runs, reuses)
+	}
+	if _, err := build().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 || reuses != 2 {
+		t.Fatalf("re-warm run: runs=%d reuses=%d, want 2/2", runs, reuses)
+	}
+}
+
+func TestManagerMemoFailedRunNotRecorded(t *testing.T) {
+	memo := NewMemo()
+	fail := true
+	runs := 0
+	build := func() *Manager {
+		m := NewManager()
+		m.SetMemo(memo)
+		m.Add(Pass{
+			Name: "work",
+			Run: func(st *PassStats) error {
+				runs++
+				if fail {
+					return errors.New("boom")
+				}
+				return nil
+			},
+			Fingerprint: func() string { return "k" },
+			Reuse:       func(st *PassStats) error { t.Fatal("Reuse after failed run"); return nil },
+		})
+		return m
+	}
+	if _, err := build().Run(); err == nil {
+		t.Fatal("want error from failing pass")
+	}
+	// The failed run must not have recorded its fingerprint: the next
+	// run with the same key still executes Run.
+	fail = false
+	if _, err := build().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("runs=%d, want 2 (failure not memoized)", runs)
+	}
+}
+
+func TestManagerMemoRequiresBothHooks(t *testing.T) {
+	memo := NewMemo()
+	runs := 0
+	build := func() *Manager {
+		m := NewManager()
+		m.SetMemo(memo)
+		// Fingerprint without Reuse: memoization must not engage.
+		m.Add(Pass{
+			Name:        "half",
+			Run:         func(st *PassStats) error { runs++; return nil },
+			Fingerprint: func() string { return "k" },
+		})
+		return m
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := build().Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 2 {
+		t.Fatalf("runs=%d, want 2 (no Reuse hook)", runs)
+	}
+}
+
+func TestTableCacheColumns(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(PassStats{Name: "fs", Hits: 3, Misses: 1})
+	tr.Record(PassStats{Name: "fs", Hits: 2, Misses: 0, Cached: true})
+	tab := tr.Table()
+	if !strings.Contains(tab, "cache=5/6") {
+		t.Errorf("table missing aggregated cache hits:\n%s", tab)
+	}
+	if !strings.Contains(tab, "cached=1/2") {
+		t.Errorf("table missing cached-run count:\n%s", tab)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"fsicp/internal/ast"
 	"fsicp/internal/callgraph"
 	"fsicp/internal/driver"
+	"fsicp/internal/incr"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/modref"
@@ -100,6 +101,16 @@ type Options struct {
 	// computed under older (more conservative) environments, so the
 	// refresh is sound.
 	ReturnsRefresh bool
+
+	// Incr, when non-nil, attaches the incremental engine: the
+	// flow-sensitive methods reuse per-procedure results cached from
+	// previous runs over edited versions of the same program. Results
+	// are byte-identical to a cold run; only the work performed (and
+	// Result.ProcsReused/CacheHits/CacheMisses plus the Intra map,
+	// which stays sparse for procedures that never re-ran) differs.
+	// The flow-insensitive method ignores it (it is a single cheap
+	// whole-program fixpoint).
+	Incr *incr.Engine
 }
 
 // DefaultOptions returns the configuration used for the paper's main
@@ -167,8 +178,21 @@ type Result struct {
 	// never modified in the program (flow-insensitive global solution).
 	ProgramGlobalConstants map[*sem.Var]val.Value
 
+	// Proc[p] is p's portable result summary (flow-sensitive methods
+	// only): liveness, entry environment, and per-call-site values.
+	// Under the incremental engine a summary may come from a previous
+	// run's cache; it is byte-identical to a freshly computed one.
+	Proc map[*sem.Proc]*incr.ProcSummary
+
+	// SiteIndex maps each reachable call instruction to its index in
+	// the containing function's Calls slice (the Sites index of the
+	// caller's summary).
+	SiteIndex map[*ir.CallInstr]int
+
 	// Intra[p] is the final intraprocedural SCC fixpoint of p
-	// (flow-sensitive method only).
+	// (flow-sensitive methods only). Under the incremental engine this
+	// map is sparse: procedures whose summaries were reused have no
+	// fresh fixpoint. Consumers needing per-run data should read Proc.
 	Intra map[*sem.Proc]*scc.Result
 
 	// Dead[p] reports that p, although statically reachable in the
@@ -195,10 +219,20 @@ type Result struct {
 
 	// Iterations and SCCRuns are filled by the iterative method: how
 	// many rounds the global fixpoint took and how many intraprocedural
-	// analyses ran in total (the one-pass method runs exactly one per
-	// procedure — the paper's efficiency argument).
+	// analyses were needed in total (the one-pass method runs exactly
+	// one per procedure — the paper's efficiency argument). SCCRuns
+	// counts logical analyses: an incremental value-cache hit counts,
+	// so the number matches a cold run.
 	Iterations int
 	SCCRuns    int
+
+	// Incremental-engine work accounting (zero on cold runs):
+	// ProcsReused counts procedures reused wholesale from the previous
+	// snapshot; CacheHits/CacheMisses count value-cache lookups for the
+	// procedures that did recompute their entry environments.
+	ProcsReused int
+	CacheHits   int
+	CacheMisses int
 }
 
 // Analyze runs the selected method over a prepared context.

@@ -5,10 +5,11 @@ import (
 	"sync/atomic"
 
 	"fsicp/internal/driver"
+	"fsicp/internal/incr"
+	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/scc"
 	"fsicp/internal/sem"
-	"fsicp/internal/ssa"
 )
 
 // runFSIterative implements the comparison point the paper's §3.2
@@ -37,6 +38,13 @@ import (
 // back edges read a snapshot taken at round start. Rounds, re-analysis
 // counts, and the solution are therefore identical to the serial
 // schedule for every worker count.
+//
+// With an incremental engine attached, the method cannot reuse
+// summaries structurally — a procedure's environment moves over the
+// rounds — but every (fingerprint, environment) pair that recurs,
+// whether within one fixpoint or across edited versions of the
+// program, skips the physical scc run through the value cache.
+// Result.SCCRuns still counts logical runs, so it matches a cold run.
 func runFSIterative(ctx *Context, opts Options) *Result {
 	res := newResult(ctx, opts)
 	cg := ctx.CG
@@ -47,23 +55,36 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 	res.ProgramGlobalConstants = programGlobalConstants(ctx, opts)
 
 	workers := driver.Workers(opts.Workers)
-	var ssaOf []*ssa.SSA
-	opts.Trace.Time("ssa", func(st *driver.PassStats) {
-		ssaOf = buildSSAs(ctx, workers)
-		st.Procs = n
-		st.Notes = fmt.Sprintf("workers=%d", workers)
-	})
+
+	var ist *incrState
+	if opts.Incr != nil {
+		opts.Trace.Time("incr-plan", func(st *driver.PassStats) {
+			ist = beginIncr(ctx, opts, nil, res.SiteIndex, false)
+			st.Procs = n
+		})
+	}
+
+	pool := newSSAPool(ctx)
+	if ist == nil {
+		// Cold run: every procedure runs at least once in round zero,
+		// so prebuild all SSA concurrently. Under the engine SSA is
+		// built lazily — round-zero value-cache hits never need it.
+		opts.Trace.Time("ssa", func(st *driver.PassStats) {
+			pool.prebuild(nil, workers)
+			st.Procs = n
+			st.Notes = fmt.Sprintf("workers=%d", workers)
+		})
+	}
 
 	// Current state, one slot per PCG position (owner-written only), and
 	// the round-start snapshot back edges read from.
-	intra := make([]*scc.Result, n)
+	sums := make([]*incr.ProcSummary, n)
+	prevSums := make([]*incr.ProcSummary, n)
 	entry := make([]lattice.Env[*sem.Var], n)
-	dead := make([]bool, n)
-	prevIntra := make([]*scc.Result, n)
-	prevDead := make([]bool, n)
+	intra := make([]*scc.Result, n)
 
 	levels := forwardLevels(cg)
-	var sccRuns atomic.Int64
+	var sccRuns, physRuns atomic.Int64
 
 	opts.Trace.Time("FS-iterative", func(st *driver.PassStats) {
 		// Iterate to the global fixpoint. The PCG order keeps the round
@@ -72,23 +93,40 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 		const maxRounds = 1000
 		for round := 0; round < maxRounds; round++ {
 			res.Iterations = round + 1
-			copy(prevIntra, intra)
-			copy(prevDead, dead)
+			copy(prevSums, sums)
 			var changed atomic.Bool
 			driver.Wavefront(levels, workers, func(i int) {
-				env, live := iterEntryEnv(ctx, opts, i, intra, dead, prevIntra, prevDead)
-				first := intra[i] == nil
-				if !first && dead[i] == !live && envEq(entry[i], env) {
+				env, live := iterEntryEnv(ctx, opts, i, res.SiteIndex, sums, prevSums)
+				first := sums[i] == nil
+				if !first && sums[i].Dead == !live && envEq(entry[i], env) {
 					return
 				}
-				dead[i] = !live
 				if !live {
 					env = make(lattice.Env[*sem.Var])
 				}
 				entry[i] = env
-				intra[i] = scc.Run(ssaOf[i], scc.Options{Entry: env})
+				p := cg.Reachable[i]
 				sccRuns.Add(1)
 				changed.Store(true)
+				pe := portableEnv(env)
+				if ist != nil {
+					key := incr.EnvKey(pe, live)
+					if cached, ok := ist.plan.Lookup("iter", p.Name, ist.fps[i], key); ok {
+						sums[i] = &incr.ProcSummary{Dead: !live, Entry: pe, Sites: cached.Sites}
+						intra[i] = nil // from an older environment; stale
+						return
+					}
+					physRuns.Add(1)
+					r := scc.Run(pool.get(i), scc.Options{Entry: env})
+					intra[i] = r
+					sums[i] = summarize(ctx, p, r, !live, 0, pe)
+					ist.plan.Store("iter", p.Name, ist.fps[i], key, sums[i])
+					return
+				}
+				physRuns.Add(1)
+				r := scc.Run(pool.get(i), scc.Options{Entry: env})
+				intra[i] = r
+				sums[i] = summarize(ctx, p, r, !live, 0, pe)
 			})
 			if !changed.Load() {
 				break
@@ -96,35 +134,43 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 		}
 		st.Procs = n
 		st.Notes = fmt.Sprintf("workers=%d rounds=%d", workers, res.Iterations)
+		if ist != nil {
+			st.Hits = ist.plan.Hits()
+			st.Misses = ist.plan.Misses()
+			st.Cached = st.Hits > 0
+			st.Notes = fmt.Sprintf("%s scc-runs=%d ssa-built=%d", st.Notes, physRuns.Load(), pool.built.Load())
+			res.CacheHits = st.Hits
+			res.CacheMisses = st.Misses
+		}
 	})
 	res.SCCRuns = int(sccRuns.Load())
 
 	for i, p := range cg.Reachable {
 		res.Entry[p] = entry[i]
-		res.Intra[p] = intra[i]
-		if dead[i] {
+		res.Proc[p] = sums[i]
+		if intra[i] != nil {
+			res.Intra[p] = intra[i]
+		}
+		if sums[i].Dead {
 			res.Dead[p] = true
 		}
+		res.mergeSiteValues(p, sums[i])
 	}
 
-	// Record call-site data from the final fixpoint.
-	sites := make([][]callSiteData, n)
-	driver.Parallel(n, workers, func(i int) {
-		p := cg.Reachable[i]
-		sites[i] = collectCallSites(ctx, opts, p, intra[i], dead[i])
-	})
-	for i := range sites {
-		res.mergeCallSites(sites[i])
+	// Keep the engine's generations turning so the value cache ages
+	// out; the snapshot itself is unused (Structural is false).
+	if ist != nil {
+		ist.commit(sums)
 	}
 	return res
 }
 
 // iterEntryEnv builds p's entry environment from every caller's latest
-// result: current-round slots for forward-edge callers, the round-start
-// snapshot for back-edge callers (including self-calls). Callers
-// without results yet contribute ⊤ (optimism), as do unreachable call
-// sites.
-func iterEntryEnv(ctx *Context, opts Options, pos int, intra []*scc.Result, dead []bool, prevIntra []*scc.Result, prevDead []bool) (lattice.Env[*sem.Var], bool) {
+// summary: current-round slots for forward-edge callers, the
+// round-start snapshot for back-edge callers (including self-calls).
+// Callers without results yet contribute ⊤ (optimism), as do
+// unreachable call sites.
+func iterEntryEnv(ctx *Context, opts Options, pos int, six map[*ir.CallInstr]int, sums, prevSums []*incr.ProcSummary) (lattice.Env[*sem.Var], bool) {
 	cg, mr := ctx.CG, ctx.MR
 	p := cg.Reachable[pos]
 	env := make(lattice.Env[*sem.Var])
@@ -137,14 +183,17 @@ func iterEntryEnv(ctx *Context, opts Options, pos int, intra []*scc.Result, dead
 	nExec := 0
 	for _, e := range cg.In[p] {
 		j := cg.Pos[e.Caller]
-		var r *scc.Result
-		var deadCaller bool
+		var sum *incr.ProcSummary
 		if cg.IsBackEdge(e) {
-			r, deadCaller = prevIntra[j], prevDead[j]
+			sum = prevSums[j]
 		} else {
-			r, deadCaller = intra[j], dead[j]
+			sum = sums[j]
 		}
-		if r == nil || deadCaller || !r.Reachable(e.Site) {
+		if sum == nil || sum.Dead {
+			continue
+		}
+		sv := sum.Sites[six[e.Site]]
+		if !sv.Reachable {
 			continue
 		}
 		nExec++
@@ -152,11 +201,11 @@ func iterEntryEnv(ctx *Context, opts Options, pos int, intra []*scc.Result, dead
 			if i >= len(e.Site.Args) {
 				break
 			}
-			env.MeetInto(f, opts.filter(r.ArgValue(e.Site, i)))
+			env.MeetInto(f, opts.filter(sv.Args[i]))
 		}
 		for g := range mr.Ref[p] {
 			if g.IsGlobal() {
-				env.MeetInto(g, opts.filter(r.GlobalValueAtCall(e.Site, g)))
+				env.MeetInto(g, opts.filter(sv.Globals[g.Index]))
 			}
 		}
 	}

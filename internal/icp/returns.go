@@ -4,11 +4,11 @@ import (
 	"fmt"
 
 	"fsicp/internal/driver"
+	"fsicp/internal/incr"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/scc"
 	"fsicp/internal/sem"
-	"fsicp/internal/ssa"
 )
 
 // runReturns implements the paper's §3.2 return-constant extension: one
@@ -30,7 +30,7 @@ import (
 // reaches the caller — and every such callee sits in an earlier reverse
 // level, behind the barrier, so the parallel schedule reads exactly
 // what the serial one reads.
-func runReturns(ctx *Context, opts Options, res *Result, ssaOf []*ssa.SSA) {
+func runReturns(ctx *Context, opts Options, res *Result, pool *ssaPool) {
 	res.Returns = make(map[*sem.Proc]lattice.Elem)
 	res.ExitEnv = make(map[*sem.Proc]lattice.Env[*sem.Var])
 	cg := ctx.CG
@@ -59,7 +59,7 @@ func runReturns(ctx *Context, opts Options, res *Result, ssaOf []*ssa.SSA) {
 			return exits[j], returns[j], true
 		}
 
-		r := scc.Run(ssaOf[i], scc.Options{
+		r := scc.Run(pool.get(i), scc.Options{
 			Entry: res.Entry[p],
 			CallResult: func(call *ir.CallInstr) lattice.Elem {
 				_, ret, ok := processed(call.Callee)
@@ -94,11 +94,18 @@ func runReturns(ctx *Context, opts Options, res *Result, ssaOf []*ssa.SSA) {
 		res.ExitEnv[p] = exits[i]
 		if intra[i] != nil {
 			res.Intra[p] = intra[i]
+			// The second pass is the final fixpoint; its site
+			// reachability supersedes the first pass's in the summary
+			// (liveness, back edges, and the entry environment are
+			// unchanged by this traversal, and the shared result maps
+			// deliberately keep the FS-stage argument values).
+			old := res.Proc[p]
+			res.Proc[p] = summarize(ctx, p, intra[i], old.Dead, old.BackEdges, old.Entry)
 		}
 	}
 
 	if opts.ReturnsRefresh {
-		refreshForward(ctx, opts, res, ssaOf)
+		refreshForward(ctx, opts, res, pool)
 	}
 }
 
@@ -157,7 +164,7 @@ func exitEnv(ctx *Context, p *sem.Proc, r *scc.Result) lattice.Env[*sem.Var] {
 // sound over-approximations of runtime behaviour. The traversal runs as
 // the same forward wavefront as runFS; the summaries are complete and
 // read-only by now, so the hooks are safe from any worker.
-func refreshForward(ctx *Context, opts Options, res *Result, ssaOf []*ssa.SSA) {
+func refreshForward(ctx *Context, opts Options, res *Result, pool *ssaPool) {
 	cg := ctx.CG
 	n := len(cg.Reachable)
 	if n == 0 {
@@ -172,25 +179,20 @@ func refreshForward(ctx *Context, opts Options, res *Result, ssaOf []*ssa.SSA) {
 	}
 
 	fresh := make([]*scc.Result, n)
+	sums := make([]*incr.ProcSummary, n)
 	entry := make([]lattice.Env[*sem.Var], n)
-	dead := make([]bool, n)
-	sites := make([][]callSiteData, n)
 
 	workers := driver.Workers(opts.Workers)
 	opts.Trace.Time("returns-refresh", func(st *driver.PassStats) {
 		levels := forwardLevels(cg)
-		byPos := func(q *sem.Proc) (*scc.Result, bool) {
-			j := cg.Pos[q]
-			return fresh[j], dead[j]
-		}
+		bySum := func(q *sem.Proc) *incr.ProcSummary { return sums[cg.Pos[q]] }
 		driver.Wavefront(levels, workers, func(i int) {
 			p := cg.Reachable[i]
-			env, live, _ := entryEnv(ctx, opts, p, byPos, res.FI)
+			env, live, nBack := entryEnv(ctx, opts, p, res.SiteIndex, bySum, res.FI)
 			entry[i] = env
-			dead[i] = !live
-			r := scc.Run(ssaOf[i], scc.Options{Entry: env, CallResult: callResult, CallExit: callExit})
+			r := scc.Run(pool.get(i), scc.Options{Entry: env, CallResult: callResult, CallExit: callExit})
 			fresh[i] = r
-			sites[i] = collectCallSites(ctx, opts, p, r, !live)
+			sums[i] = summarize(ctx, p, r, !live, nBack, portableEnv(env))
 		})
 		st.Procs = n
 		st.Notes = fmt.Sprintf("workers=%d levels=%d", workers, len(levels))
@@ -200,9 +202,10 @@ func refreshForward(ctx *Context, opts Options, res *Result, ssaOf []*ssa.SSA) {
 	for i, p := range cg.Reachable {
 		res.Entry[p] = entry[i]
 		res.Intra[p] = fresh[i]
-		if dead[i] {
+		res.Proc[p] = sums[i]
+		if sums[i].Dead {
 			res.Dead[p] = true
 		}
-		res.mergeCallSites(sites[i])
+		res.mergeSiteValues(p, sums[i])
 	}
 }

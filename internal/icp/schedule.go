@@ -3,12 +3,10 @@ package icp
 import (
 	"fsicp/internal/callgraph"
 	"fsicp/internal/driver"
+	"fsicp/internal/incr"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
-	"fsicp/internal/scc"
 	"fsicp/internal/sem"
-	"fsicp/internal/ssa"
-	"fsicp/internal/val"
 )
 
 // This file holds the wavefront-scheduling substrate shared by the
@@ -53,32 +51,22 @@ func reverseLevels(cg *callgraph.Graph) [][]int {
 	})
 }
 
-// buildSSAs runs the per-procedure SSA construction as a concurrent
-// pre-pass (it only reads the IR, so it is embarrassingly parallel).
-func buildSSAs(ctx *Context, workers int) []*ssa.SSA {
-	cg := ctx.CG
-	out := make([]*ssa.SSA, len(cg.Reachable))
-	driver.Parallel(len(out), workers, func(i int) {
-		out[i] = ssa.Build(ctx.Prog.FuncOf[cg.Reachable[i]])
-	})
-	return out
-}
-
-// callerResult looks up the latest intraprocedural result and deadness
-// of a call edge's caller. The slice-of-slots representation (indexed
-// by PCG position, each slot written only by its owning procedure's
-// worker) is what makes the wavefront race-free without locks.
-type callerResult func(q *sem.Proc) (*scc.Result, bool)
+// callerSummary looks up the latest summary of a call edge's caller.
+// The slice-of-slots representation (indexed by PCG position, each
+// slot written only by its owning procedure's worker) is what makes
+// the wavefront race-free without locks. A nil summary means the
+// caller has not been analysed yet (iterative optimism).
+type callerSummary func(q *sem.Proc) *incr.ProcSummary
 
 // entryEnv builds p's entry environment by meeting the contributions of
 // every incoming call edge: forward edges read the caller's completed
-// intraprocedural result via caller; back edges read the
-// flow-insensitive fallback fi (nil when the PCG is acyclic — then no
-// back edges exist). Returns the environment, whether any incoming site
-// is executable, and how many back edges were consulted. Meet is
-// commutative and associative, so the result is independent of edge
-// order.
-func entryEnv(ctx *Context, opts Options, p *sem.Proc, caller callerResult, fi *fiSolution) (env lattice.Env[*sem.Var], live bool, backEdges int) {
+// summary via caller; back edges read the flow-insensitive fallback fi
+// (nil when the PCG is acyclic — then no back edges exist). six maps a
+// call instruction to its index in the caller's summary Sites. Returns
+// the environment, whether any incoming site is executable, and how
+// many back edges were consulted. Meet is commutative and associative,
+// so the result is independent of edge order.
+func entryEnv(ctx *Context, opts Options, p *sem.Proc, six map[*ir.CallInstr]int, caller callerSummary, fi *fiSolution) (env lattice.Env[*sem.Var], live bool, backEdges int) {
 	cg, mr := ctx.CG, ctx.MR
 	env = make(lattice.Env[*sem.Var])
 	if p == cg.Reachable[0] {
@@ -92,8 +80,12 @@ func entryEnv(ctx *Context, opts Options, p *sem.Proc, caller callerResult, fi *
 	for _, e := range cg.In[p] {
 		if !cg.IsBackEdge(e) {
 			// Forward edge: the caller has been analysed.
-			r, deadCaller := caller(e.Caller)
-			if deadCaller || r == nil || !r.Reachable(e.Site) {
+			sum := caller(e.Caller)
+			if sum == nil || sum.Dead {
+				continue // dead caller: contributes ⊤
+			}
+			sv := sum.Sites[six[e.Site]]
+			if !sv.Reachable {
 				continue // unreachable call site: contributes ⊤
 			}
 			nExec++
@@ -101,13 +93,13 @@ func entryEnv(ctx *Context, opts Options, p *sem.Proc, caller callerResult, fi *
 				if i >= len(e.Site.Args) {
 					break
 				}
-				env.MeetInto(f, opts.filter(r.ArgValue(e.Site, i)))
+				env.MeetInto(f, opts.filter(sv.Args[i]))
 			}
 			// Sparse global candidates: only globals the callee
 			// (transitively) references are propagated.
 			for g := range mr.Ref[p] {
 				if g.IsGlobal() {
-					env.MeetInto(g, opts.filter(r.GlobalValueAtCall(e.Site, g)))
+					env.MeetInto(g, opts.filter(sv.Globals[g.Index]))
 				}
 			}
 		} else {
@@ -137,62 +129,4 @@ func entryEnv(ctx *Context, opts Options, p *sem.Proc, caller callerResult, fi *
 		}
 	}
 	return env, true, backEdges
-}
-
-// callSiteData is one procedure's per-call-site record: the lattice
-// value of every actual plus the sparse global candidate maps. Workers
-// build these privately; the scheduler merges them into the shared
-// Result maps serially after the level barrier.
-type callSiteData struct {
-	call *ir.CallInstr
-	vals []lattice.Elem
-	gm   map[*sem.Var]val.Value
-	vm   map[*sem.Var]val.Value
-}
-
-// collectCallSites records p's per-call-site results for the metrics
-// and for callees processed later in the traversal.
-func collectCallSites(ctx *Context, opts Options, p *sem.Proc, r *scc.Result, deadP bool) []callSiteData {
-	mr := ctx.MR
-	calls := ctx.Prog.FuncOf[p].Calls
-	out := make([]callSiteData, 0, len(calls))
-	for _, call := range calls {
-		vals := make([]lattice.Elem, len(call.Args))
-		for i := range call.Args {
-			vals[i] = opts.filter(r.ArgValue(call, i))
-		}
-		gm := make(map[*sem.Var]val.Value)
-		vm := make(map[*sem.Var]val.Value)
-		if r.Reachable(call) && !deadP {
-			for _, g := range ctx.Prog.Sem.Globals {
-				gv := opts.filter(r.GlobalValueAtCall(call, g))
-				if !gv.IsConst() {
-					continue
-				}
-				if mr.Ref[call.Callee].Has(g) {
-					gm[g] = gv.Val
-					// VIS: the subset of propagated candidates also
-					// visible in the calling procedure; the rest are
-					// "invisible global constants passed at a call
-					// site" (paper §4).
-					if p.UsesSet[g] {
-						vm[g] = gv.Val
-					}
-				}
-			}
-		}
-		out = append(out, callSiteData{call: call, vals: vals, gm: gm, vm: vm})
-	}
-	return out
-}
-
-// mergeCallSites installs per-procedure call-site records into the
-// shared Result maps. Must run single-threaded (between levels or after
-// the traversal).
-func (res *Result) mergeCallSites(data []callSiteData) {
-	for _, d := range data {
-		res.ArgVals[d.call] = d.vals
-		res.GlobalCallVals[d.call] = d.gm
-		res.VisibleCallGlobals[d.call] = d.vm
-	}
 }

@@ -4,11 +4,11 @@ import (
 	"fmt"
 
 	"fsicp/internal/driver"
+	"fsicp/internal/incr"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/scc"
 	"fsicp/internal/sem"
-	"fsicp/internal/ssa"
 	"fsicp/internal/val"
 )
 
@@ -46,55 +46,116 @@ func runFS(ctx *Context, opts Options) *Result {
 	res.ProgramGlobalConstants = programGlobalConstants(ctx, opts)
 
 	workers := driver.Workers(opts.Workers)
-	var ssaOf []*ssa.SSA
-	opts.Trace.Time("ssa", func(st *driver.PassStats) {
-		ssaOf = buildSSAs(ctx, workers)
-		st.Procs = n
-		st.Notes = fmt.Sprintf("workers=%d", workers)
-	})
 
+	// Incremental plan: fingerprint the program, diff against the
+	// previous snapshot, and install clean procedures' summaries
+	// wholesale — their entry environments cannot have changed.
+	var ist *incrState
+	sums := make([]*incr.ProcSummary, n)
+	envs := make([]lattice.Env[*sem.Var], n)
 	intra := make([]*scc.Result, n)
-	entry := make([]lattice.Env[*sem.Var], n)
-	dead := make([]bool, n)
-	backUsed := make([]int, n)
-	sites := make([][]callSiteData, n)
+	if opts.Incr != nil {
+		opts.Trace.Time("incr-plan", func(st *driver.PassStats) {
+			ist = beginIncr(ctx, opts, res.FI, res.SiteIndex, true)
+			gbn := globalsByName(ctx)
+			for i, p := range cg.Reachable {
+				if ist.plan.Clean[i] {
+					sums[i] = ist.plan.Prev[i]
+					envs[i] = bindEnv(sums[i].Entry, p, gbn)
+				}
+			}
+			res.ProcsReused = ist.plan.Reused()
+			st.Procs = n
+			st.Notes = fmt.Sprintf("clean=%d", res.ProcsReused)
+		})
+	}
+
+	pool := newSSAPool(ctx)
+	if ist == nil {
+		// Cold run: every procedure needs its SSA; build them all
+		// concurrently up front. Under the engine SSA is built lazily
+		// instead — a procedure whose scc run is served from the value
+		// cache never needs it.
+		opts.Trace.Time("ssa", func(st *driver.PassStats) {
+			pool.prebuild(nil, workers)
+			st.Procs = n
+			st.Notes = fmt.Sprintf("workers=%d", workers)
+		})
+	}
 
 	opts.Trace.Time("FS", func(st *driver.PassStats) {
-		levels := forwardLevels(cg)
-		byPos := func(q *sem.Proc) (*scc.Result, bool) {
-			j := cg.Pos[q]
-			return intra[j], dead[j]
+		allLevels := forwardLevels(cg)
+		levels := allLevels
+		if ist != nil {
+			// The wavefront visits only dirty procedures; levels whose
+			// members are all clean are skipped wholesale.
+			levels = filterLevels(allLevels, func(i int) bool { return sums[i] == nil })
 		}
+		bySum := func(q *sem.Proc) *incr.ProcSummary { return sums[cg.Pos[q]] }
 		driver.Wavefront(levels, workers, func(i int) {
 			p := cg.Reachable[i]
-			env, live, nBack := entryEnv(ctx, opts, p, byPos, res.FI)
-			entry[i] = env
-			dead[i] = !live
-			backUsed[i] = nBack
+			env, live, nBack := entryEnv(ctx, opts, p, res.SiteIndex, bySum, res.FI)
+			envs[i] = env
+			if ist != nil {
+				// Value-level early cutoff: same fingerprint and same
+				// entry environment imply an identical SCC fixpoint.
+				pe := portableEnv(env)
+				key := incr.EnvKey(pe, live)
+				if cached, ok := ist.plan.Lookup("fs", p.Name, ist.fps[i], key); ok {
+					// Liveness and back-edge counts are per-run facts;
+					// only the (deterministic) site values are shared.
+					sums[i] = &incr.ProcSummary{Dead: !live, BackEdges: nBack, Entry: pe, Sites: cached.Sites}
+					return
+				}
+				r := scc.Run(pool.get(i), scc.Options{Entry: env})
+				intra[i] = r
+				sums[i] = summarize(ctx, p, r, !live, nBack, pe)
+				ist.plan.Store("fs", p.Name, ist.fps[i], key, sums[i])
+				return
+			}
 
 			// The single flow-sensitive intraprocedural analysis of p.
-			r := scc.Run(ssaOf[i], scc.Options{Entry: env})
+			r := scc.Run(pool.get(i), scc.Options{Entry: env})
 			intra[i] = r
-			sites[i] = collectCallSites(ctx, opts, p, r, !live)
+			sums[i] = summarize(ctx, p, r, !live, nBack, portableEnv(env))
 		})
 		st.Procs = n
-		st.Notes = fmt.Sprintf("workers=%d levels=%d width=%d", workers, len(levels), driver.MaxWidth(levels))
+		st.Notes = fmt.Sprintf("workers=%d levels=%d width=%d", workers, len(allLevels), driver.MaxWidth(allLevels))
+		if ist != nil {
+			st.Cached = res.ProcsReused > 0
+			st.Hits = ist.plan.Hits()
+			st.Misses = ist.plan.Misses()
+			st.Notes = fmt.Sprintf("%s reused=%d run=%d skipped-levels=%d ssa-built=%d",
+				st.Notes, res.ProcsReused, n-res.ProcsReused, len(allLevels)-len(levels), pool.built.Load())
+			res.CacheHits = st.Hits
+			res.CacheMisses = st.Misses
+		}
 	})
 
 	// Deterministic merge, in topological order.
 	for i, p := range cg.Reachable {
-		res.Entry[p] = entry[i]
-		res.Intra[p] = intra[i]
-		if dead[i] {
+		res.Entry[p] = envs[i]
+		res.Proc[p] = sums[i]
+		if intra[i] != nil {
+			res.Intra[p] = intra[i]
+		}
+		if sums[i].Dead {
 			res.Dead[p] = true
 		}
-		res.BackEdgesUsed += backUsed[i]
-		res.mergeCallSites(sites[i])
+		res.BackEdgesUsed += sums[i].BackEdges
+		res.mergeSiteValues(p, sums[i])
+	}
+
+	// Commit the FS-stage summaries before the returns stages run:
+	// structural reuse diffs FS-stage inputs only, and the returns
+	// traversals recompute from those summaries deterministically.
+	if ist != nil {
+		ist.commit(sums)
 	}
 
 	if opts.ReturnConstants {
 		opts.Trace.Time("returns", func(st *driver.PassStats) {
-			runReturns(ctx, opts, res, ssaOf)
+			runReturns(ctx, opts, res, pool)
 			st.Procs = n
 		})
 	}
@@ -103,6 +164,12 @@ func runFS(ctx *Context, opts Options) *Result {
 
 // newResult allocates the shared Result map set.
 func newResult(ctx *Context, opts Options) *Result {
+	six := make(map[*ir.CallInstr]int)
+	for _, p := range ctx.CG.Reachable {
+		for k, call := range ctx.Prog.FuncOf[p].Calls {
+			six[call] = k
+		}
+	}
 	return &Result{
 		Ctx:                ctx,
 		Opts:               opts,
@@ -110,6 +177,8 @@ func newResult(ctx *Context, opts Options) *Result {
 		ArgVals:            make(map[*ir.CallInstr][]lattice.Elem),
 		GlobalCallVals:     make(map[*ir.CallInstr]map[*sem.Var]val.Value),
 		VisibleCallGlobals: make(map[*ir.CallInstr]map[*sem.Var]val.Value),
+		Proc:               make(map[*sem.Proc]*incr.ProcSummary),
+		SiteIndex:          six,
 		Intra:              make(map[*sem.Proc]*scc.Result),
 		Dead:               make(map[*sem.Proc]bool),
 	}

@@ -1,0 +1,288 @@
+package incr
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Engine owns the cross-run state: the value cache and the snapshot of
+// the previous committed run. One Engine serves one evolving program
+// (a Session); it is safe for the concurrent wavefront of a single run
+// to hit it from many goroutines, but runs themselves must be issued
+// one at a time (Begin .. Commit pairs must not overlap).
+type Engine struct {
+	mu    sync.Mutex
+	cache *cache
+	snap  *Snapshot
+	limit int
+}
+
+// DefaultCacheLimit is the value-cache generation size above which a
+// Commit ages out untouched entries (see SetCacheLimit).
+const DefaultCacheLimit = 2048
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{cache: newCache(), limit: DefaultCacheLimit}
+}
+
+// SetCacheLimit bounds the value cache: when the live generation holds
+// at least n entries at Commit, entries untouched since the previous
+// ageing are dropped (two-generation collection). Ageing on every
+// Commit would evict the working set under edit/undo alternation, so
+// collection is deferred until the cache has actually grown. n <= 0
+// restores the default.
+func (e *Engine) SetCacheLimit(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n <= 0 {
+		n = DefaultCacheLimit
+	}
+	e.limit = n
+}
+
+// Snapshot is the committed outcome of one run: the keys under which
+// it was produced and the per-procedure states for structural reuse.
+type Snapshot struct {
+	// ConfigKey identifies the analysis configuration (method, float
+	// handling, return-constant options). Results are never shared
+	// across configurations.
+	ConfigKey string
+	// ProgramKey is the globals-section fingerprint
+	// (GlobalsFingerprint); summaries index globals by declaration
+	// slot, so nothing survives a change to it.
+	ProgramKey string
+	// FIKey fingerprints the flow-insensitive back-edge fallback
+	// solution ("" when the call graph is acyclic and none was
+	// computed). When it changes, every back-edge target is dirty even
+	// if its forward callers are clean.
+	FIKey string
+	// Procs maps procedure name to its committed state.
+	Procs map[string]ProcState
+}
+
+// ProcInput describes one reachable procedure to Begin, in call-graph
+// position order.
+type ProcInput struct {
+	Name   string
+	FP     string
+	RefKey string
+	// Callees lists the positions of forward-edge callees (back edges
+	// are fed by the flow-insensitive solution, not by caller
+	// summaries, so they do not propagate dirtiness directly).
+	Callees []int
+	// BackEdgeIn reports whether any call-graph back edge targets this
+	// procedure.
+	BackEdgeIn bool
+}
+
+// RunInputs is everything Begin needs to compute the clean set.
+type RunInputs struct {
+	ConfigKey  string
+	ProgramKey string
+	FIKey      string
+	Procs      []ProcInput
+	// SCCs are the call-graph SCC memberships as position lists;
+	// multi-member components go dirty as a unit. (Self-recursion
+	// needs no special casing: a self edge is a back edge, so it is
+	// covered by the procedure's own fingerprint plus the FIKey rule.)
+	SCCs [][]int
+	// Structural enables wholesale reuse of clean procedures. The
+	// iterative method re-runs procedures until a fixpoint and cannot
+	// reuse single summaries structurally; it sets Structural false
+	// and relies on the value-level cache only.
+	Structural bool
+}
+
+// Plan is the per-run view handed to the analysis: which procedures
+// are clean (and their previous summaries), and the value-cache
+// interface for the dirty ones.
+type Plan struct {
+	eng    *Engine
+	prefix string
+
+	// Clean[i] reports that Procs[i] may reuse Prev[i] wholesale.
+	Clean []bool
+	Prev  []*ProcSummary
+
+	hits, misses atomic.Int64
+}
+
+// Begin computes the clean set for a run. It never returns nil; with
+// no usable snapshot every procedure is dirty.
+func (e *Engine) Begin(in RunInputs) *Plan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := len(in.Procs)
+	p := &Plan{
+		eng:    e,
+		prefix: in.ConfigKey + "\x00" + in.ProgramKey + "\x00",
+		Clean:  make([]bool, n),
+		Prev:   make([]*ProcSummary, n),
+	}
+	snap := e.snap
+	if snap != nil && snap.ProgramKey != in.ProgramKey {
+		// The global index space moved under the cached summaries.
+		e.cache.reset()
+	}
+	if snap == nil || !in.Structural ||
+		snap.ConfigKey != in.ConfigKey || snap.ProgramKey != in.ProgramKey {
+		return p
+	}
+
+	dirty := make([]bool, n)
+	fiChanged := snap.FIKey != in.FIKey
+	for i, pi := range in.Procs {
+		st, ok := snap.Procs[pi.Name]
+		switch {
+		case !ok || st.Summary == nil:
+			dirty[i] = true // new (or never-summarised) procedure
+		case st.FP != pi.FP || st.RefKey != pi.RefKey:
+			dirty[i] = true
+		case fiChanged && pi.BackEdgeIn:
+			dirty[i] = true
+		}
+	}
+	// Close the dirty set: forward along call edges (a dirty caller's
+	// call-site values feed its callees' entry environments), and over
+	// cyclic SCCs as a unit (members exchange facts through the
+	// flow-insensitive fallback and, in the iterative method, through
+	// repeated passes; a half-clean cycle has no sound meaning).
+	for changed := true; changed; {
+		changed = false
+		for i, pi := range in.Procs {
+			if !dirty[i] {
+				continue
+			}
+			for _, c := range pi.Callees {
+				if !dirty[c] {
+					dirty[c] = true
+					changed = true
+				}
+			}
+		}
+		for _, comp := range in.SCCs {
+			if len(comp) < 2 {
+				continue
+			}
+			any := false
+			for _, m := range comp {
+				if dirty[m] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			for _, m := range comp {
+				if !dirty[m] {
+					dirty[m] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for i, pi := range in.Procs {
+		if !dirty[i] {
+			p.Clean[i] = true
+			p.Prev[i] = snap.Procs[pi.Name].Summary
+		}
+	}
+	return p
+}
+
+// Lookup consults the value cache for a (pass, procedure, fingerprint,
+// input-key) tuple and counts the hit or miss.
+func (p *Plan) Lookup(pass, name, fp, inputKey string) (*ProcSummary, bool) {
+	s, ok := p.eng.cache.get(p.key(pass, name, fp, inputKey))
+	if ok {
+		p.hits.Add(1)
+	} else {
+		p.misses.Add(1)
+	}
+	return s, ok
+}
+
+// Store records a freshly computed summary in the value cache.
+func (p *Plan) Store(pass, name, fp, inputKey string, s *ProcSummary) {
+	p.eng.cache.put(p.key(pass, name, fp, inputKey), s)
+}
+
+func (p *Plan) key(pass, name, fp, inputKey string) string {
+	return p.prefix + pass + "\x00" + name + "\x00" + fp + "\x00" + inputKey
+}
+
+// Hits and Misses report the value-cache counters for this run.
+func (p *Plan) Hits() int   { return int(p.hits.Load()) }
+func (p *Plan) Misses() int { return int(p.misses.Load()) }
+
+// Reused counts the procedures reused wholesale.
+func (p *Plan) Reused() int {
+	n := 0
+	for _, c := range p.Clean {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// Commit installs the run's snapshot, making it the baseline the next
+// Begin diffs against, and ages the value cache if it has outgrown
+// the engine's limit.
+func (p *Plan) Commit(snap *Snapshot) {
+	p.eng.mu.Lock()
+	defer p.eng.mu.Unlock()
+	p.eng.snap = snap
+	p.eng.cache.maybeRotate(p.eng.limit)
+}
+
+// cache is a two-generation (LRU-ish) map: entries touched since the
+// last rotation survive it, the rest are dropped a generation later.
+// Rotation happens only when the live generation has grown past the
+// engine's limit, so memory stays bounded across long edit sessions
+// without the working set being evicted between consecutive runs.
+type cache struct {
+	mu       sync.Mutex
+	cur, old map[string]*ProcSummary
+}
+
+func newCache() *cache {
+	return &cache{cur: map[string]*ProcSummary{}, old: map[string]*ProcSummary{}}
+}
+
+func (c *cache) get(key string) (*ProcSummary, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.cur[key]; ok {
+		return s, true
+	}
+	if s, ok := c.old[key]; ok {
+		c.cur[key] = s // promote
+		return s, true
+	}
+	return nil, false
+}
+
+func (c *cache) put(key string, s *ProcSummary) {
+	c.mu.Lock()
+	c.cur[key] = s
+	c.mu.Unlock()
+}
+
+func (c *cache) maybeRotate(limit int) {
+	c.mu.Lock()
+	if len(c.cur) >= limit {
+		c.old = c.cur
+		c.cur = map[string]*ProcSummary{}
+	}
+	c.mu.Unlock()
+}
+
+func (c *cache) reset() {
+	c.mu.Lock()
+	c.cur = map[string]*ProcSummary{}
+	c.old = map[string]*ProcSummary{}
+	c.mu.Unlock()
+}

@@ -1,0 +1,77 @@
+// Package incr is the incremental analysis engine: content-addressed
+// caching of per-procedure analysis results plus dirty-set invalidation
+// along the program call graph (PCG).
+//
+// The engine exploits the paper's central structural property: the
+// flow-sensitive method runs exactly one SCC pass per procedure, and
+// everything a procedure's pass consumes from the rest of the program
+// is (a) its own IR, (b) its entry environment — a meet over its
+// forward-edge callers' call-site values plus the flow-insensitive
+// fallback for back edges — and (c) the program's globals section. So a
+// procedure's result is a pure function of
+//
+//	(analysis configuration, globals section, procedure fingerprint,
+//	 entry environment)
+//
+// and can be cached under that key (value-context memoization in the
+// sense of Padhye & Khedker). Two layers of reuse follow:
+//
+//   - Structural: between runs, a dirty set is seeded from procedures
+//     whose fingerprint or transitive REF set changed (plus back-edge
+//     targets when the flow-insensitive solution changed) and closed
+//     forward along the PCG, with cyclic SCCs dirtied as a unit.
+//     Procedures outside the closure reuse their previous summary
+//     wholesale — their entry environments cannot have changed — and
+//     the wavefront scheduler skips levels with no dirty members.
+//   - Value-level: a dirty procedure still recomputes its entry
+//     environment, but if the (fingerprint, environment) pair hits the
+//     cache the expensive SCC run is skipped (early cutoff after an
+//     edit that turns out not to change the facts flowing in).
+//
+// Summaries are "portable": they name variables by source name and
+// globals by declaration index, never by pointer, so a summary cached
+// from one parse of the program can be rebound against a later parse.
+package incr
+
+import "fsicp/internal/lattice"
+
+// SiteValues is the interprocedural view of one call site: whether the
+// site is reachable under the caller's solution, and the lattice value
+// of each actual and of each program global at the call. Args and
+// Globals are the raw (unfiltered) values; consumers apply any
+// float-demotion filter themselves. Both are nil when the site is
+// unreachable (readers must treat the values as top, matching
+// scc.Result.ArgValue on an unreachable site).
+type SiteValues struct {
+	Reachable bool
+	Args      []lattice.Elem
+	Globals   []lattice.Elem // indexed by global declaration order
+}
+
+// ProcSummary is everything downstream consumers need from one
+// procedure's flow-sensitive pass: its liveness, how many back in-edges
+// fell back to the flow-insensitive solution, its entry environment
+// (variable name -> value, raw lattice values), and the per-call-site
+// values in ir.Func.Calls order.
+type ProcSummary struct {
+	Dead      bool
+	BackEdges int
+	Entry     map[string]lattice.Elem
+	Sites     []SiteValues
+}
+
+// ProcState is one procedure's entry in a committed snapshot: the
+// fingerprints the dirty-set computation compares and the summary a
+// clean procedure reuses.
+type ProcState struct {
+	// FP is the procedure content fingerprint (ProcFingerprint).
+	FP string
+	// RefKey fingerprints the procedure's transitive REF set. A callee
+	// edit can add or remove globals from a caller's REF set without
+	// changing the caller's own IR; since the entry environment binds
+	// exactly REF(p), such a procedure must be treated as changed even
+	// though its fingerprint is identical.
+	RefKey string
+	// Summary is the committed result for wholesale reuse.
+	Summary *ProcSummary
+}

@@ -1,0 +1,264 @@
+package incr
+
+import (
+	"math"
+	"testing"
+
+	"fsicp/internal/lattice"
+	"fsicp/internal/val"
+)
+
+// chain builds inputs for main -> a -> b -> c (positions 0..3).
+func chain() RunInputs {
+	return RunInputs{
+		ConfigKey:  "cfg",
+		ProgramKey: "globals-v1",
+		FIKey:      "",
+		Procs: []ProcInput{
+			{Name: "main", FP: "fp-main", Callees: []int{1}},
+			{Name: "a", FP: "fp-a", Callees: []int{2}},
+			{Name: "b", FP: "fp-b", Callees: []int{3}},
+			{Name: "c", FP: "fp-c"},
+		},
+		SCCs:       [][]int{{0}, {1}, {2}, {3}},
+		Structural: true,
+	}
+}
+
+func commitAll(e *Engine, in RunInputs) {
+	p := e.Begin(in)
+	snap := &Snapshot{
+		ConfigKey:  in.ConfigKey,
+		ProgramKey: in.ProgramKey,
+		FIKey:      in.FIKey,
+		Procs:      map[string]ProcState{},
+	}
+	for _, pi := range in.Procs {
+		snap.Procs[pi.Name] = ProcState{FP: pi.FP, RefKey: pi.RefKey, Summary: &ProcSummary{}}
+	}
+	p.Commit(snap)
+}
+
+func wantClean(t *testing.T, p *Plan, want []bool) {
+	t.Helper()
+	for i, w := range want {
+		if p.Clean[i] != w {
+			t.Errorf("Clean[%d] = %v, want %v (full: %v)", i, p.Clean[i], w, p.Clean)
+		}
+	}
+}
+
+func TestBeginNoSnapshotAllDirty(t *testing.T) {
+	e := NewEngine()
+	p := e.Begin(chain())
+	wantClean(t, p, []bool{false, false, false, false})
+	if p.Reused() != 0 {
+		t.Fatalf("Reused = %d, want 0", p.Reused())
+	}
+}
+
+func TestDirtyFlowsForwardToCallees(t *testing.T) {
+	e := NewEngine()
+	commitAll(e, chain())
+
+	in := chain()
+	in.Procs[1].FP = "fp-a-v2" // edit a
+	p := e.Begin(in)
+	// a, b, c dirty (forward closure); main untouched: a caller is not
+	// invalidated by a callee edit unless its REF set changed.
+	wantClean(t, p, []bool{true, false, false, false})
+}
+
+func TestRefKeyChangeDirtiesCaller(t *testing.T) {
+	e := NewEngine()
+	commitAll(e, chain())
+
+	in := chain()
+	in.Procs[1].FP = "fp-a-v2"
+	in.Procs[0].RefKey = "g1" // a's edit pulled g1 into main's REF set
+	p := e.Begin(in)
+	wantClean(t, p, []bool{false, false, false, false})
+}
+
+func TestCleanUnchangedRun(t *testing.T) {
+	e := NewEngine()
+	commitAll(e, chain())
+	p := e.Begin(chain())
+	wantClean(t, p, []bool{true, true, true, true})
+	if p.Reused() != 4 {
+		t.Fatalf("Reused = %d, want 4", p.Reused())
+	}
+	for i := range p.Prev {
+		if p.Prev[i] == nil {
+			t.Fatalf("Prev[%d] = nil for clean proc", i)
+		}
+	}
+}
+
+func TestConfigOrProgramKeyChangeDirtiesAll(t *testing.T) {
+	e := NewEngine()
+	commitAll(e, chain())
+
+	in := chain()
+	in.ConfigKey = "cfg2"
+	wantClean(t, e.Begin(in), []bool{false, false, false, false})
+
+	in = chain()
+	in.ProgramKey = "globals-v2"
+	wantClean(t, e.Begin(in), []bool{false, false, false, false})
+}
+
+func TestFIChangeDirtiesBackEdgeTargets(t *testing.T) {
+	in := chain()
+	in.FIKey = "fi-v1"
+	in.Procs[1].BackEdgeIn = true // c -> a back edge
+	e := NewEngine()
+	commitAll(e, in)
+
+	in2 := chain()
+	in2.FIKey = "fi-v2"
+	in2.Procs[1].BackEdgeIn = true
+	p := e.Begin(in2)
+	// a dirty via the FI rule, b and c via forward closure.
+	wantClean(t, p, []bool{true, false, false, false})
+}
+
+func TestSCCDirtiedAsUnit(t *testing.T) {
+	in := chain()
+	in.SCCs = [][]int{{0}, {1, 2}, {3}} // a and b are mutually recursive
+	e := NewEngine()
+	commitAll(e, in)
+
+	in2 := chain()
+	in2.SCCs = [][]int{{0}, {1, 2}, {3}}
+	in2.Procs[2].FP = "fp-b-v2" // edit b: a joins via SCC rule
+	p := e.Begin(in2)
+	wantClean(t, p, []bool{true, false, false, false})
+}
+
+func TestNewProcDirtyOthersClean(t *testing.T) {
+	e := NewEngine()
+	commitAll(e, chain())
+
+	in := chain()
+	in.Procs = append(in.Procs, ProcInput{Name: "d", FP: "fp-d"})
+	in.SCCs = append(in.SCCs, []int{4})
+	p := e.Begin(in)
+	wantClean(t, p, []bool{true, true, true, true, false})
+}
+
+func TestNonStructuralRunKeepsValueCache(t *testing.T) {
+	e := NewEngine()
+	commitAll(e, chain())
+
+	in := chain()
+	in.Structural = false
+	p := e.Begin(in)
+	wantClean(t, p, []bool{false, false, false, false})
+
+	sum := &ProcSummary{Dead: true}
+	p.Store("iter", "a", "fp-a", "env1", sum)
+	if got, ok := p.Lookup("iter", "a", "fp-a", "env1"); !ok || got != sum {
+		t.Fatalf("Lookup after Store = %v, %v", got, ok)
+	}
+	if _, ok := p.Lookup("iter", "a", "fp-a", "env2"); ok {
+		t.Fatal("Lookup with different input key must miss")
+	}
+	if p.Hits() != 1 || p.Misses() != 1 {
+		t.Fatalf("Hits/Misses = %d/%d, want 1/1", p.Hits(), p.Misses())
+	}
+}
+
+func TestProgramKeyChangeResetsValueCache(t *testing.T) {
+	e := NewEngine()
+	in := chain()
+	p := e.Begin(in)
+	p.Store("fs", "a", "fp-a", "env1", &ProcSummary{})
+	commitAll(e, in)
+
+	in2 := chain()
+	in2.ProgramKey = "globals-v2"
+	p2 := e.Begin(in2)
+	if _, ok := p2.Lookup("fs", "a", "fp-a", "env1"); ok {
+		t.Fatal("value cache must not survive a globals-section change")
+	}
+}
+
+func TestCacheTwoGenerationSurvival(t *testing.T) {
+	e := NewEngine()
+	e.SetCacheLimit(1) // rotate on every commit so ageing is observable
+	in := chain()
+	p := e.Begin(in)
+	p.Store("fs", "a", "fp-a", "env1", &ProcSummary{})
+	commitAll(e, in) // rotation 1: entry moves to the old generation
+
+	p = e.Begin(in)
+	if _, ok := p.Lookup("fs", "a", "fp-a", "env1"); !ok {
+		t.Fatal("entry must survive one rotation")
+	}
+	commitAll(e, in) // rotation 2: the touched entry was promoted
+
+	p = e.Begin(in)
+	if _, ok := p.Lookup("fs", "a", "fp-a", "env1"); !ok {
+		t.Fatal("touched entry must survive the next rotation")
+	}
+	commitAll(e, in) // rotation: entry back to the old generation
+	p = e.Begin(in)
+	p.Store("fs", "b", "fp-b", "env1", &ProcSummary{}) // churn, entry untouched
+	commitAll(e, in)                                   // rotation drops it
+
+	p = e.Begin(in)
+	if _, ok := p.Lookup("fs", "a", "fp-a", "env1"); ok {
+		t.Fatal("untouched entry must age out after two rotations")
+	}
+}
+
+// TestCacheBelowLimitNeverAges pins the deferred-collection behaviour:
+// under the size limit, Commit must not evict anything, so an
+// edit/undo alternation keeps hitting the cache indefinitely.
+func TestCacheBelowLimitNeverAges(t *testing.T) {
+	e := NewEngine()
+	in := chain()
+	p := e.Begin(in)
+	p.Store("fs", "a", "fp-a", "env1", &ProcSummary{})
+	commitAll(e, in)
+	for i := 0; i < 5; i++ {
+		commitAll(e, in) // repeated commits, entry never touched
+	}
+	p = e.Begin(in)
+	if _, ok := p.Lookup("fs", "a", "fp-a", "env1"); !ok {
+		t.Fatal("entry below the cache limit must survive arbitrary commits")
+	}
+}
+
+func TestEnvKeyDistinguishesExactFloats(t *testing.T) {
+	// Two adjacent float64 values that %g formatting may collapse.
+	a := map[string]lattice.Elem{"x": lattice.Const(val.Real(1))}
+	b := map[string]lattice.Elem{"x": lattice.Const(val.Real(math.Nextafter(1, 2)))}
+	c := map[string]lattice.Elem{"x": lattice.Const(val.Real(1))}
+	if EnvKey(a, true) == EnvKey(b, true) {
+		t.Fatal("EnvKey must encode reals exactly")
+	}
+	if EnvKey(a, true) != EnvKey(c, true) {
+		t.Fatal("EnvKey must be deterministic")
+	}
+	if EnvKey(a, true) == EnvKey(a, false) {
+		t.Fatal("EnvKey must encode liveness")
+	}
+}
+
+func TestEnvKeyOrderIndependent(t *testing.T) {
+	a := map[string]lattice.Elem{
+		"x": lattice.Const(val.Int(1)),
+		"y": lattice.BottomElem(),
+		"z": lattice.TopElem(),
+	}
+	b := map[string]lattice.Elem{
+		"z": lattice.TopElem(),
+		"y": lattice.BottomElem(),
+		"x": lattice.Const(val.Int(1)),
+	}
+	if EnvKey(a, true) != EnvKey(b, true) {
+		t.Fatal("EnvKey must not depend on map iteration order")
+	}
+}

@@ -18,6 +18,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"fsicp/internal/ast"
 	"fsicp/internal/sem"
@@ -54,6 +55,24 @@ type Func struct {
 	// when invisible — the paper's VIS vs FS distinction).
 	AllVars  []*sem.Var
 	VarIndex map[*sem.Var]int
+
+	// fp caches a content fingerprint of this function (see
+	// Fingerprint). IR is immutable once the load pipeline — including
+	// the clobber-annotation pass — has finished, so the first value
+	// stored stays valid for the Func's lifetime.
+	fp atomic.Pointer[string]
+}
+
+// Fingerprint returns the function's cached content fingerprint,
+// computing it with fn on first use. Safe for concurrent callers: the
+// computation is deterministic, so racing stores write equal values.
+func (f *Func) Fingerprint(fn func(*Func) string) string {
+	if p := f.fp.Load(); p != nil {
+		return *p
+	}
+	s := fn(f)
+	f.fp.Store(&s)
+	return s
 }
 
 // Entry returns the entry block.

@@ -1,0 +1,221 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Edit returns src with one small validity-preserving mutation chosen
+// deterministically by seed. The mutations are the kinds of change an
+// interactive session produces: flip one literal (a numeric literal to
+// a different number of the same shape, true to false), insert a print
+// statement at the end of a procedure body, or — one edit in eight —
+// insert a comment line, which changes the source text but not the
+// token stream and so exercises the analysis pipeline's parse-only
+// reuse path. When src contains nothing mutable the comment edit is
+// used. The result is deterministic in (src, seed).
+//
+// The edit site is chosen in two stages: first a procedure (uniformly;
+// the globals preamble counts as one more region when it has literals),
+// then a mutation within it. This models an interactive edit stream —
+// a user works on one procedure at a time — where sampling uniformly
+// over the source bytes would concentrate nearly every edit in
+// whichever procedure happens to be textually largest.
+func Edit(src string, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	if rng.Intn(8) == 0 {
+		return commentEdit(src, rng)
+	}
+	spans := literalSpans(src)
+	type region struct {
+		r    span
+		lits []span
+		proc bool // a proc body: a statement can be inserted
+	}
+	var regs []region
+	for _, r := range procRegions(src) {
+		var g []span
+		for _, sp := range spans {
+			if sp.start >= r.start && sp.end <= r.end {
+				g = append(g, sp)
+			}
+		}
+		isProc := strings.HasPrefix(src[r.start:], "proc")
+		if len(g) == 0 && !isProc {
+			continue // globals preamble with nothing to mutate
+		}
+		regs = append(regs, region{r, g, isProc})
+	}
+	if len(regs) == 0 {
+		if len(spans) == 0 {
+			return commentEdit(src, rng)
+		}
+		sp := spans[rng.Intn(len(spans))]
+		return src[:sp.start] + mutateLiteral(src[sp.start:sp.end], rng) + src[sp.end:]
+	}
+	c := regs[rng.Intn(len(regs))]
+	if len(c.lits) > 0 && (!c.proc || rng.Intn(2) == 0) {
+		sp := c.lits[rng.Intn(len(c.lits))]
+		return src[:sp.start] + mutateLiteral(src[sp.start:sp.end], rng) + src[sp.end:]
+	}
+	if out, ok := insertPrint(src, c.r, rng); ok {
+		return out
+	}
+	if len(c.lits) > 0 {
+		sp := c.lits[rng.Intn(len(c.lits))]
+		return src[:sp.start] + mutateLiteral(src[sp.start:sp.end], rng) + src[sp.end:]
+	}
+	return commentEdit(src, rng)
+}
+
+// insertPrint appends a print statement to the procedure body in r, in
+// front of its closing brace. Newlines are insignificant and print
+// takes any expression, so the insertion is always well-formed; it
+// changes only that procedure's fingerprint.
+func insertPrint(src string, r span, rng *rand.Rand) (string, bool) {
+	at := strings.LastIndexByte(src[r.start:r.end], '}')
+	if at < 0 {
+		return "", false
+	}
+	at += r.start
+	return src[:at] + fmt.Sprintf("print %d\n", rng.Intn(1000)) + src[at:], true
+}
+
+// procRegions splits src into the globals preamble plus one region per
+// procedure, delimited by lines whose first word is the proc keyword.
+func procRegions(src string) []span {
+	var out []span
+	start := 0
+	atLineStart := true
+	for i := 0; i < len(src); i++ {
+		switch {
+		case src[i] == '\n':
+			atLineStart = true
+		case atLineStart && (src[i] == ' ' || src[i] == '\t'):
+			// still at logical line start
+		case atLineStart:
+			if strings.HasPrefix(src[i:], "proc") &&
+				(i+4 == len(src) || src[i+4] == ' ' || src[i+4] == '\t') {
+				if i > start {
+					out = append(out, span{start, i})
+				}
+				start = i
+			}
+			atLineStart = false
+		}
+	}
+	if start < len(src) {
+		out = append(out, span{start, len(src)})
+	}
+	return out
+}
+
+// commentEdit inserts a comment line after a random newline (or
+// appends one), changing the source text but not the program.
+func commentEdit(src string, rng *rand.Rand) string {
+	line := fmt.Sprintf("# edit %d\n", rng.Intn(1<<30))
+	var idxs []int
+	for i, c := range src {
+		if c == '\n' {
+			idxs = append(idxs, i+1)
+		}
+	}
+	if len(idxs) == 0 {
+		return src + "\n" + line
+	}
+	at := idxs[rng.Intn(len(idxs))]
+	return src[:at] + line + src[at:]
+}
+
+type span struct{ start, end int }
+
+// literalSpans scans src for mutable literals: maximal digit runs
+// (optionally with one dot — a real literal) not adjacent to an
+// identifier character, plus the words true and false. Comments and
+// string literals are skipped.
+func literalSpans(src string) []span {
+	var out []span
+	isIdent := func(c byte) bool {
+		return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"': // string literal
+			i++
+			for i < len(src) && src[i] != '"' && src[i] != '\n' {
+				i++
+			}
+			i++
+		case c >= '0' && c <= '9':
+			if i > 0 && isIdent(src[i-1]) {
+				// Trailing digits of an identifier (g0, p12): skip the run.
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+				continue
+			}
+			start := i
+			dot := false
+			for i < len(src) {
+				if src[i] >= '0' && src[i] <= '9' {
+					i++
+				} else if src[i] == '.' && !dot && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' {
+					dot = true
+					i++
+				} else {
+					break
+				}
+			}
+			out = append(out, span{start, i})
+		case c == 't' || c == 'f':
+			for _, w := range []string{"true", "false"} {
+				if strings.HasPrefix(src[i:], w) &&
+					(i == 0 || !isIdent(src[i-1])) &&
+					(i+len(w) == len(src) || !isIdent(src[i+len(w)])) {
+					out = append(out, span{i, i + len(w)})
+					i += len(w) - 1
+					break
+				}
+			}
+			i++
+		default:
+			i++
+		}
+	}
+	return out
+}
+
+// mutateLiteral returns a different literal of the same shape.
+func mutateLiteral(old string, rng *rand.Rand) string {
+	switch {
+	case old == "true":
+		return "false"
+	case old == "false":
+		return "true"
+	case strings.Contains(old, "."):
+		for {
+			s := fmt.Sprintf("%d.%d", rng.Intn(50), rng.Intn(100))
+			if s != old {
+				return s
+			}
+		}
+	default:
+		for {
+			s := fmt.Sprintf("%d", rng.Intn(20))
+			if s != old {
+				return s
+			}
+		}
+	}
+}

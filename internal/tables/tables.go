@@ -119,8 +119,8 @@ func MethodMatrixTable(profiles []bench.Profile, floats bool) (string, error) {
 			fmt.Fprintf(&b, "%-15s | %-24s | %5d | %5d | %8s\n",
 				p.Name, e.Name, e.ConstFormals, e.ConstEntries, round(e.Wall))
 		}
-		fmt.Fprintf(&b, "%-15s | %-24s |       |       | %8s (%.2fx vs serial %s)\n",
-			p.Name, "(concurrent)", round(m.Wall), m.Speedup(), round(m.Serial))
+		fmt.Fprintf(&b, "%-15s | %-24s |       |       | %8s (%.2fx vs serial %s, %d workers)\n",
+			p.Name, "(concurrent)", round(m.Wall), m.Speedup(), round(m.Serial), m.Workers)
 	}
 	return b.String(), nil
 }

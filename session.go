@@ -1,0 +1,261 @@
+package fsicp
+
+import (
+	"fmt"
+
+	"fsicp/internal/alias"
+	"fsicp/internal/ast"
+	"fsicp/internal/callgraph"
+	"fsicp/internal/driver"
+	"fsicp/internal/icp"
+	"fsicp/internal/incr"
+	"fsicp/internal/ir"
+	"fsicp/internal/irbuild"
+	"fsicp/internal/modref"
+	"fsicp/internal/parser"
+	"fsicp/internal/sem"
+	"fsicp/internal/source"
+)
+
+// Session is an incremental analysis session over successive versions
+// of one program. Where Load and Program.Analyze recompute everything
+// from scratch, a Session carries two reuse layers across Update
+// calls:
+//
+//   - Load-pass memoization (internal/driver.Memo): the parse pass is
+//     keyed by the source text, and the semantic and interprocedural
+//     passes (sem through clobbers) are keyed by the source's token
+//     stream — so a comment or whitespace edit reparses but reuses the
+//     entire compiled program, and an unchanged source reuses
+//     everything.
+//
+//   - Per-procedure analysis caching (internal/incr.Engine): each
+//     analysis configuration owns an engine whose snapshot and value
+//     cache let the flow-sensitive methods re-analyse only the
+//     procedures an edit actually affects. Incremental results are
+//     byte-identical to a cold analysis of the same source (the
+//     differential property tests enforce this).
+//
+// A Session is not safe for concurrent use, and the destructive
+// Program methods (Transform, Clone, Inline, RemoveDeadProcedures)
+// must not be applied to a Program still owned by a Session — they
+// mutate state the next Update would reuse. Take a fresh Load for
+// transformation work.
+type Session struct {
+	filename string
+	memo     *driver.Memo
+	engines  map[Config]*incr.Engine
+	version  int
+
+	cur *sessionState
+}
+
+// sessionState is the artifact set of the session's current version.
+type sessionState struct {
+	srcKey  string
+	astKey  string
+	astProg *ast.Program
+	prog    *Program
+}
+
+// NewSession loads the initial version of the program. The error is
+// the same Load would report.
+func NewSession(filename, src string) (*Session, error) {
+	s := &Session{
+		filename: filename,
+		memo:     driver.NewMemo(),
+		engines:  make(map[Config]*incr.Engine),
+	}
+	if _, err := s.Update(src); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Program returns the current version's loaded program.
+func (s *Session) Program() *Program { return s.cur.prog }
+
+// Version counts successful Updates (1 after NewSession).
+func (s *Session) Version() int { return s.version }
+
+// Update replaces the program with a new source version, reusing
+// every load pass whose inputs are unchanged. On error (a parse or
+// semantic diagnostic) the session keeps its previous version.
+func (s *Session) Update(src string) (*Program, error) {
+	f := source.NewFile(s.filename, src)
+	prev := s.cur
+	next := &sessionState{srcKey: incr.HashString(src)}
+
+	var (
+		semProg *sem.Program
+		irProg  *ir.Program
+		cg      *callgraph.Graph
+		al      *alias.Info
+		mr      *modref.Info
+	)
+	// astKey fingerprints the source's token stream (kinds and
+	// spellings, not positions): equal keys guarantee structurally
+	// identical ASTs, so the semantic passes can be shared. Computed at
+	// most once per Update, straight from the source — no parse needed.
+	astKey := func() string {
+		if next.astKey == "" {
+			next.astKey = incr.TokenKey(src)
+		}
+		return next.astKey
+	}
+
+	m := driver.NewManager()
+	m.SetMemo(s.memo)
+	m.Add(driver.Pass{
+		Name:        "parse",
+		Fingerprint: func() string { return next.srcKey },
+		Run: func(st *driver.PassStats) (err error) {
+			next.astProg, err = parser.ParseFile(f)
+			return err
+		},
+		Reuse: func(st *driver.PassStats) error {
+			next.astProg = prev.astProg
+			st.Notes = "source unchanged"
+			return nil
+		},
+	})
+	// The semantic and interprocedural passes all consume the checked
+	// AST (directly or transitively), so they share one fingerprint:
+	// the token stream. A lexical-only edit therefore reuses all of
+	// them — including the clobber-mutated IR — wholesale.
+	reusable := []struct {
+		name string
+		deps []string
+		run  func(st *driver.PassStats) error
+		use  func()
+	}{
+		{"sem", []string{"parse"}, func(st *driver.PassStats) (err error) {
+			semProg, err = sem.Check(next.astProg, f)
+			return err
+		}, func() { semProg = prev.prog.ctx.Prog.Sem }},
+		{"irbuild", []string{"sem"}, func(st *driver.PassStats) (err error) {
+			irProg, err = irbuild.Build(semProg)
+			if err == nil {
+				st.Procs = len(irProg.Funcs)
+			}
+			return err
+		}, func() { irProg = prev.prog.ctx.Prog }},
+		{"callgraph", []string{"irbuild"}, func(st *driver.PassStats) error {
+			cg = callgraph.Build(irProg)
+			st.Procs = len(cg.Reachable)
+			back, total := cg.BackEdgeRatio()
+			st.Notes = fmt.Sprintf("%d edges, %d back", total, back)
+			return nil
+		}, func() { cg = prev.prog.ctx.CG }},
+		{"alias", []string{"callgraph"}, func(st *driver.PassStats) error {
+			al = alias.Compute(irProg, cg)
+			st.Procs = len(cg.Reachable)
+			return nil
+		}, func() { al = prev.prog.ctx.AL }},
+		{"modref", []string{"alias"}, func(st *driver.PassStats) error {
+			mr = modref.Compute(irProg, cg, al)
+			st.Procs = len(cg.Reachable)
+			return nil
+		}, func() { mr = prev.prog.ctx.MR }},
+		{"clobbers", []string{"modref"}, func(st *driver.PassStats) error {
+			al.InsertClobbers(irProg, cg)
+			return nil
+		}, func() {}}, // the reused IR is already clobber-mutated
+	}
+	for _, p := range reusable {
+		p := p
+		m.Add(driver.Pass{
+			Name:        p.name,
+			Deps:        p.deps,
+			Fingerprint: astKey,
+			Run:         p.run,
+			Reuse: func(st *driver.PassStats) error {
+				p.use()
+				st.Notes = "AST unchanged"
+				return nil
+			},
+		})
+	}
+
+	trace, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	next.prog = &Program{
+		ctx:   &icp.Context{Prog: irProg, CG: cg, AL: al, MR: mr},
+		trace: trace,
+	}
+	s.cur = next
+	s.version++
+	return next.prog, nil
+}
+
+// Analyze runs the selected ICP method on the current version with
+// the session's incremental engine for that configuration attached:
+// only procedures affected by the edits since the configuration's
+// last Analyze are re-analysed. Results are byte-identical to
+// Program.Analyze on the same source. Analysis.Incremental reports
+// how much was reused.
+func (s *Session) Analyze(cfg Config) *Analysis {
+	eng := s.engines[cfg]
+	if eng == nil {
+		eng = incr.NewEngine()
+		s.engines[cfg] = eng
+	}
+	return s.cur.prog.analyze(cfg, eng)
+}
+
+// Incremental reports the reuse achieved by a Session.Analyze run:
+// procedures whose previous summaries were reused wholesale, and
+// value-cache hits and misses among the re-analysed ones. All zero
+// for a cold (Program.Analyze) run.
+func (a *Analysis) Incremental() (procsReused, cacheHits, cacheMisses int) {
+	return a.res.ProcsReused, a.res.CacheHits, a.res.CacheMisses
+}
+
+// ConstantDelta is one difference between two Constants listings.
+type ConstantDelta struct {
+	// Op is "+" (added), "-" (removed), or "~" (value changed).
+	Op string
+	Constant
+	// OldValue is the previous value when Op is "~".
+	OldValue string
+}
+
+// DiffConstants compares two Constants listings (as returned by
+// Analysis.Constants) and returns the differences: changes and
+// additions in after's order, then removals in before's order.
+// cmd/fsicp's -watch mode prints these between versions.
+func DiffConstants(before, after []Constant) []ConstantDelta {
+	type key struct{ proc, v string }
+	prev := make(map[key]Constant, len(before))
+	for _, c := range before {
+		prev[key{c.Proc, c.Var}] = c
+	}
+	var out []ConstantDelta
+	for _, c := range after {
+		k := key{c.Proc, c.Var}
+		if old, ok := prev[k]; !ok {
+			out = append(out, ConstantDelta{Op: "+", Constant: c})
+		} else if old.Value != c.Value {
+			out = append(out, ConstantDelta{Op: "~", Constant: c, OldValue: old.Value})
+		}
+		delete(prev, k)
+	}
+	for _, c := range before {
+		if _, gone := prev[key{c.Proc, c.Var}]; gone {
+			out = append(out, ConstantDelta{Op: "-", Constant: c})
+		}
+	}
+	return out
+}
+
+// String renders a delta as one line, e.g. "+ p2.a0 = 7" or
+// "~ main.g1 = 3 (was 2)".
+func (d ConstantDelta) String() string {
+	s := fmt.Sprintf("%s %s.%s = %s", d.Op, d.Proc, d.Var, d.Value)
+	if d.Op == "~" {
+		s += fmt.Sprintf(" (was %s)", d.OldValue)
+	}
+	return s
+}
