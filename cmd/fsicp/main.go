@@ -15,6 +15,11 @@
 //	-transform apply the solution to the IR and print the result
 //	-stats   print the per-pass timing table (load + analysis passes)
 //	-workers N bound the per-level analysis concurrency (0 = GOMAXPROCS)
+//	-timeout D wall-clock deadline for the analysis; procedures still
+//	         unfinished at expiry degrade (soundly) to the
+//	         flow-insensitive solution and are listed in the output
+//	-fuel N  per-procedure step budget; a procedure exceeding it
+//	         degrades to the flow-insensitive solution
 //	-json    emit the analysis as machine-readable JSON
 //	-watch   keep running: re-analyse incrementally whenever the file
 //	         changes, printing only the constant deltas and the reuse
@@ -40,8 +45,8 @@ func fail(format string, args ...any) {
 
 // icpConfig maps a -method value to an ICP configuration; ok is false
 // for the jump-function baselines and unknown methods.
-func icpConfig(method string, floats, returns bool, workers int) (fsicp.Config, bool) {
-	cfg := fsicp.Config{PropagateFloats: floats, ReturnConstants: returns, Workers: workers}
+func icpConfig(method string, floats, returns bool, workers int, timeout time.Duration, fuel int) (fsicp.Config, bool) {
+	cfg := fsicp.Config{PropagateFloats: floats, ReturnConstants: returns, Workers: workers, Timeout: timeout, Fuel: fuel}
 	switch method {
 	case "fi":
 		cfg.Method = fsicp.FlowInsensitive
@@ -72,7 +77,22 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis workers per wavefront level (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the analysis as JSON (fs/fi/iter only)")
 	watch := flag.Bool("watch", false, "re-analyse incrementally whenever the file changes, printing constant deltas")
+	timeout := flag.Duration("timeout", 0, "analysis deadline; procedures unfinished at expiry degrade to the flow-insensitive solution (0 = none)")
+	fuel := flag.Int("fuel", 0, "per-procedure step budget; a procedure exceeding it degrades to the flow-insensitive solution (0 = unlimited)")
 	flag.Parse()
+
+	if *watch {
+		// Watch mode owns its own file IO (with retry), so a file that
+		// is momentarily unreadable at startup is not fatal here.
+		if flag.NArg() == 0 {
+			fail("-watch needs a file argument")
+		}
+		cfg, ok := icpConfig(*method, *floats, *returns, *workers, *timeout, *fuel)
+		if !ok {
+			fail("-watch supports the fs|fi|iter methods, not %q", *method)
+		}
+		watchLoop(flag.Arg(0), cfg, 500*time.Millisecond)
+	}
 
 	name := "<stdin>"
 	var src []byte
@@ -85,17 +105,6 @@ func main() {
 	}
 	if err != nil {
 		fail("%v", err)
-	}
-
-	if *watch {
-		if flag.NArg() == 0 {
-			fail("-watch needs a file argument")
-		}
-		cfg, ok := icpConfig(*method, *floats, *returns, *workers)
-		if !ok {
-			fail("-watch supports the fs|fi|iter methods, not %q", *method)
-		}
-		watchLoop(name, cfg, 500*time.Millisecond)
 	}
 
 	prog, err := fsicp.Load(name, string(src))
@@ -124,7 +133,7 @@ func main() {
 		fmt.Print(prog.DumpIR())
 	}
 
-	if cfg, ok := icpConfig(*method, *floats, *returns, *workers); ok {
+	if cfg, ok := icpConfig(*method, *floats, *returns, *workers, *timeout, *fuel); ok {
 		a := prog.Analyze(cfg)
 		if *jsonOut {
 			b, err := buildReport(prog, a, cfg).encode()
@@ -139,6 +148,7 @@ func main() {
 			fmt.Printf(" (%d back edges used the flow-insensitive fallback)", n)
 		}
 		fmt.Println()
+		printDegradations(a.Degradations())
 		printConstants(a.Constants())
 		if *showMetrics {
 			cs := a.CallSiteMetrics()
@@ -184,6 +194,19 @@ func main() {
 		if r.Err != nil {
 			fail("runtime error: %v", r.Err)
 		}
+	}
+}
+
+// printDegradations reports the procedures that fell back to the
+// flow-insensitive solution. The results remain sound — degradation
+// loses precision only — so this is a notice, not an error.
+func printDegradations(ds []fsicp.Degradation) {
+	if len(ds) == 0 {
+		return
+	}
+	fmt.Printf("%d degradation(s) — affected procedures use the flow-insensitive solution:\n", len(ds))
+	for _, d := range ds {
+		fmt.Printf("  %s\n", d)
 	}
 }
 

@@ -22,6 +22,11 @@ type Report struct {
 	// Returns maps function name to its proven return constant (only
 	// when the return-constant extension ran and proved any).
 	Returns map[string]string `json:"returns,omitempty"`
+	// Degradations lists the procedures answered from the
+	// flow-insensitive fallback (deadline, fuel, or fault isolation);
+	// absent on a fully precise run, so existing consumers and the
+	// golden test are unaffected.
+	Degradations []fsicp.Degradation `json:"degradations,omitempty"`
 }
 
 // ProgramInfo summarises the loaded program.
@@ -43,6 +48,7 @@ func buildReport(prog *fsicp.Program, a *fsicp.Analysis, cfg fsicp.Config) Repor
 		CallMetrics:   a.CallSiteMetrics(),
 		EntryMetrics:  a.EntryMetrics(),
 		BackEdgesUsed: a.UsedFlowInsensitiveFallback(),
+		Degradations:  a.Degradations(),
 	}
 	if cfg.ReturnConstants {
 		for _, name := range prog.Procedures() {

@@ -8,42 +8,109 @@ import (
 	fsicp "fsicp"
 )
 
+// watchBackoff controls the retry schedule for transient file errors
+// (editor save races, the file briefly missing during an atomic
+// rename, permission flaps). Reads are retried with doubling delays up
+// to watchMaxBackoff; the loop never gives up — watch mode's contract
+// is to outlive anything the filesystem does to the file.
+const (
+	watchInitialBackoff = 100 * time.Millisecond
+	watchMaxBackoff     = 5 * time.Second
+)
+
 // watchLoop re-analyses the file whenever its content changes, through
 // one incremental Session per run of the command, printing only the
 // constant deltas each version introduces plus the reuse achieved.
 // It polls (no inotify dependency) and never returns.
+//
+// Failure model: a read error or a program that fails to load is
+// always transient — the loop reports it once per new failure,
+// backs off, and keeps the last good session (if any) alive so the
+// next successful save resumes incremental analysis from it.
 func watchLoop(name string, cfg fsicp.Config, interval time.Duration) {
-	src, err := os.ReadFile(name)
-	if err != nil {
-		fail("%v", err)
-	}
-	sess, err := fsicp.NewSession(name, string(src))
-	if err != nil {
-		fail("%v", err)
-	}
-	a := sess.Analyze(cfg)
-	fmt.Printf("watching %s (%s)\n", name, cfg.Method)
-	printConstants(a.Constants())
-	last := a.Constants()
-	lastSrc := string(src)
+	var (
+		sess    *fsicp.Session
+		last    []fsicp.Constant
+		lastSrc string
+		haveSrc bool
+		backoff = watchInitialBackoff
+		lastErr string
+	)
 
+	// report prints an error only when it differs from the previous
+	// one, so a persistent failure doesn't flood the terminal while the
+	// loop retries.
+	report := func(err error) {
+		if msg := err.Error(); msg != lastErr {
+			fmt.Fprintf(os.Stderr, "fsicp: %v (watching for recovery)\n", err)
+			lastErr = msg
+		}
+	}
+	recovered := func() {
+		if lastErr != "" {
+			fmt.Fprintf(os.Stderr, "fsicp: recovered\n")
+			lastErr = ""
+		}
+		backoff = watchInitialBackoff
+	}
+
+	fmt.Printf("watching %s (%s)\n", name, cfg.Method)
 	for {
-		time.Sleep(interval)
 		b, err := os.ReadFile(name)
-		if err != nil || string(b) == lastSrc {
+		if err != nil {
+			report(err)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > watchMaxBackoff {
+				backoff = watchMaxBackoff
+			}
 			continue
 		}
-		lastSrc = string(b)
-		if _, err := sess.Update(lastSrc); err != nil {
+		src := string(b)
+		if haveSrc && src == lastSrc {
+			// Unchanged content: the read succeeded, so reset the read
+			// backoff — but a standing parse/sem error on this content
+			// is not recovered until the content changes.
+			backoff = watchInitialBackoff
+			time.Sleep(interval)
+			continue
+		}
+
+		if sess == nil {
+			// No good version yet: (re)try to open the session. A parse
+			// or semantic error is transient like any other — the next
+			// save may fix it.
+			s, err := fsicp.NewSession(name, src)
+			if err != nil {
+				lastSrc, haveSrc = src, true
+				report(err)
+				time.Sleep(interval)
+				continue
+			}
+			sess = s
+			recovered()
+			lastSrc, haveSrc = src, true
+			a := sess.Analyze(cfg)
+			printDegradations(a.Degradations())
+			printConstants(a.Constants())
+			last = a.Constants()
+			time.Sleep(interval)
+			continue
+		}
+
+		lastSrc, haveSrc = src, true
+		if _, err := sess.Update(src); err != nil {
 			// Keep the previous good version; the next edit may fix it.
-			fmt.Fprintf(os.Stderr, "fsicp: %v\n", err)
+			report(err)
+			time.Sleep(interval)
 			continue
 		}
+		recovered()
 		a := sess.Analyze(cfg)
 		cur := a.Constants()
 		reused, hits, misses := a.Incremental()
 		fmt.Printf("-- v%d: reused %d procedures, value cache %d/%d\n",
 			sess.Version(), reused, hits, hits+misses)
+		printDegradations(a.Degradations())
 		ds := fsicp.DiffConstants(last, cur)
 		if len(ds) == 0 {
 			fmt.Println("   no constant changes")
@@ -52,5 +119,6 @@ func watchLoop(name string, cfg fsicp.Config, interval time.Duration) {
 			fmt.Printf("   %s\n", d)
 		}
 		last = cur
+		time.Sleep(interval)
 	}
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,11 +30,19 @@ func main() {
 	iters := flag.Int("iters", 3, "timing iterations for -table time")
 	depth := flag.Int("depth", 8, "chain depth for -table backedge")
 	stats := flag.Bool("stats", false, "print the aggregated per-pass timing table")
+	timeout := flag.Duration("timeout", 0, "deadline for the methods matrix; analyses unfinished at expiry degrade to the flow-insensitive solution (0 = none)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "icptables:", err)
 		os.Exit(1)
+	}
+
+	gctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		gctx, cancel = context.WithTimeout(gctx, *timeout)
+		defer cancel()
 	}
 
 	var tr *driver.Trace
@@ -103,7 +112,7 @@ func main() {
 		}
 		show(s)
 	case "methods":
-		s, err := tables.MethodMatrixTable(bench.SPECfp92(), true)
+		s, err := tables.MethodMatrixTableCtx(gctx, bench.SPECfp92(), true)
 		if err != nil {
 			fail(err)
 		}
@@ -141,7 +150,7 @@ func main() {
 			fail(err)
 		}
 		show(s5)
-		s6, err := tables.MethodMatrixTable(bench.SPECfp92(), true)
+		s6, err := tables.MethodMatrixTableCtx(gctx, bench.SPECfp92(), true)
 		if err != nil {
 			fail(err)
 		}

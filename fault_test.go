@@ -1,0 +1,259 @@
+package fsicp_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	fsicp "fsicp"
+	"fsicp/internal/bench"
+)
+
+// faultFingerprint extends the facade fingerprint with the degradation
+// report, so byte-identical means "same solution AND same failures".
+func faultFingerprint(a *fsicp.Analysis) string {
+	var b strings.Builder
+	b.WriteString(fingerprint(a))
+	for _, d := range a.Degradations() {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestFaultsNeverEscapePublicAPI: across a seed matrix of injected
+// panics, fuel exhaustion, and latency, AnalyzeContext returns a
+// result — never an error, never a panic — for every method.
+func TestFaultsNeverEscapePublicAPI(t *testing.T) {
+	prog := loadLargest(t)
+	methods := []fsicp.Method{fsicp.FlowSensitive, fsicp.FlowSensitiveIterative, fsicp.FlowInsensitive}
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, m := range methods {
+			for _, faults := range []fsicp.FaultSpec{
+				{Seed: seed, PanicRate: 0.5},
+				{Seed: seed, FuelRate: 0.5},
+				{Seed: seed, PanicRate: 0.3, FuelRate: 0.3, LatencyRate: 0.1, Latency: time.Microsecond},
+				{Seed: seed, PanicRate: 1},
+			} {
+				cfg := fsicp.Config{Method: m, PropagateFloats: true, ReturnConstants: m == fsicp.FlowSensitive, Faults: faults}
+				a, err := prog.AnalyzeContext(context.Background(), cfg)
+				if err != nil {
+					t.Fatalf("seed %d method %s faults %+v: error escaped: %v", seed, m, faults, err)
+				}
+				if a == nil {
+					t.Fatalf("seed %d method %s: nil analysis", seed, m)
+				}
+				// The accessors must all survive a degraded result.
+				a.Constants()
+				a.CallSites()
+				a.CallSiteMetrics()
+				a.EntryMetrics()
+				a.AnnotatedListing()
+				a.StatsTable()
+			}
+		}
+	}
+}
+
+// TestFaultReportsIdenticalAcrossWorkers: the tentpole's determinism
+// claim at the facade — one fault seed, any worker count, byte-identical
+// report (solution, metrics, listing, and degradations).
+func TestFaultReportsIdenticalAcrossWorkers(t *testing.T) {
+	prog := loadLargest(t)
+	for seed := int64(11); seed <= 14; seed++ {
+		faults := fsicp.FaultSpec{Seed: seed, PanicRate: 0.25, FuelRate: 0.25}
+		for _, m := range []fsicp.Method{fsicp.FlowSensitive, fsicp.FlowSensitiveIterative} {
+			var want string
+			for _, workers := range []int{1, 4, 8} {
+				cfg := fsicp.Config{Method: m, PropagateFloats: true, Workers: workers, Faults: faults}
+				a, err := prog.AnalyzeContext(context.Background(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := faultFingerprint(a)
+				if want == "" {
+					want = got
+					if !a.Degraded() {
+						t.Fatalf("seed %d method %s: expected degradations at PanicRate 0.25", seed, m)
+					}
+					continue
+				}
+				if got != want {
+					t.Errorf("seed %d method %s: workers=%d report diverged", seed, m, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestTimeoutDegradesSoundly: an absurdly small deadline degrades
+// procedures instead of failing, the report says why, and every
+// constant the degraded run still claims is one the clean run claims.
+func TestTimeoutDegradesSoundly(t *testing.T) {
+	prog := loadLargest(t)
+	cfg := fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true}
+	clean := map[string]string{}
+	for _, c := range prog.Analyze(cfg).Constants() {
+		clean[c.Proc+"."+c.Var] = c.Value
+	}
+
+	cfg.Timeout = time.Nanosecond
+	a, err := prog.AnalyzeContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("timeout run failed: %v", err)
+	}
+	if !a.Degraded() {
+		t.Fatal("1ns deadline degraded nothing")
+	}
+	for _, d := range a.Degradations() {
+		if d.Reason != "deadline" && d.Reason != "cancelled" {
+			t.Errorf("degradation reason %q, want deadline/cancelled", d.Reason)
+		}
+	}
+	for _, c := range a.Constants() {
+		if v, ok := clean[c.Proc+"."+c.Var]; !ok || v != c.Value {
+			t.Errorf("degraded run invented constant %s.%s=%s", c.Proc, c.Var, c.Value)
+		}
+	}
+}
+
+// TestCancellationHygiene: cancelling an analysis returns promptly,
+// leaks no goroutines, and leaves the Session fully usable — a
+// follow-up analysis on the same session is byte-identical to a cold
+// run, proving degraded results were not cached.
+func TestCancellationHygiene(t *testing.T) {
+	prog := loadLargest(t)
+	cfg := fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, ReturnConstants: true, Workers: 4}
+	coldKey := faultFingerprint(prog.Analyze(cfg))
+
+	src := progSource(t)
+	sess, err := fsicp.NewSession("big.mf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	a, err := sess.AnalyzeContext(ctx, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("cancelled analysis errored: %v", err)
+	}
+	if !a.Degraded() {
+		t.Fatal("cancelled analysis degraded nothing")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled analysis took %v, not prompt", elapsed)
+	}
+
+	// Give any stray workers a moment to exit, then compare counts.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+
+	// The session is alive: the same engine now recomputes at full
+	// precision (a degraded summary must never have been cached).
+	warm, err := sess.AnalyzeContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Degraded() {
+		t.Fatalf("follow-up run still degraded: %v", warm.Degradations())
+	}
+	if got := faultFingerprint(warm); got != coldKey {
+		t.Error("post-cancellation session run differs from a cold analysis")
+	}
+}
+
+// TestDegradedResultsNotReusedAcrossRuns: a faulted session run is
+// followed by a clean-context run under the same configuration minus
+// the faults; since the fault spec is part of the configuration the
+// engines differ, and the clean run must be byte-identical to cold.
+func TestDegradedResultsNotReusedAcrossRuns(t *testing.T) {
+	src := progSource(t)
+	sess, err := fsicp.NewSession("big.mf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true,
+		Faults: fsicp.FaultSpec{Seed: 99, PanicRate: 0.5}}
+	a1 := sess.Analyze(faulted)
+	if !a1.Degraded() {
+		t.Fatal("faulted config degraded nothing")
+	}
+	// Same faulted config again: deterministic injection degrades the
+	// same procedures; the cached portion must not change the answer.
+	if k1, k2 := faultFingerprint(a1), faultFingerprint(sess.Analyze(faulted)); k1 != k2 {
+		t.Error("repeated faulted session runs disagree")
+	}
+
+	clean := fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true}
+	prog, err := fsicp.Load("big.mf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := faultFingerprint(sess.Analyze(clean)), faultFingerprint(prog.Analyze(clean)); got != want {
+		t.Error("clean session run after faulted runs differs from cold")
+	}
+}
+
+// TestLatencyInjectionStaysSound: latency plus a real deadline is the
+// one nondeterministic scenario; the result may degrade differently
+// run to run but must never error and never invent constants.
+func TestLatencyInjectionStaysSound(t *testing.T) {
+	prog := loadLargest(t)
+	base := fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true}
+	clean := map[string]string{}
+	for _, c := range prog.Analyze(base).Constants() {
+		clean[c.Proc+"."+c.Var] = c.Value
+	}
+	cfg := base
+	cfg.Timeout = 2 * time.Millisecond
+	cfg.Faults = fsicp.FaultSpec{Seed: 7, LatencyRate: 0.5, Latency: time.Millisecond}
+	for run := 0; run < 3; run++ {
+		a, err := prog.AnalyzeContext(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		for _, c := range a.Constants() {
+			if v, ok := clean[c.Proc+"."+c.Var]; !ok || v != c.Value {
+				t.Errorf("run %d: invented constant %s.%s=%s", run, c.Proc, c.Var, c.Value)
+			}
+		}
+	}
+}
+
+// TestDegradationStringsArePositioned: the report's strings carry the
+// procedure, the pass, and the reason, so operators can act on them.
+func TestDegradationStringsArePositioned(t *testing.T) {
+	prog := loadLargest(t)
+	cfg := fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Fuel: 10}
+	a, err := prog.AnalyzeContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded() {
+		t.Fatal("fuel=10 degraded nothing on the largest benchmark")
+	}
+	for _, d := range a.Degradations() {
+		s := d.String()
+		if d.Proc == "" || !strings.Contains(s, d.Proc) || !strings.Contains(s, "fuel-exhausted") || !strings.Contains(s, d.Pass) {
+			t.Errorf("unhelpful degradation string %q (%+v)", s, d)
+		}
+	}
+}
+
+// progSource returns the source text of the largest synthetic
+// benchmark, for tests that need a Session over it.
+func progSource(t *testing.T) string {
+	t.Helper()
+	return bench.Build(bench.SPECfp92()[0])
+}

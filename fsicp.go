@@ -28,6 +28,7 @@
 package fsicp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -38,6 +39,7 @@ import (
 	"fsicp/internal/callgraph"
 	"fsicp/internal/clone"
 	"fsicp/internal/driver"
+	"fsicp/internal/faultinject"
 	"fsicp/internal/icp"
 	"fsicp/internal/incr"
 	"fsicp/internal/inline"
@@ -106,6 +108,75 @@ type Config struct {
 	// graph (0 means GOMAXPROCS). Analysis results are byte-identical
 	// for every worker count.
 	Workers int
+
+	// Timeout bounds the analysis wall-clock time. When it expires the
+	// run does not fail: procedures that have not finished their
+	// flow-sensitive analysis degrade to the (sound) flow-insensitive
+	// solution, and the affected procedures are listed in
+	// Analysis.Degradations. 0 means no deadline.
+	Timeout time.Duration
+
+	// Fuel bounds the propagation steps each per-procedure
+	// flow-sensitive analysis may take; a procedure exhausting its
+	// budget degrades to the flow-insensitive solution. The bound is
+	// deterministic: the same program and fuel degrade the same
+	// procedures at every worker count. 0 means unlimited.
+	Fuel int
+
+	// Faults injects deterministic faults (panics, latency stalls,
+	// simulated fuel exhaustion) into the analysis passes and
+	// per-procedure workers — the testing harness for the resilience
+	// layer. The zero FaultSpec injects nothing.
+	Faults FaultSpec
+}
+
+// FaultSpec configures deterministic, seeded fault injection (see
+// internal/faultinject). Whether a fault fires at a given (pass,
+// procedure) site is a pure function of the seed, so a fault scenario
+// replays identically at any worker count. All fields comparable:
+// Config remains usable as a map key.
+type FaultSpec struct {
+	Seed int64
+	// PanicRate is the per-site probability of an injected panic,
+	// FuelRate of a simulated fuel exhaustion, LatencyRate of a stall
+	// of Latency (default 1ms). All in [0, 1].
+	PanicRate   float64
+	FuelRate    float64
+	LatencyRate float64
+	Latency     time.Duration
+}
+
+func (s FaultSpec) spec() faultinject.Spec {
+	return faultinject.Spec{
+		Seed:        s.Seed,
+		PanicRate:   s.PanicRate,
+		FuelRate:    s.FuelRate,
+		LatencyRate: s.LatencyRate,
+		Latency:     s.Latency,
+	}
+}
+
+// Degradation reports one procedure (or whole pass, when Proc is
+// empty) that fell back to the flow-insensitive solution instead of
+// completing its flow-sensitive analysis. Degraded results stay sound;
+// they only lose precision.
+type Degradation struct {
+	Proc   string `json:"proc,omitempty"`
+	Pass   string `json:"pass"`
+	Reason string `json:"reason"` // "panic", "fuel-exhausted", "cancelled", "deadline"
+	Detail string `json:"detail,omitempty"`
+}
+
+func (d Degradation) String() string {
+	who := d.Proc
+	if who == "" {
+		who = "<pass>"
+	}
+	s := fmt.Sprintf("%s: %s during %s", who, d.Reason, d.Pass)
+	if d.Detail != "" {
+		s += " (" + d.Detail + ")"
+	}
+	return s
 }
 
 // JumpFunctionKind selects a baseline jump-function implementation
@@ -255,12 +326,45 @@ type Analysis struct {
 // Analyze runs the selected ICP method. It is safe to call concurrently
 // on the same Program (each call gets its own result and trace).
 func (p *Program) Analyze(cfg Config) *Analysis {
-	return p.analyze(cfg, nil)
+	a, err := p.AnalyzeContext(context.Background(), cfg)
+	if err != nil {
+		// Unreachable with a background context unless the engine has a
+		// genuine bug outside every protected region; surface it exactly
+		// as the pre-backstop code would have.
+		panic(err)
+	}
+	return a
+}
+
+// AnalyzeContext is Analyze under a context. Cancellation and deadline
+// expiry do not fail the analysis: unfinished procedures degrade to
+// the flow-insensitive solution and are reported by
+// Analysis.Degradations. The returned error is reserved for internal
+// failures that escape every recovery layer; injected faults,
+// timeouts, and fuel exhaustion never produce one.
+func (p *Program) AnalyzeContext(ctx context.Context, cfg Config) (*Analysis, error) {
+	return p.analyze(ctx, cfg, nil)
 }
 
 // analyze implements Analyze and Session.Analyze; eng is the session's
 // incremental engine (nil for a cold run).
-func (p *Program) analyze(cfg Config, eng *incr.Engine) *Analysis {
+func (p *Program) analyze(ctx context.Context, cfg Config, eng *incr.Engine) (a *Analysis, err error) {
+	// Backstop: the per-pass and per-worker recover() wrappers inside
+	// the engine isolate faults at their site; anything that still
+	// escapes becomes an error here rather than a crashed process.
+	defer func() {
+		if r := recover(); r != nil {
+			a, err = nil, fmt.Errorf("analysis panic: %v", r)
+		}
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
 	// Every analysis carries its own trace, seeded with the load
 	// pipeline's pass records so Stats reports the whole journey from
 	// source text to solution.
@@ -277,6 +381,12 @@ func (p *Program) analyze(cfg Config, eng *incr.Engine) *Analysis {
 		Workers:         cfg.Workers,
 		Trace:           tr,
 		Incr:            eng,
+		Ctx:             ctx,
+		Fuel:            cfg.Fuel,
+	}
+	if inj := faultinject.New(cfg.Faults.spec()); inj != nil {
+		opts.Faults = inj.Hook()
+		opts.FaultKey = cfg.Faults.spec().String()
 	}
 	switch cfg.Method {
 	case FlowInsensitive:
@@ -286,7 +396,7 @@ func (p *Program) analyze(cfg Config, eng *incr.Engine) *Analysis {
 	default:
 		opts.Method = icp.FlowSensitive
 	}
-	return &Analysis{prog: p, res: icp.Analyze(p.ctx, opts), cfg: cfg, trace: tr}
+	return &Analysis{prog: p, res: icp.Analyze(p.ctx, opts), cfg: cfg, trace: tr}, nil
 }
 
 // Stats returns one record per pipeline pass that ran for this
@@ -344,6 +454,24 @@ func (a *Analysis) Duration() time.Duration { return a.res.AnalysisTime }
 // flow-insensitive solution (non-zero only on recursive programs under
 // the flow-sensitive method).
 func (a *Analysis) UsedFlowInsensitiveFallback() int { return a.res.BackEdgesUsed }
+
+// Degradations lists every procedure the analysis answered from the
+// flow-insensitive fallback instead of the full flow-sensitive
+// solution — because of a panic, fuel exhaustion, cancellation, or a
+// deadline — sorted by (procedure, pass, reason). Empty on a fully
+// precise run. Degraded results are sound over-approximations: every
+// constant reported is still a true constant.
+func (a *Analysis) Degradations() []Degradation {
+	out := make([]Degradation, 0, len(a.res.Degradations))
+	for _, d := range a.res.Degradations {
+		out = append(out, Degradation{Proc: d.Proc, Pass: d.Pass, Reason: string(d.Reason), Detail: d.Detail})
+	}
+	return out
+}
+
+// Degraded reports whether any procedure fell back to the
+// flow-insensitive solution during this analysis.
+func (a *Analysis) Degraded() bool { return len(a.res.Degradations) > 0 }
 
 // CallSiteInfo describes one call site under an analysis: which
 // arguments carry known constants there. The paper calls these the

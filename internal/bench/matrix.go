@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"time"
 
 	"fsicp/internal/driver"
@@ -60,13 +61,22 @@ func (m Matrix) Speedup() float64 {
 // their own wavefronts serially here so the matrix-level parallelism is
 // the only source of concurrency.
 func RunMatrix(ctx *icp.Context, floats bool, workers int) Matrix {
+	return RunMatrixCtx(context.Background(), ctx, floats, workers)
+}
+
+// RunMatrixCtx is RunMatrix under a context: cancellation or deadline
+// expiry degrades the still-running ICP analyses to the
+// flow-insensitive solution (their entries remain sound, just less
+// precise) and unclaimed methods are skipped, leaving zero-valued
+// entries, rather than the whole matrix failing.
+func RunMatrixCtx(gctx context.Context, ctx *icp.Context, floats bool, workers int) Matrix {
 	methods := []struct {
 		name string
 		run  func() (constFormals, constEntries int)
 	}{
-		{"flow-insensitive", icpRunner(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: floats, Workers: 1})},
-		{"flow-sensitive", icpRunner(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: floats, Workers: 1})},
-		{"flow-sensitive-iterative", icpRunner(ctx, icp.Options{Method: icp.FlowSensitiveIterative, PropagateFloats: floats, Workers: 1})},
+		{"flow-insensitive", icpRunner(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: floats, Workers: 1, Ctx: gctx})},
+		{"flow-sensitive", icpRunner(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: floats, Workers: 1, Ctx: gctx})},
+		{"flow-sensitive-iterative", icpRunner(ctx, icp.Options{Method: icp.FlowSensitiveIterative, PropagateFloats: floats, Workers: 1, Ctx: gctx})},
 		{"jf-literal", jfRunner(ctx, jumpfunc.Literal)},
 		{"jf-intra", jfRunner(ctx, jumpfunc.Intra)},
 		{"jf-pass-through", jfRunner(ctx, jumpfunc.PassThrough)},
@@ -74,8 +84,13 @@ func RunMatrix(ctx *icp.Context, floats bool, workers int) Matrix {
 	}
 
 	m := Matrix{Entries: make([]MatrixEntry, len(methods)), Workers: driver.Workers(workers)}
+	// Pre-fill names so a method skipped on cancellation still has an
+	// identifiable (zero-count) entry.
+	for i := range m.Entries {
+		m.Entries[i].Name = methods[i].name
+	}
 	start := time.Now()
-	driver.Parallel(len(methods), driver.Workers(workers), func(i int) {
+	driver.ParallelCtx(gctx, len(methods), driver.Workers(workers), func(i int) {
 		t0 := time.Now()
 		cf, ce := methods[i].run()
 		m.Entries[i] = MatrixEntry{

@@ -14,6 +14,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -36,6 +37,10 @@ type PassStats struct {
 	// performed during the pass (zero when the pass has no cache).
 	Hits   int
 	Misses int
+	// Degraded counts the procedures this pass answered from the
+	// flow-insensitive fallback instead of completing flow-sensitively
+	// (panic isolation, fuel exhaustion, cancellation).
+	Degraded int
 }
 
 // Trace is an ordered, concurrency-safe collection of PassStats
@@ -97,14 +102,15 @@ func (t *Trace) Total() time.Duration {
 func (t *Trace) Table() string {
 	passes := t.Passes()
 	type row struct {
-		name   string
-		runs   int
-		cached int
-		wall   time.Duration
-		procs  int
-		hits   int
-		misses int
-		notes  string
+		name     string
+		runs     int
+		cached   int
+		wall     time.Duration
+		procs    int
+		hits     int
+		misses   int
+		degraded int
+		notes    string
 	}
 	var rows []*row
 	index := make(map[string]*row)
@@ -123,6 +129,7 @@ func (t *Trace) Table() string {
 		r.procs += st.Procs
 		r.hits += st.Hits
 		r.misses += st.Misses
+		r.degraded += st.Degraded
 		if st.Notes != "" {
 			r.notes = st.Notes
 		}
@@ -141,6 +148,9 @@ func (t *Trace) Table() string {
 		}
 		if r.cached > 0 {
 			notes = strings.TrimSpace(notes + fmt.Sprintf(" cached=%d/%d", r.cached, r.runs))
+		}
+		if r.degraded > 0 {
+			notes = strings.TrimSpace(notes + fmt.Sprintf(" degraded=%d", r.degraded))
 		}
 		fmt.Fprintf(&b, "%-16s %5d %10s %6s  %s\n", r.name, r.runs, fmtDuration(r.wall), procs, notes)
 		total += r.wall
@@ -207,6 +217,7 @@ func (m *Memo) set(name, key string) {
 type Manager struct {
 	passes []Pass
 	memo   *Memo
+	faults func(pass, proc string)
 }
 
 // NewManager returns an empty manager.
@@ -215,6 +226,13 @@ func NewManager() *Manager { return &Manager{} }
 // SetMemo attaches a memo for cross-run pass reuse. Passing nil
 // disables memoization (the default).
 func (m *Manager) SetMemo(memo *Memo) { m.memo = memo }
+
+// SetFaults installs a fault-injection hook called at the start of
+// every pass as hook(passName, ""). The hook may panic (the manager's
+// isolation converts it into a pass error) or stall. nil disables
+// injection (the default). The signature matches
+// faultinject.(*Injector).Hook without importing that package.
+func (m *Manager) SetFaults(hook func(pass, proc string)) { m.faults = hook }
 
 // Add registers a pass. Registration order breaks ties among passes
 // whose dependencies are satisfied simultaneously, keeping the schedule
@@ -232,11 +250,31 @@ func (m *Manager) Run() (*Trace, error) {
 
 // RunInto is Run recording into an existing trace.
 func (m *Manager) RunInto(tr *Trace) error {
+	return m.RunIntoContext(context.Background(), tr)
+}
+
+// RunContext is Run under a context: the pipeline stops with ctx.Err()
+// at the next pass boundary after the context ends. (Long-running
+// passes are expected to observe the context themselves, e.g. via a
+// resilience.Budget.)
+func (m *Manager) RunContext(ctx context.Context) (*Trace, error) {
+	tr := NewTrace()
+	return tr, m.RunIntoContext(ctx, tr)
+}
+
+// RunIntoContext is RunContext recording into an existing trace.
+func (m *Manager) RunIntoContext(ctx context.Context, tr *Trace) error {
 	order, err := m.schedule()
 	if err != nil {
 		return err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, p := range order {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("before pass %s: %w", p.Name, err)
+		}
 		var runErr error
 		key := ""
 		if m.memo != nil && p.Fingerprint != nil && p.Reuse != nil {
@@ -245,11 +283,11 @@ func (m *Manager) RunInto(tr *Trace) error {
 		if key != "" && m.memo.match(p.Name, key) {
 			tr.Time(p.Name, func(st *PassStats) {
 				st.Cached = true
-				runErr = p.Reuse(st)
+				runErr = m.protect(p.Name, st, p.Reuse)
 			})
 		} else {
 			tr.Time(p.Name, func(st *PassStats) {
-				runErr = p.Run(st)
+				runErr = m.protect(p.Name, st, p.Run)
 			})
 			if runErr == nil && key != "" {
 				m.memo.set(p.Name, key)
@@ -260,6 +298,21 @@ func (m *Manager) RunInto(tr *Trace) error {
 		}
 	}
 	return nil
+}
+
+// protect runs one pass body with the fault-injection hook applied and
+// panics converted into ordinary errors, so a crashing pass fails the
+// pipeline with a diagnostic instead of crashing the process.
+func (m *Manager) protect(name string, st *PassStats, body func(st *PassStats) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if m.faults != nil {
+		m.faults(name, "")
+	}
+	return body(st)
 }
 
 // schedule topologically sorts the passes, stable in registration

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -83,28 +84,50 @@ func MaxWidth(levels [][]int) int {
 // therefore only read state produced by earlier levels and write state
 // no other item of its level touches.
 func Wavefront(levels [][]int, workers int, fn func(item int)) {
+	WavefrontCtx(context.Background(), levels, workers, fn)
+}
+
+// WavefrontCtx is Wavefront under a context: once ctx ends, no further
+// item is claimed — workers drain and the call returns with every
+// remaining fn(item) simply skipped. The caller is responsible for
+// giving skipped items a sound answer (the ICP engine fills them from
+// the flow-insensitive solution).
+func WavefrontCtx(ctx context.Context, levels [][]int, workers int, fn func(item int)) {
 	workers = Workers(workers)
 	for _, lv := range levels {
-		runLevel(lv, workers, fn)
+		if ctx.Err() != nil {
+			return
+		}
+		runLevel(ctx, lv, workers, fn)
 	}
 }
 
 // Parallel runs fn(0..n-1) concurrently on at most workers goroutines —
 // a single-level wavefront for embarrassingly parallel pre-passes.
 func Parallel(n, workers int, fn func(item int)) {
+	ParallelCtx(context.Background(), n, workers, fn)
+}
+
+// ParallelCtx is Parallel under a context, with WavefrontCtx's
+// drain-on-cancellation behaviour.
+func ParallelCtx(ctx context.Context, n, workers int, fn func(item int)) {
 	items := make([]int, n)
 	for i := range items {
 		items[i] = i
 	}
-	runLevel(items, Workers(workers), fn)
+	runLevel(ctx, items, Workers(workers), fn)
 }
 
-func runLevel(items []int, workers int, fn func(item int)) {
+func runLevel(ctx context.Context, items []int, workers int, fn func(item int)) {
 	if workers > len(items) {
 		workers = len(items)
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for _, it := range items {
+			if done != nil && ctx.Err() != nil {
+				return
+			}
 			fn(it)
 		}
 		return
@@ -116,6 +139,9 @@ func runLevel(items []int, workers int, fn func(item int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil && ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return

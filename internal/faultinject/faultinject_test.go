@@ -1,0 +1,82 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"fsicp/internal/resilience"
+)
+
+func TestNilAndDisabledInjector(t *testing.T) {
+	var in *Injector
+	in.At("FS", "main") // must not panic
+	if in.Hook() != nil {
+		t.Fatal("nil injector must yield a nil hook")
+	}
+	if New(Spec{Seed: 42}) != nil {
+		t.Fatal("zero-rate spec must yield the nil injector")
+	}
+}
+
+func TestRollIsDeterministic(t *testing.T) {
+	a := New(Spec{Seed: 7, PanicRate: 0.5})
+	b := New(Spec{Seed: 7, PanicRate: 0.5})
+	for _, proc := range []string{"main", "p1", "p2", "fib"} {
+		if a.roll("panic", "FS", proc) != b.roll("panic", "FS", proc) {
+			t.Fatalf("roll differs across injectors for %s", proc)
+		}
+	}
+	// Different seeds must decorrelate.
+	c := New(Spec{Seed: 8, PanicRate: 0.5})
+	same := 0
+	for _, proc := range []string{"main", "p1", "p2", "fib", "ack", "gcd"} {
+		if (a.roll("panic", "FS", proc) < 0.5) == (c.roll("panic", "FS", proc) < 0.5) {
+			same++
+		}
+	}
+	if same == 6 {
+		t.Fatal("seeds 7 and 8 made identical decisions at every site")
+	}
+}
+
+func TestRatesZeroAndOne(t *testing.T) {
+	never := New(Spec{Seed: 1, FuelRate: 0, PanicRate: 0, LatencyRate: 1, Latency: 1})
+	never.At("FS", "main") // latency only: returns
+
+	always := New(Spec{Seed: 1, PanicRate: 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("PanicRate=1 must fire")
+		}
+		reason, detail := resilience.Classify(r)
+		if reason != resilience.ReasonPanic {
+			t.Fatalf("reason = %s", reason)
+		}
+		if !strings.Contains(detail, "faultinject: injected panic at FS/main") {
+			t.Fatalf("detail = %q", detail)
+		}
+	}()
+	always.At("FS", "main")
+}
+
+func TestFuelInjectionClassifies(t *testing.T) {
+	in := New(Spec{Seed: 1, FuelRate: 1})
+	defer func() {
+		reason, detail := resilience.Classify(recover())
+		if reason != resilience.ReasonFuel {
+			t.Fatalf("reason = %s, want fuel-exhausted", reason)
+		}
+		if !strings.Contains(detail, "injected at FS/p2") {
+			t.Fatalf("detail = %q", detail)
+		}
+	}()
+	in.At("FS", "p2")
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Seed: 3, PanicRate: 0.25}
+	if got := s.String(); !strings.Contains(got, "seed=3") || !strings.Contains(got, "panic=0.25") {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -25,6 +25,7 @@
 package icp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/modref"
+	"fsicp/internal/resilience"
 	"fsicp/internal/scc"
 	"fsicp/internal/sem"
 	"fsicp/internal/val"
@@ -102,6 +104,31 @@ type Options struct {
 	// refresh is sound.
 	ReturnsRefresh bool
 
+	// Ctx, when non-nil, bounds the analysis: after it ends, the
+	// wavefront stops claiming procedures and every unfinished one
+	// degrades to the flow-insensitive solution (recorded in
+	// Result.Degradations). Nil means no bound.
+	Ctx context.Context
+
+	// Fuel bounds the propagation steps (φ/instruction/terminator
+	// evaluations) each per-procedure flow-sensitive analysis may take;
+	// a procedure exhausting it degrades to the flow-insensitive
+	// solution. 0 means unlimited. The bound is deterministic: the same
+	// program and fuel degrade the same procedures at every worker
+	// count.
+	Fuel int
+
+	// Faults, when non-nil, is the fault-injection hook
+	// (faultinject.(*Injector).Hook), called as hook(pass, proc) at the
+	// start of every protected worker body. Injected panics and aborts
+	// degrade exactly like real ones.
+	Faults func(pass, proc string)
+
+	// FaultKey identifies the active fault-injection spec in cache
+	// keys, so a faulted run never shares incremental state with clean
+	// runs (or runs under a different seed). Empty when Faults is nil.
+	FaultKey string
+
 	// Incr, when non-nil, attaches the incremental engine: the
 	// flow-sensitive methods reuse per-procedure results cached from
 	// previous runs over edited versions of the same program. Results
@@ -117,6 +144,14 @@ type Options struct {
 // tables: flow-sensitive, floats on, returns off.
 func DefaultOptions() Options {
 	return Options{Method: FlowSensitive, PropagateFloats: true}
+}
+
+// context returns the run's context, never nil.
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // filter demotes a float constant to ⊥ when float propagation is off.
@@ -233,6 +268,25 @@ type Result struct {
 	ProcsReused int
 	CacheHits   int
 	CacheMisses int
+
+	// Degradations lists, in deterministic order, every procedure (or
+	// whole pass, Proc == "") that fell back to the flow-insensitive
+	// solution instead of completing flow-sensitively — because of a
+	// panic (isolated), fuel exhaustion, cancellation, or a deadline.
+	// Empty on a fully precise run. The degraded values are sound; they
+	// are simply the paper's FI solution for those procedures.
+	Degradations []resilience.Degradation
+}
+
+// Degraded reports whether procedure name fell back to the
+// flow-insensitive solution during any pass of this run.
+func (r *Result) Degraded(name string) bool {
+	for _, d := range r.Degradations {
+		if d.Proc == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Analyze runs the selected method over a prepared context.
@@ -241,11 +295,16 @@ func Analyze(ctx *Context, opts Options) *Result {
 	var res *Result
 	switch opts.Method {
 	case FlowInsensitive:
+		g := newGuard(opts)
 		opts.Trace.Time("FI", func(st *driver.PassStats) {
-			fi := runFI(ctx, opts)
+			// ensureFI is protected: if the FI computation itself
+			// faults, the result degrades to the empty (all-⊥) solution.
+			fi := g.ensureFI(ctx, opts)
 			res = fi.toResult(ctx, opts)
 			st.Procs = len(ctx.CG.Reachable)
+			st.Degraded = g.passCount("FI")
 		})
+		res.Degradations = g.list()
 	case FlowSensitiveIterative:
 		res = runFSIterative(ctx, opts)
 	default:

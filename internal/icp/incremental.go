@@ -145,20 +145,33 @@ func globalsByName(ctx *Context) map[string]*sem.Var {
 }
 
 // configKey identifies the analysis configuration; cached results are
-// never shared across configurations.
+// never shared across configurations. The fuel budget and the active
+// fault-injection spec are part of the configuration: a run bounded
+// differently degrades different procedures, so its snapshots and
+// cached values must not leak into runs under other bounds (the
+// degraded summaries themselves are additionally never stored at all).
 func configKey(opts Options) string {
 	return strconv.Itoa(int(opts.Method)) +
 		"f" + strconv.FormatBool(opts.PropagateFloats) +
 		"r" + strconv.FormatBool(opts.ReturnConstants) +
-		"R" + strconv.FormatBool(opts.ReturnsRefresh)
+		"R" + strconv.FormatBool(opts.ReturnsRefresh) +
+		"F" + strconv.Itoa(opts.Fuel) +
+		"k" + opts.FaultKey
 }
 
 // commit installs the run's FS-stage summaries as the engine's
-// snapshot, the baseline the next run diffs against.
+// snapshot, the baseline the next run diffs against. A degraded
+// summary is committed as nil — the engine treats a nil summary as
+// dirty, so the procedure is fully re-analysed on the next run instead
+// of its FI fallback being reused as a full-precision result.
 func (st *incrState) commit(sums []*incr.ProcSummary) {
 	procs := make(map[string]incr.ProcState, len(sums))
 	for i, pi := range st.inputs.Procs {
-		procs[pi.Name] = incr.ProcState{FP: pi.FP, RefKey: pi.RefKey, Summary: sums[i]}
+		s := sums[i]
+		if s != nil && s.Degraded {
+			s = nil
+		}
+		procs[pi.Name] = incr.ProcState{FP: pi.FP, RefKey: pi.RefKey, Summary: s}
 	}
 	st.plan.Commit(&incr.Snapshot{
 		ConfigKey:  st.inputs.ConfigKey,

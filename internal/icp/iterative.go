@@ -8,6 +8,7 @@ import (
 	"fsicp/internal/incr"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
+	"fsicp/internal/resilience"
 	"fsicp/internal/scc"
 	"fsicp/internal/sem"
 )
@@ -53,6 +54,19 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 		return res
 	}
 	res.ProgramGlobalConstants = programGlobalConstants(ctx, opts)
+	g := newGuard(opts)
+
+	// The iterative method has no use for the FI solution itself, but
+	// the resilience layer degrades to it; compute it up front whenever
+	// degradation is possible so workers find it ready.
+	if g.armed() {
+		opts.Trace.Time("FI", func(st *driver.PassStats) {
+			g.ensureFI(ctx, opts)
+			st.Procs = n
+			st.Notes = "degradation fallback"
+			st.Degraded = g.passCount("FI")
+		})
+	}
 
 	workers := driver.Workers(opts.Workers)
 
@@ -82,6 +96,10 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 	prevSums := make([]*incr.ProcSummary, n)
 	entry := make([]lattice.Env[*sem.Var], n)
 	intra := make([]*scc.Result, n)
+	// degraded pins a procedure to its FI fallback for all remaining
+	// rounds: its contribution is then stable, so the fixpoint still
+	// converges, and the other procedures keep iterating normally.
+	degraded := make([]bool, n)
 
 	levels := forwardLevels(cg)
 	var sccRuns, physRuns atomic.Int64
@@ -92,47 +110,80 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 		// guarantees termination, the guard guards the guarantee).
 		const maxRounds = 1000
 		for round := 0; round < maxRounds; round++ {
+			if g.ctx.Err() != nil {
+				break
+			}
 			res.Iterations = round + 1
 			copy(prevSums, sums)
 			var changed atomic.Bool
-			driver.Wavefront(levels, workers, func(i int) {
-				env, live := iterEntryEnv(ctx, opts, i, res.SiteIndex, sums, prevSums)
-				first := sums[i] == nil
-				if !first && sums[i].Dead == !live && envEq(entry[i], env) {
+			driver.WavefrontCtx(g.ctx, levels, workers, func(i int) {
+				if degraded[i] {
 					return
 				}
-				if !live {
-					env = make(lattice.Env[*sem.Var])
-				}
-				entry[i] = env
 				p := cg.Reachable[i]
-				sccRuns.Add(1)
-				changed.Store(true)
-				pe := portableEnv(env)
-				if ist != nil {
-					key := incr.EnvKey(pe, live)
-					if cached, ok := ist.plan.Lookup("iter", p.Name, ist.fps[i], key); ok {
-						sums[i] = &incr.ProcSummary{Dead: !live, Entry: pe, Sites: cached.Sites}
-						intra[i] = nil // from an older environment; stale
+				g.protect("FS-iterative", p.Name, func(resilience.Reason) {
+					degraded[i] = true
+					fb := g.ensureFI(ctx, opts)
+					entry[i] = fb.entryEnvFor(p)
+					sums[i] = degradedSummary(ctx, p, fb)
+					intra[i] = nil
+					changed.Store(true)
+				}, func() {
+					env, live := iterEntryEnv(ctx, opts, i, res.SiteIndex, sums, prevSums)
+					first := sums[i] == nil
+					if !first && sums[i].Dead == !live && envEq(entry[i], env) {
+						return
+					}
+					if !live {
+						env = make(lattice.Env[*sem.Var])
+					}
+					entry[i] = env
+					sccRuns.Add(1)
+					changed.Store(true)
+					pe := portableEnv(env)
+					if ist != nil {
+						key := incr.EnvKey(pe, live)
+						if cached, ok := ist.plan.Lookup("iter", p.Name, ist.fps[i], key); ok {
+							sums[i] = &incr.ProcSummary{Dead: !live, Entry: pe, Sites: cached.Sites}
+							intra[i] = nil // from an older environment; stale
+							return
+						}
+						physRuns.Add(1)
+						r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget()})
+						intra[i] = r
+						sums[i] = summarize(ctx, p, r, !live, 0, pe)
+						ist.plan.Store("iter", p.Name, ist.fps[i], key, sums[i])
 						return
 					}
 					physRuns.Add(1)
-					r := scc.Run(pool.get(i), scc.Options{Entry: env})
+					r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget()})
 					intra[i] = r
 					sums[i] = summarize(ctx, p, r, !live, 0, pe)
-					ist.plan.Store("iter", p.Name, ist.fps[i], key, sums[i])
-					return
-				}
-				physRuns.Add(1)
-				r := scc.Run(pool.get(i), scc.Options{Entry: env})
-				intra[i] = r
-				sums[i] = summarize(ctx, p, r, !live, 0, pe)
+				})
 			})
 			if !changed.Load() {
 				break
 			}
 		}
+		// A fixpoint interrupted by cancellation is not a sound answer:
+		// intermediate values are optimistic (they descend towards the
+		// solution from above), so every procedure that has not already
+		// been pinned degrades to the FI solution.
+		if reason, detail := g.ctxReason(); g.ctx.Err() != nil {
+			fb := g.ensureFI(ctx, opts)
+			for i, p := range cg.Reachable {
+				if degraded[i] {
+					continue
+				}
+				degraded[i] = true
+				entry[i] = fb.entryEnvFor(p)
+				sums[i] = degradedSummary(ctx, p, fb)
+				intra[i] = nil
+				g.record(resilience.Degradation{Proc: p.Name, Pass: "FS-iterative", Reason: reason, Detail: detail})
+			}
+		}
 		st.Procs = n
+		st.Degraded = g.passCount("FS-iterative")
 		st.Notes = fmt.Sprintf("workers=%d rounds=%d", workers, res.Iterations)
 		if ist != nil {
 			st.Hits = ist.plan.Hits()
@@ -162,6 +213,7 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 	if ist != nil {
 		ist.commit(sums)
 	}
+	res.Degradations = g.list()
 	return res
 }
 

@@ -7,6 +7,7 @@ import (
 	"fsicp/internal/incr"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
+	"fsicp/internal/resilience"
 	"fsicp/internal/scc"
 	"fsicp/internal/sem"
 )
@@ -30,7 +31,7 @@ import (
 // reaches the caller — and every such callee sits in an earlier reverse
 // level, behind the barrier, so the parallel schedule reads exactly
 // what the serial one reads.
-func runReturns(ctx *Context, opts Options, res *Result, pool *ssaPool) {
+func runReturns(ctx *Context, opts Options, res *Result, pool *ssaPool, g *guard) {
 	res.Returns = make(map[*sem.Proc]lattice.Elem)
 	res.ExitEnv = make(map[*sem.Proc]lattice.Env[*sem.Var])
 	cg := ctx.CG
@@ -40,54 +41,79 @@ func runReturns(ctx *Context, opts Options, res *Result, pool *ssaPool) {
 	exits := make([]lattice.Env[*sem.Var], n)
 	intra := make([]*scc.Result, n)
 
-	driver.Wavefront(reverseLevels(cg), driver.Workers(opts.Workers), func(i int) {
+	// conservative is the know-nothing answer for one procedure: no
+	// returned constant, no constant exit values. It is the sound
+	// degradation target of this pass (the FS-stage summary stands).
+	conservative := func(i int) {
+		returns[i] = lattice.BottomElem()
+		exits[i] = make(lattice.Env[*sem.Var])
+		intra[i] = nil
+	}
+
+	driver.WavefrontCtx(g.ctx, reverseLevels(cg), driver.Workers(opts.Workers), func(i int) {
 		p := cg.Reachable[i]
 		if res.Dead[p] {
 			returns[i] = lattice.BottomElem()
 			exits[i] = make(lattice.Env[*sem.Var])
 			return
 		}
+		g.protect("returns", p.Name, func(resilience.Reason) {
+			conservative(i)
+		}, func() {
 
-		// processed reports whether a callee's summaries are available
-		// from this traversal: exactly the procedures after position i,
-		// which the reverse wavefront has completed in earlier levels.
-		processed := func(callee *sem.Proc) (lattice.Env[*sem.Var], lattice.Elem, bool) {
-			j := cg.Pos[callee]
-			if j <= i {
-				return nil, lattice.Elem{}, false
+			// processed reports whether a callee's summaries are available
+			// from this traversal: exactly the procedures after position i,
+			// which the reverse wavefront has completed in earlier levels.
+			processed := func(callee *sem.Proc) (lattice.Env[*sem.Var], lattice.Elem, bool) {
+				j := cg.Pos[callee]
+				if j <= i {
+					return nil, lattice.Elem{}, false
+				}
+				return exits[j], returns[j], true
 			}
-			return exits[j], returns[j], true
-		}
 
-		r := scc.Run(pool.get(i), scc.Options{
-			Entry: res.Entry[p],
-			CallResult: func(call *ir.CallInstr) lattice.Elem {
-				_, ret, ok := processed(call.Callee)
-				if !ok {
-					return lattice.BottomElem()
-				}
-				return opts.filter(ret)
-			},
-			CallExit: func(call *ir.CallInstr, v *sem.Var) lattice.Elem {
-				exit, _, ok := processed(call.Callee)
-				if !ok {
-					return lattice.BottomElem()
-				}
-				return callExitValue(ctx, opts, call, v, exit)
-			},
+			r := scc.Run(pool.get(i), scc.Options{
+				Entry: res.Entry[p],
+				CallResult: func(call *ir.CallInstr) lattice.Elem {
+					_, ret, ok := processed(call.Callee)
+					if !ok {
+						return lattice.BottomElem()
+					}
+					return opts.filter(ret)
+				},
+				CallExit: func(call *ir.CallInstr, v *sem.Var) lattice.Elem {
+					exit, _, ok := processed(call.Callee)
+					if !ok {
+						return lattice.BottomElem()
+					}
+					return callExitValue(ctx, opts, call, v, exit)
+				},
+				Budget: g.budget(),
+			})
+			// The second analysis is at least as precise as the first
+			// (extra call information only); adopt it as the final
+			// intraprocedural fixpoint.
+			intra[i] = r
+
+			ret := r.ReturnValue()
+			if ret.IsTop() {
+				ret = lattice.BottomElem() // never returns: nothing to propagate
+			}
+			returns[i] = ret
+			exits[i] = exitEnv(ctx, p, r)
 		})
-		// The second analysis is at least as precise as the first
-		// (extra call information only); adopt it as the final
-		// intraprocedural fixpoint.
-		intra[i] = r
-
-		ret := r.ReturnValue()
-		if ret.IsTop() {
-			ret = lattice.BottomElem() // never returns: nothing to propagate
-		}
-		returns[i] = ret
-		exits[i] = exitEnv(ctx, p, r)
 	})
+
+	// Slots never claimed (context ended mid-wavefront) take the
+	// conservative answer.
+	if reason, detail := g.ctxReason(); g.ctx.Err() != nil {
+		for i, p := range cg.Reachable {
+			if exits[i] == nil {
+				conservative(i)
+				g.record(resilience.Degradation{Proc: p.Name, Pass: "returns", Reason: reason, Detail: detail})
+			}
+		}
+	}
 
 	for i, p := range cg.Reachable {
 		res.Returns[p] = returns[i]
@@ -100,12 +126,14 @@ func runReturns(ctx *Context, opts Options, res *Result, pool *ssaPool) {
 			// unchanged by this traversal, and the shared result maps
 			// deliberately keep the FS-stage argument values).
 			old := res.Proc[p]
-			res.Proc[p] = summarize(ctx, p, intra[i], old.Dead, old.BackEdges, old.Entry)
+			ns := summarize(ctx, p, intra[i], old.Dead, old.BackEdges, old.Entry)
+			ns.Degraded = old.Degraded
+			res.Proc[p] = ns
 		}
 	}
 
 	if opts.ReturnsRefresh {
-		refreshForward(ctx, opts, res, pool)
+		refreshForward(ctx, opts, res, pool, g)
 	}
 }
 
@@ -164,7 +192,7 @@ func exitEnv(ctx *Context, p *sem.Proc, r *scc.Result) lattice.Env[*sem.Var] {
 // sound over-approximations of runtime behaviour. The traversal runs as
 // the same forward wavefront as runFS; the summaries are complete and
 // read-only by now, so the hooks are safe from any worker.
-func refreshForward(ctx *Context, opts Options, res *Result, pool *ssaPool) {
+func refreshForward(ctx *Context, opts Options, res *Result, pool *ssaPool, g *guard) {
 	cg := ctx.CG
 	n := len(cg.Reachable)
 	if n == 0 {
@@ -182,26 +210,52 @@ func refreshForward(ctx *Context, opts Options, res *Result, pool *ssaPool) {
 	sums := make([]*incr.ProcSummary, n)
 	entry := make([]lattice.Env[*sem.Var], n)
 
+	// keepOld degrades one procedure to its pre-refresh answer: the
+	// previous traversal's result is a complete sound solution, and the
+	// refresh only sharpens it, so abandoning the refresh loses
+	// precision only.
+	keepOld := func(i int) {
+		p := cg.Reachable[i]
+		entry[i] = res.Entry[p]
+		sums[i] = res.Proc[p]
+		fresh[i] = nil
+	}
+
 	workers := driver.Workers(opts.Workers)
 	opts.Trace.Time("returns-refresh", func(st *driver.PassStats) {
 		levels := forwardLevels(cg)
 		bySum := func(q *sem.Proc) *incr.ProcSummary { return sums[cg.Pos[q]] }
-		driver.Wavefront(levels, workers, func(i int) {
+		driver.WavefrontCtx(g.ctx, levels, workers, func(i int) {
 			p := cg.Reachable[i]
-			env, live, nBack := entryEnv(ctx, opts, p, res.SiteIndex, bySum, res.FI)
-			entry[i] = env
-			r := scc.Run(pool.get(i), scc.Options{Entry: env, CallResult: callResult, CallExit: callExit})
-			fresh[i] = r
-			sums[i] = summarize(ctx, p, r, !live, nBack, portableEnv(env))
+			g.protect("returns-refresh", p.Name, func(resilience.Reason) {
+				keepOld(i)
+			}, func() {
+				env, live, nBack := entryEnv(ctx, opts, p, res.SiteIndex, bySum, res.FI)
+				entry[i] = env
+				r := scc.Run(pool.get(i), scc.Options{Entry: env, CallResult: callResult, CallExit: callExit, Budget: g.budget()})
+				fresh[i] = r
+				sums[i] = summarize(ctx, p, r, !live, nBack, portableEnv(env))
+			})
 		})
+		if reason, detail := g.ctxReason(); g.ctx.Err() != nil {
+			for i, p := range cg.Reachable {
+				if sums[i] == nil {
+					keepOld(i)
+					g.record(resilience.Degradation{Proc: p.Name, Pass: "returns-refresh", Reason: reason, Detail: detail})
+				}
+			}
+		}
 		st.Procs = n
+		st.Degraded = g.passCount("returns-refresh")
 		st.Notes = fmt.Sprintf("workers=%d levels=%d", workers, len(levels))
 	})
 
 	res.Dead = make(map[*sem.Proc]bool)
 	for i, p := range cg.Reachable {
 		res.Entry[p] = entry[i]
-		res.Intra[p] = fresh[i]
+		if fresh[i] != nil {
+			res.Intra[p] = fresh[i]
+		}
 		res.Proc[p] = sums[i]
 		if sums[i].Dead {
 			res.Dead[p] = true

@@ -7,6 +7,7 @@ import (
 	"fsicp/internal/incr"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
+	"fsicp/internal/resilience"
 	"fsicp/internal/scc"
 	"fsicp/internal/sem"
 	"fsicp/internal/val"
@@ -33,14 +34,24 @@ func runFS(ctx *Context, opts Options) *Result {
 	if n == 0 {
 		return res
 	}
+	g := newGuard(opts)
 
 	// The flow-insensitive fallback is needed exactly when back edges
-	// exist (paper §3.2).
-	if cg.HasCycles() {
+	// exist (paper §3.2) — and, additionally, whenever the resilience
+	// guard is armed: a degrading procedure must find the fallback
+	// already computed, so the degraded values (and the trace) stay
+	// deterministic at every worker count.
+	if cg.HasCycles() || g.armed() {
 		opts.Trace.Time("FI", func(st *driver.PassStats) {
-			res.FI = runFI(ctx, opts)
+			fi := g.ensureFI(ctx, opts)
+			if cg.HasCycles() {
+				res.FI = fi
+				st.Notes = "back-edge fallback"
+			} else {
+				st.Notes = "degradation fallback"
+			}
 			st.Procs = n
-			st.Notes = "back-edge fallback"
+			st.Degraded = g.passCount("FI")
 		})
 	}
 	res.ProgramGlobalConstants = programGlobalConstants(ctx, opts)
@@ -92,34 +103,58 @@ func runFS(ctx *Context, opts Options) *Result {
 			levels = filterLevels(allLevels, func(i int) bool { return sums[i] == nil })
 		}
 		bySum := func(q *sem.Proc) *incr.ProcSummary { return sums[cg.Pos[q]] }
-		driver.Wavefront(levels, workers, func(i int) {
+		driver.WavefrontCtx(g.ctx, levels, workers, func(i int) {
 			p := cg.Reachable[i]
-			env, live, nBack := entryEnv(ctx, opts, p, res.SiteIndex, bySum, res.FI)
-			envs[i] = env
-			if ist != nil {
-				// Value-level early cutoff: same fingerprint and same
-				// entry environment imply an identical SCC fixpoint.
-				pe := portableEnv(env)
-				key := incr.EnvKey(pe, live)
-				if cached, ok := ist.plan.Lookup("fs", p.Name, ist.fps[i], key); ok {
-					// Liveness and back-edge counts are per-run facts;
-					// only the (deterministic) site values are shared.
-					sums[i] = &incr.ProcSummary{Dead: !live, BackEdges: nBack, Entry: pe, Sites: cached.Sites}
+			g.protect("FS", p.Name, func(resilience.Reason) {
+				// Degrade this procedure (only) to the FI solution. The
+				// partial fixpoint is discarded — optimistic intermediate
+				// values are not sound answers — and nothing is stored in
+				// the value cache.
+				fb := g.ensureFI(ctx, opts)
+				envs[i] = fb.entryEnvFor(p)
+				intra[i] = nil
+				sums[i] = degradedSummary(ctx, p, fb)
+			}, func() {
+				env, live, nBack := entryEnv(ctx, opts, p, res.SiteIndex, bySum, res.FI)
+				envs[i] = env
+				if ist != nil {
+					// Value-level early cutoff: same fingerprint and same
+					// entry environment imply an identical SCC fixpoint.
+					pe := portableEnv(env)
+					key := incr.EnvKey(pe, live)
+					if cached, ok := ist.plan.Lookup("fs", p.Name, ist.fps[i], key); ok {
+						// Liveness and back-edge counts are per-run facts;
+						// only the (deterministic) site values are shared.
+						sums[i] = &incr.ProcSummary{Dead: !live, BackEdges: nBack, Entry: pe, Sites: cached.Sites}
+						return
+					}
+					r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget()})
+					intra[i] = r
+					sums[i] = summarize(ctx, p, r, !live, nBack, pe)
+					ist.plan.Store("fs", p.Name, ist.fps[i], key, sums[i])
 					return
 				}
-				r := scc.Run(pool.get(i), scc.Options{Entry: env})
-				intra[i] = r
-				sums[i] = summarize(ctx, p, r, !live, nBack, pe)
-				ist.plan.Store("fs", p.Name, ist.fps[i], key, sums[i])
-				return
-			}
 
-			// The single flow-sensitive intraprocedural analysis of p.
-			r := scc.Run(pool.get(i), scc.Options{Entry: env})
-			intra[i] = r
-			sums[i] = summarize(ctx, p, r, !live, nBack, portableEnv(env))
+				// The single flow-sensitive intraprocedural analysis of p.
+				r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget()})
+				intra[i] = r
+				sums[i] = summarize(ctx, p, r, !live, nBack, portableEnv(env))
+			})
 		})
+		// Procedures never claimed (the context ended mid-wavefront)
+		// degrade to the FI solution too.
+		if reason, detail := g.ctxReason(); g.ctx.Err() != nil {
+			for i, p := range cg.Reachable {
+				if sums[i] == nil {
+					fb := g.ensureFI(ctx, opts)
+					envs[i] = fb.entryEnvFor(p)
+					sums[i] = degradedSummary(ctx, p, fb)
+					g.record(resilience.Degradation{Proc: p.Name, Pass: "FS", Reason: reason, Detail: detail})
+				}
+			}
+		}
 		st.Procs = n
+		st.Degraded = g.passCount("FS")
 		st.Notes = fmt.Sprintf("workers=%d levels=%d width=%d", workers, len(allLevels), driver.MaxWidth(allLevels))
 		if ist != nil {
 			st.Cached = res.ProcsReused > 0
@@ -155,10 +190,12 @@ func runFS(ctx *Context, opts Options) *Result {
 
 	if opts.ReturnConstants {
 		opts.Trace.Time("returns", func(st *driver.PassStats) {
-			runReturns(ctx, opts, res, pool)
+			runReturns(ctx, opts, res, pool, g)
 			st.Procs = n
+			st.Degraded = g.passCount("returns") + g.passCount("returns-refresh")
 		})
 	}
+	res.Degradations = g.list()
 	return res
 }
 

@@ -58,6 +58,13 @@ type ProcSummary struct {
 	BackEdges int
 	Entry     map[string]lattice.Elem
 	Sites     []SiteValues
+
+	// Degraded marks a summary served from the flow-insensitive
+	// fallback after a panic, fuel exhaustion, or cancellation. A
+	// degraded summary is sound but below full precision; the engine
+	// must never commit or cache it as a full-precision result (the
+	// commit path replaces it with nil, keeping the procedure dirty).
+	Degraded bool
 }
 
 // ProcState is one procedure's entry in a committed snapshot: the

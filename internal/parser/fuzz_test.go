@@ -26,6 +26,13 @@ func FuzzParse(f *testing.F) {
 		"program p\nproc main() { for i = 1, 10, -2 { break } }",
 		"1e99e99e99",
 		"program p\nproc main() { var r real = .5e-3 }",
+		// Adversarial shapes from the facade robustness audit
+		// (robustness_test.go at the repo root exercises the same
+		// inputs, scaled up, through Load and Session.Update).
+		"program p\nproc main() { print 999999999999999999999999999999 }",
+		"program p\nproc main() { var x int = 1/0\n print x }",
+		"program p\nprogram p\nprogram p\nproc main() {}",
+		" \t\n\r\n ",
 	}
 	for _, s := range seeds {
 		f.Add(s)

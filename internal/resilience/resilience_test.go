@@ -1,0 +1,132 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// recoverReason runs fn and classifies what it panicked with.
+func recoverReason(t *testing.T, fn func()) (Reason, string) {
+	t.Helper()
+	var reason Reason
+	var detail string
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected a panic")
+			}
+			reason, detail = Classify(r)
+		}()
+		fn()
+	}()
+	return reason, detail
+}
+
+func TestBudgetNilIsNoop(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 10_000; i++ {
+		b.Step(1)
+	}
+	if b.Used() != 0 {
+		t.Fatal("nil budget should meter nothing")
+	}
+	if NewBudget(context.Background(), 0) != nil {
+		t.Fatal("nothing to meter should yield the nil budget")
+	}
+}
+
+func TestBudgetFuelExhaustion(t *testing.T) {
+	b := NewBudget(context.Background(), 100)
+	reason, _ := recoverReason(t, func() {
+		for i := 0; i < 1000; i++ {
+			b.Step(1)
+		}
+	})
+	if reason != ReasonFuel {
+		t.Fatalf("reason = %s, want %s", reason, ReasonFuel)
+	}
+	if b.Used() != 101 {
+		t.Fatalf("used = %d steps, want exhaustion at 101", b.Used())
+	}
+}
+
+func TestBudgetExhaustionIsDeterministic(t *testing.T) {
+	// The exhaustion point must depend only on the step sequence, not
+	// on call batching around the poll interval.
+	for _, batch := range []int{1, 7, 64} {
+		b := NewBudget(context.Background(), 5000)
+		func() {
+			defer func() { recover() }()
+			for {
+				b.Step(batch)
+			}
+		}()
+		if u := b.Used(); u <= 5000 {
+			t.Fatalf("batch %d: exhausted at %d steps, want > budget", batch, u)
+		}
+	}
+}
+
+func TestBudgetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := NewBudget(ctx, 0)
+	if b == nil {
+		t.Fatal("cancellable context must yield a live budget")
+	}
+	reason, _ := recoverReason(t, func() {
+		for i := 0; i < 100_000; i++ {
+			b.Step(1)
+		}
+	})
+	if reason != ReasonCancelled {
+		t.Fatalf("reason = %s, want %s", reason, ReasonCancelled)
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	b := NewBudget(ctx, 0)
+	reason, _ := recoverReason(t, func() {
+		for i := 0; i < 100_000; i++ {
+			b.Step(1)
+		}
+	})
+	if reason != ReasonDeadline {
+		t.Fatalf("reason = %s, want %s", reason, ReasonDeadline)
+	}
+}
+
+func TestClassifyGenuinePanic(t *testing.T) {
+	reason, detail := recoverReason(t, func() { panic("index out of range") })
+	if reason != ReasonPanic || detail != "index out of range" {
+		t.Fatalf("got (%s, %q)", reason, detail)
+	}
+}
+
+func TestSortIsDeterministic(t *testing.T) {
+	ds := []Degradation{
+		{Proc: "b", Pass: "FS", Reason: ReasonFuel},
+		{Proc: "a", Pass: "returns", Reason: ReasonPanic},
+		{Proc: "a", Pass: "FS", Reason: ReasonPanic},
+	}
+	Sort(ds)
+	if ds[0].Proc != "a" || ds[0].Pass != "FS" || ds[2].Proc != "b" {
+		t.Fatalf("unexpected order: %v", ds)
+	}
+}
+
+func TestDegradationString(t *testing.T) {
+	d := Degradation{Proc: "p3", Pass: "FS", Reason: ReasonFuel, Detail: "budget 100 steps"}
+	want := "p3: fuel-exhausted during FS (budget 100 steps)"
+	if d.String() != want {
+		t.Fatalf("String = %q, want %q", d.String(), want)
+	}
+	if got := (Degradation{Pass: "FI", Reason: ReasonPanic}).String(); got != "<pass>: panic during FI" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,90 @@
+package scc_test
+
+import (
+	"testing"
+
+	"fsicp/internal/resilience"
+	"fsicp/internal/scc"
+	"fsicp/internal/ssa"
+	"fsicp/internal/testutil"
+)
+
+const budgetSrc = `program p
+proc main() {
+  var x int = 2
+  var y int = 0
+  var i int = 0
+  while i < 10 {
+    y = y + x
+    i = i + 1
+  }
+  print y
+}`
+
+// abortReason runs body and returns the resilience classification of
+// its panic, if any.
+func abortReason(body func()) (reason resilience.Reason, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			reason, _ = resilience.Classify(r)
+			aborted = true
+		}
+	}()
+	body()
+	return "", false
+}
+
+// TestRunWithoutBudgetUnchanged: a nil budget is the pre-resilience
+// behaviour.
+func TestRunWithoutBudgetUnchanged(t *testing.T) {
+	p := testutil.MustBuild(t, budgetSrc)
+	f := testutil.FuncByName(t, p, "main")
+	r := scc.Run(ssa.Build(f), scc.Options{Budget: nil})
+	if r == nil {
+		t.Fatal("nil result")
+	}
+}
+
+// TestRunFuelExhaustionAborts: a too-small budget aborts the run with
+// the fuel-exhausted sentinel; a generous one completes.
+func TestRunFuelExhaustionAborts(t *testing.T) {
+	p := testutil.MustBuild(t, budgetSrc)
+	f := testutil.FuncByName(t, p, "main")
+	s := ssa.Build(f)
+
+	reason, aborted := abortReason(func() {
+		scc.Run(s, scc.Options{Budget: resilience.NewBudget(nil, 3)})
+	})
+	if !aborted {
+		t.Fatal("fuel=3 did not abort the propagation")
+	}
+	if reason != resilience.ReasonFuel {
+		t.Errorf("reason = %q, want %q", reason, resilience.ReasonFuel)
+	}
+
+	if _, aborted := abortReason(func() {
+		scc.Run(s, scc.Options{Budget: resilience.NewBudget(nil, 1<<20)})
+	}); aborted {
+		t.Error("generous budget aborted")
+	}
+}
+
+// TestRunFuelIsDeterministic: the abort point is a pure function of
+// the SSA and the budget — the used-step count at exhaustion is
+// identical across repeated runs.
+func TestRunFuelIsDeterministic(t *testing.T) {
+	p := testutil.MustBuild(t, budgetSrc)
+	f := testutil.FuncByName(t, p, "main")
+	s := ssa.Build(f)
+	var used []int64
+	for run := 0; run < 5; run++ {
+		b := resilience.NewBudget(nil, 7)
+		abortReason(func() { scc.Run(s, scc.Options{Budget: b}) })
+		used = append(used, b.Used())
+	}
+	for _, u := range used[1:] {
+		if u != used[0] {
+			t.Fatalf("used steps varied across runs: %v", used)
+		}
+	}
+}

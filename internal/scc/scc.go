@@ -19,6 +19,7 @@ package scc
 import (
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
+	"fsicp/internal/resilience"
 	"fsicp/internal/sem"
 	"fsicp/internal/ssa"
 	"fsicp/internal/val"
@@ -42,6 +43,15 @@ type Options struct {
 	// global), derived from the callee's exit environment. Nil keeps
 	// may-defined variables ⊥ after calls.
 	CallExit func(call *ir.CallInstr, v *sem.Var) lattice.Elem
+
+	// Budget, if non-nil, meters the propagation: one step per
+	// evaluated φ, instruction, or terminator. Exhausting the budget
+	// (or its context) aborts Run with a resilience sentinel panic —
+	// the caller's recover() wrapper degrades the procedure to the
+	// flow-insensitive solution. Since the step sequence depends only
+	// on the SSA form and the entry environment, the abort point is
+	// deterministic.
+	Budget *resilience.Budget
 }
 
 // Result holds the fixpoint.
@@ -183,6 +193,7 @@ func (e *engine) processUses(d *ssa.Definition) {
 }
 
 func (e *engine) evalPhi(phi *Phi) {
+	e.opts.Budget.Step(1)
 	acc := lattice.TopElem()
 	for i, p := range phi.Block.Preds {
 		if !e.res.EdgeExec[[2]int{p.Index, phi.Block.Index}] {
@@ -200,6 +211,7 @@ func (e *engine) evalPhi(phi *Phi) {
 type Phi = ssa.Phi
 
 func (e *engine) evalInstr(in ir.Instr) {
+	e.opts.Budget.Step(1)
 	defs := e.s.InstrDefs[in]
 	uses := e.s.UseDefs[in]
 	switch in := in.(type) {
@@ -270,6 +282,7 @@ func (e *engine) foldBinary(in *ir.BinaryInstr, x, y lattice.Elem) lattice.Elem 
 }
 
 func (e *engine) evalTerm(b *ir.Block) {
+	e.opts.Budget.Step(1)
 	switch t := b.Term.(type) {
 	case *ir.Jump:
 		e.addEdge(b, t.Target)

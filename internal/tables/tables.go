@@ -4,6 +4,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -106,6 +107,14 @@ func LoadSuiteTraced(profiles []bench.Profile, floats bool, tr *driver.Trace) (*
 // renders the per-method precision and timing, with the speedup of the
 // concurrent run over the serial sum.
 func MethodMatrixTable(profiles []bench.Profile, floats bool) (string, error) {
+	return MethodMatrixTableCtx(context.Background(), profiles, floats)
+}
+
+// MethodMatrixTableCtx is MethodMatrixTable under a context: when the
+// context ends mid-run, the ICP analyses degrade to the
+// flow-insensitive solution instead of the table failing (see
+// bench.RunMatrixCtx).
+func MethodMatrixTableCtx(gctx context.Context, profiles []bench.Profile, floats bool) (string, error) {
 	var b strings.Builder
 	b.WriteString(header("Method matrix: all methods and baselines, run concurrently per benchmark",
 		"PROGRAM        ", "METHOD                  ", "CONST", "ENTRY", "    WALL"))
@@ -114,7 +123,7 @@ func MethodMatrixTable(profiles []bench.Profile, floats bool) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		m := bench.RunMatrix(ctx, floats, 0)
+		m := bench.RunMatrixCtx(gctx, ctx, floats, 0)
 		for _, e := range m.Entries {
 			fmt.Fprintf(&b, "%-15s | %-24s | %5d | %5d | %8s\n",
 				p.Name, e.Name, e.ConstFormals, e.ConstEntries, round(e.Wall))

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Full verification gate: build, vet, format, race-enabled tests.
+# Full verification gate: build, vet, format, race-enabled tests, and
+# the fault-injection smoke matrix.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,5 +20,16 @@ fi
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fault-injection smoke (fixed seeds) =="
+# The resilience suites run deterministic seed matrices; re-run them
+# race-enabled and verbose-on-failure so a regression in the failure
+# model fails the gate with the exact seed named.
+go test -race -count=1 \
+    -run 'TestInjectedFaultsSoundness|TestFaultDeterminismAcrossWorkers|TestFuelBudgetSoundness|TestCancelledContextDegradesEverything' \
+    ./internal/icp
+go test -race -count=1 \
+    -run 'TestFaultsNeverEscapePublicAPI|TestFaultReportsIdenticalAcrossWorkers|TestCancellationHygiene|TestDegradedResultsNotReusedAcrossRuns' \
+    .
 
 echo "ok"

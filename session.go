@@ -1,6 +1,7 @@
 package fsicp
 
 import (
+	"context"
 	"fmt"
 
 	"fsicp/internal/alias"
@@ -197,12 +198,26 @@ func (s *Session) Update(src string) (*Program, error) {
 // Program.Analyze on the same source. Analysis.Incremental reports
 // how much was reused.
 func (s *Session) Analyze(cfg Config) *Analysis {
+	a, err := s.AnalyzeContext(context.Background(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AnalyzeContext is Session.Analyze under a context, with the same
+// degradation semantics as Program.AnalyzeContext: cancellation and
+// deadline expiry degrade unfinished procedures to the
+// flow-insensitive solution instead of failing. The session stays
+// usable afterwards — degraded procedures are never cached, so a later
+// Analyze with a live context recomputes them at full precision.
+func (s *Session) AnalyzeContext(ctx context.Context, cfg Config) (*Analysis, error) {
 	eng := s.engines[cfg]
 	if eng == nil {
 		eng = incr.NewEngine()
 		s.engines[cfg] = eng
 	}
-	return s.cur.prog.analyze(cfg, eng)
+	return s.cur.prog.analyze(ctx, cfg, eng)
 }
 
 // Incremental reports the reuse achieved by a Session.Analyze run:
