@@ -1,0 +1,132 @@
+// The allocation-regression gate: re-measures the guarded benchmarks
+// and compares allocs/op against the committed BENCH_icp.json. The
+// dense-index IR numbering, slice-backed hot-path tables, and pooled
+// SCC scratch exist to keep the analysis allocation-light; this gate
+// keeps them honest without requiring a quiet machine (alloc counts
+// are deterministic where wall-clock time is not).
+package fsicp_test
+
+import (
+	"os"
+	"testing"
+
+	"fsicp/internal/bench"
+	"fsicp/internal/icp"
+	"fsicp/internal/metrics"
+	"fsicp/internal/tables"
+)
+
+// gateBenchmarks are the workloads the gate guards: the wavefront
+// scheduler on the largest synthetic SPEC program, and the full
+// Table 1 regeneration (both methods plus metric extraction) as the
+// paper-table representative.
+func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
+	t.Helper()
+	spice, err := tables.Compile(bench.SPECfp92()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := make([]*icp.Context, 0, 12)
+	for _, p := range bench.SPECfp92() {
+		ctx, err := tables.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = append(suite, ctx)
+	}
+	return map[string]func(b *testing.B){
+		"BenchmarkAnalyzeParallel/workers=1": func(b *testing.B) {
+			opts := icp.Options{Method: icp.FlowSensitive, PropagateFloats: true, Workers: 1}
+			for i := 0; i < b.N; i++ {
+				icp.Analyze(spice, opts)
+			}
+		},
+		"BenchmarkAnalyzeParallel/workers=4": func(b *testing.B) {
+			opts := icp.Options{Method: icp.FlowSensitive, PropagateFloats: true, Workers: 4}
+			for i := 0; i < b.N; i++ {
+				icp.Analyze(spice, opts)
+			}
+		},
+		"BenchmarkAnalysisFS": func(b *testing.B) {
+			opts := icp.Options{Method: icp.FlowSensitive, PropagateFloats: true}
+			for i := 0; i < b.N; i++ {
+				for _, ctx := range suite {
+					icp.Analyze(ctx, opts)
+				}
+			}
+		},
+		"BenchmarkTable1": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, ctx := range suite {
+					fi := icp.Analyze(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: true})
+					fs := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+					metrics.CallSiteMetrics(fi)
+					metrics.CallSiteMetrics(fs)
+				}
+			}
+		},
+	}
+}
+
+func measureGate(t testing.TB, f func(b *testing.B)) bench.Metrics {
+	t.Helper()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	return bench.Metrics{
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// TestBenchAllocGate fails on gross allocation regressions against the
+// committed baseline. It is opt-in (FSICP_BENCH_GATE=1) because it
+// re-runs real benchmarks; scripts/check.sh and CI set the variable.
+// With FSICP_BENCH_RECORD=1 it instead refreshes the baseline's
+// "after" numbers (the "before" column is never touched).
+func TestBenchAllocGate(t *testing.T) {
+	record := os.Getenv("FSICP_BENCH_RECORD") != ""
+	if os.Getenv("FSICP_BENCH_GATE") == "" && !record {
+		t.Skip("set FSICP_BENCH_GATE=1 to run the allocation gate (or FSICP_BENCH_RECORD=1 to refresh BENCH_icp.json)")
+	}
+	benches := gateBenchmarks(t)
+
+	if record {
+		measured := make(map[string]bench.Metrics, len(benches))
+		for name, f := range benches {
+			measured[name] = measureGate(t, f)
+			t.Logf("%s: %.0f ns/op, %d B/op, %d allocs/op",
+				name, measured[name].NsPerOp, measured[name].BytesPerOp, measured[name].AllocsPerOp)
+		}
+		if err := bench.RecordBaseline(bench.BaselineFile, measured); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	base, err := bench.LoadBaseline(bench.BaselineFile)
+	if err != nil {
+		t.Fatalf("no committed baseline (run with FSICP_BENCH_RECORD=1 to create one): %v", err)
+	}
+	for name, entry := range base.Benchmarks {
+		f, ok := benches[name]
+		if !ok {
+			t.Errorf("%s: in %s but not measured by the gate; update gateBenchmarks", name, bench.BaselineFile)
+			continue
+		}
+		got := measureGate(t, f)
+		// Alloc counts are deterministic up to map-growth noise and
+		// worker scheduling; 1.5x headroom lets those through while
+		// still catching a lost pooling or a reverted dense table
+		// (which cost 2x+ immediately).
+		budget := entry.After.AllocsPerOp + entry.After.AllocsPerOp/2
+		if got.AllocsPerOp > budget {
+			t.Errorf("%s: %d allocs/op exceeds budget %d (committed after=%d, before=%d)",
+				name, got.AllocsPerOp, budget, entry.After.AllocsPerOp, entry.Before.AllocsPerOp)
+		} else {
+			t.Logf("%s: %d allocs/op within budget %d", name, got.AllocsPerOp, budget)
+		}
+	}
+}

@@ -24,6 +24,8 @@
 //	-watch   keep running: re-analyse incrementally whenever the file
 //	         changes, printing only the constant deltas and the reuse
 //	         the incremental engine achieved
+//	-cpuprofile f  write a pprof CPU profile of the run to f
+//	-memprofile f  write a pprof heap profile to f on exit
 //
 // With no file argument, fsicp reads from standard input.
 package main
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	fsicp "fsicp"
+	"fsicp/internal/bench"
 )
 
 func fail(format string, args ...any) {
@@ -79,7 +82,23 @@ func main() {
 	watch := flag.Bool("watch", false, "re-analyse incrementally whenever the file changes, printing constant deltas")
 	timeout := flag.Duration("timeout", 0, "analysis deadline; procedures unfinished at expiry degrade to the flow-insensitive solution (0 = none)")
 	fuel := flag.Int("fuel", 0, "per-procedure step budget; a procedure exceeding it degrades to the flow-insensitive solution (0 = unlimited)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := bench.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fail("%v", err)
+	}
+	// fail() exits without running deferred calls, so flush the profiles
+	// explicitly on every non-error return path via exit.
+	exit := func() {
+		stopProf()
+		if err := bench.WriteHeapProfile(*memprofile); err != nil {
+			fail("%v", err)
+		}
+	}
+	defer exit()
 
 	if *watch {
 		// Watch mode owns its own file IO (with retry), so a file that
@@ -96,7 +115,6 @@ func main() {
 
 	name := "<stdin>"
 	var src []byte
-	var err error
 	if flag.NArg() > 0 {
 		name = flag.Arg(0)
 		src, err = os.ReadFile(name)

@@ -509,7 +509,7 @@ func (a *Analysis) CallSites() []CallSiteInfo {
 		if a.res.Dead[e.Caller] {
 			info.Reachable = false
 		} else if sum := a.res.Proc[e.Caller]; sum != nil {
-			info.Reachable = sum.Sites[a.res.SiteIndex[e.Site]].Reachable
+			info.Reachable = sum.Sites[e.Site.SiteIdx].Reachable
 		} else {
 			// Flow-insensitive method: no intraprocedural fixpoint; fall
 			// back to the ⊤-argument signal.

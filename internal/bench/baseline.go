@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file implements the allocation-regression gate's persistence:
+// BENCH_icp.json at the repository root records, per guarded benchmark,
+// the cost measured before the dense-index/pooling optimisation
+// ("before") and the cost of the current tree ("after"). The gate test
+// re-measures the benchmarks and fails when allocs/op grossly exceeds
+// the committed "after" numbers; RecordBaseline refreshes them.
+
+// BaselineFile is the canonical name of the committed baseline,
+// relative to the repository root.
+const BaselineFile = "BENCH_icp.json"
+
+// Metrics is one benchmark's recorded per-op cost.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Entry pairs the frozen pre-optimisation numbers with the current
+// tree's. Only After is ever refreshed; Before documents the starting
+// point the optimisation is measured against.
+type Entry struct {
+	Before Metrics `json:"before"`
+	After  Metrics `json:"after"`
+}
+
+// Baseline is the whole BENCH_icp.json document.
+type Baseline struct {
+	// Note explains provenance (machine class, how to refresh).
+	Note string `json:"note"`
+
+	// Benchmarks maps a benchmark name (as reported by go test -bench)
+	// to its recorded costs.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// LoadBaseline reads and decodes a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// RecordBaseline refreshes the "after" numbers for the given
+// measurements, preserving every "before" (and any benchmark not
+// re-measured), and writes the file back with stable formatting. A
+// missing file starts empty: the first recording seeds Before = After,
+// so a freshly bootstrapped baseline is immediately self-consistent.
+func RecordBaseline(path string, measured map[string]Metrics) error {
+	b, err := LoadBaseline(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		b = &Baseline{}
+	}
+	if b.Benchmarks == nil {
+		b.Benchmarks = make(map[string]Entry)
+	}
+	for name, m := range measured {
+		e, ok := b.Benchmarks[name]
+		if !ok {
+			e.Before = m
+		}
+		e.After = m
+		b.Benchmarks[name] = e
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

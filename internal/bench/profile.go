@@ -29,6 +29,12 @@
 // approximated by a small placement solver and reported as measured.
 package bench
 
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
 // Profile encodes one benchmark's target shape, with cell values taken
 // from the paper's Tables 1–4.
 type Profile struct {
@@ -180,4 +186,41 @@ func FirstRelease() []Profile {
 			GlobPairs: 8, GlobVis: 4,
 		},
 	}
+}
+
+// StartCPUProfile begins a CPU profile written to path and returns a
+// stop function. An empty path is a no-op (the returned stop does
+// nothing), so callers can wire it straight to an optional flag.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an allocation profile to path after a final
+// GC (so the profile reflects live heap, not collectable garbage). An
+// empty path is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }

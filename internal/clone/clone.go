@@ -156,10 +156,11 @@ func cloneProcedure(prog *ir.Program, orig *sem.Proc, n int) *sem.Proc {
 		Result:  orig.Result,
 		Decl:    orig.Decl,
 		UsesSet: make(map[*sem.Var]bool),
+		Prog:    prog.Sem,
 	}
 	vmap := make(map[*sem.Var]*sem.Var)
 	for i, f := range orig.Params {
-		nf := &sem.Var{Name: f.Name, Kind: sem.KindFormal, Type: f.Type, Index: i, Owner: np, Pos: f.Pos}
+		nf := &sem.Var{Name: f.Name, Kind: sem.KindFormal, Type: f.Type, Index: i, Owner: np, Pos: f.Pos, ID: prog.Sem.NewVarID()}
 		np.Params = append(np.Params, nf)
 		vmap[f] = nf
 	}
@@ -171,7 +172,7 @@ func cloneProcedure(prog *ir.Program, orig *sem.Proc, n int) *sem.Proc {
 	prog.Sem.ProcByName[name] = np
 
 	ofn := prog.FuncOf[orig]
-	nfn := &ir.Func{Proc: np, VarIndex: make(map[*sem.Var]int)}
+	nfn := &ir.Func{Proc: np}
 	mapVar := func(v *sem.Var) *sem.Var {
 		if v == nil {
 			return nil

@@ -219,11 +219,6 @@ type Result struct {
 	// run's cache; it is byte-identical to a freshly computed one.
 	Proc map[*sem.Proc]*incr.ProcSummary
 
-	// SiteIndex maps each reachable call instruction to its index in
-	// the containing function's Calls slice (the Sites index of the
-	// caller's summary).
-	SiteIndex map[*ir.CallInstr]int
-
 	// Intra[p] is the final intraprocedural SCC fixpoint of p
 	// (flow-sensitive methods only). Under the incremental engine this
 	// map is sparse: procedures whose summaries were reused have no

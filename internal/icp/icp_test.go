@@ -498,7 +498,7 @@ proc after() {
 			if !ok {
 				continue
 			}
-			if got := intra.ValueOf(intra.S.UseDefs[pr][0]); got.IsConst() {
+			if got := intra.ValueOf(intra.S.UsesOf(pr)[0]); got.IsConst() {
 				t.Errorf("print g inside f sees constant %v despite alias store", got)
 			}
 		}

@@ -36,7 +36,7 @@ type incrState struct {
 // engine. Returns nil when no engine is attached. structural selects
 // wholesale reuse of clean procedures (the one-pass method); the
 // iterative method passes false and uses only the value cache.
-func beginIncr(ctx *Context, opts Options, fi *fiSolution, six map[*ir.CallInstr]int, structural bool) *incrState {
+func beginIncr(ctx *Context, opts Options, fi *fiSolution, structural bool) *incrState {
 	if opts.Incr == nil {
 		return nil
 	}
@@ -78,7 +78,7 @@ func beginIncr(ctx *Context, opts Options, fi *fiSolution, six map[*ir.CallInstr
 		pi := incr.ProcInput{
 			Name:   p.Name,
 			FP:     st.fps[i],
-			RefKey: incr.RefKey(refNames) + "\x01" + backEdgeKey(ctx, fi, p, six, refNames, gbn),
+			RefKey: incr.RefKey(refNames) + "\x01" + backEdgeKey(ctx, fi, p, refNames, gbn),
 		}
 		for _, e := range cg.Out[p] {
 			if !cg.IsBackEdge(e) {
@@ -105,7 +105,7 @@ func beginIncr(ctx *Context, opts Options, fi *fiSolution, six map[*ir.CallInstr
 // each referenced global. Any change here (including a back edge
 // appearing or disappearing) must dirty p even though p's own
 // fingerprint is unchanged.
-func backEdgeKey(ctx *Context, fi *fiSolution, p *sem.Proc, six map[*ir.CallInstr]int, refNames []string, gbn map[string]*sem.Var) string {
+func backEdgeKey(ctx *Context, fi *fiSolution, p *sem.Proc, refNames []string, gbn map[string]*sem.Var) string {
 	cg := ctx.CG
 	var b strings.Builder
 	any := false
@@ -116,7 +116,7 @@ func backEdgeKey(ctx *Context, fi *fiSolution, p *sem.Proc, six map[*ir.CallInst
 		any = true
 		b.WriteString(e.Caller.Name)
 		b.WriteByte('@')
-		b.WriteString(strconv.Itoa(six[e.Site]))
+		b.WriteString(strconv.Itoa(e.Site.SiteIdx))
 		for i := range p.Params {
 			b.WriteByte(':')
 			if fi != nil {
@@ -224,14 +224,28 @@ func summarize(ctx *Context, p *sem.Proc, r *scc.Result, dead bool, nBack int, e
 		Entry:     entry,
 		Sites:     make([]incr.SiteValues, len(calls)),
 	}
+	// One backing array each for the per-site argument and global value
+	// slices: the summary is immutable once built, so the sites can
+	// share storage (capped subslices) instead of allocating per call.
+	nargs, nglob := 0, 0
+	for _, call := range calls {
+		if r.Reachable(call) {
+			nargs += len(call.Args)
+			nglob += len(globals)
+		}
+	}
+	argBacking := make([]lattice.Elem, nargs)
+	globBacking := make([]lattice.Elem, nglob)
 	for k, call := range calls {
 		sv := incr.SiteValues{Reachable: r.Reachable(call)}
 		if sv.Reachable {
-			sv.Args = make([]lattice.Elem, len(call.Args))
+			na := len(call.Args)
+			sv.Args, argBacking = argBacking[:na:na], argBacking[na:]
 			for i := range call.Args {
 				sv.Args[i] = r.ArgValue(call, i)
 			}
-			sv.Globals = make([]lattice.Elem, len(globals))
+			ng := len(globals)
+			sv.Globals, globBacking = globBacking[:ng:ng], globBacking[ng:]
 			for gi, g := range globals {
 				sv.Globals[gi] = r.GlobalValueAtCall(call, g)
 			}
@@ -249,9 +263,20 @@ func summarize(ctx *Context, p *sem.Proc, r *scc.Result, dead bool, nBack int, e
 func (res *Result) mergeSiteValues(p *sem.Proc, sum *incr.ProcSummary) {
 	ctx, opts := res.Ctx, res.Opts
 	mr := ctx.MR
-	for k, call := range ctx.Prog.FuncOf[p].Calls {
+	calls := ctx.Prog.FuncOf[p].Calls
+	// Shared backing array for the per-site ArgVals slices; every
+	// consumer reads GlobalCallVals/VisibleCallGlobals through len or
+	// range, so empty candidate maps stay nil instead of allocating.
+	nargs := 0
+	for _, call := range calls {
+		nargs += len(call.Args)
+	}
+	backing := make([]lattice.Elem, nargs)
+	for k, call := range calls {
 		sv := sum.Sites[k]
-		vals := make([]lattice.Elem, len(call.Args))
+		na := len(call.Args)
+		vals := backing[:na:na]
+		backing = backing[na:]
 		for i := range call.Args {
 			if sv.Reachable {
 				vals[i] = opts.filter(sv.Args[i])
@@ -259,8 +284,7 @@ func (res *Result) mergeSiteValues(p *sem.Proc, sum *incr.ProcSummary) {
 				vals[i] = lattice.TopElem()
 			}
 		}
-		gm := make(map[*sem.Var]val.Value)
-		vm := make(map[*sem.Var]val.Value)
+		var gm, vm map[*sem.Var]val.Value
 		if sv.Reachable && !sum.Dead {
 			for gi, g := range ctx.Prog.Sem.Globals {
 				gv := opts.filter(sv.Globals[gi])
@@ -268,10 +292,16 @@ func (res *Result) mergeSiteValues(p *sem.Proc, sum *incr.ProcSummary) {
 					continue
 				}
 				if mr.Ref[call.Callee].Has(g) {
+					if gm == nil {
+						gm = make(map[*sem.Var]val.Value)
+					}
 					gm[g] = gv.Val
 					// VIS: the subset also visible in the calling
 					// procedure (paper §4).
 					if p.UsesSet[g] {
+						if vm == nil {
+							vm = make(map[*sem.Var]val.Value)
+						}
 						vm[g] = gv.Val
 					}
 				}

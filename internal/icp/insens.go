@@ -221,20 +221,34 @@ func (s *fiSolution) toResult(ctx *Context, opts Options) *Result {
 		}
 		res.Entry[p] = env
 	}
+	// Shared backing array for ArgVals; candidate maps stay nil when
+	// empty (every consumer reads them through len or range).
+	nargs := 0
+	for _, e := range ctx.CG.Edges {
+		nargs += len(e.Site.Args)
+	}
+	backing := make([]lattice.Elem, nargs)
 	for _, e := range ctx.CG.Edges {
 		call := e.Site
-		vals := make([]lattice.Elem, len(call.Args))
+		na := len(call.Args)
+		vals := backing[:na:na]
+		backing = backing[na:]
 		for i := range call.Args {
 			vals[i] = s.EdgeArg(call, i)
 		}
 		res.ArgVals[call] = vals
 
-		gm := make(map[*sem.Var]val.Value)
-		vm := make(map[*sem.Var]val.Value)
+		var gm, vm map[*sem.Var]val.Value
 		for g, v := range s.globalConsts {
 			if ctx.MR.Ref[e.Callee].Has(g) {
+				if gm == nil {
+					gm = make(map[*sem.Var]val.Value)
+				}
 				gm[g] = v
 				if e.Caller.UsesSet[g] {
+					if vm == nil {
+						vm = make(map[*sem.Var]val.Value)
+					}
 					vm[g] = v
 				}
 			}

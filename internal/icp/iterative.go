@@ -6,7 +6,6 @@ import (
 
 	"fsicp/internal/driver"
 	"fsicp/internal/incr"
-	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/resilience"
 	"fsicp/internal/scc"
@@ -73,7 +72,7 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 	var ist *incrState
 	if opts.Incr != nil {
 		opts.Trace.Time("incr-plan", func(st *driver.PassStats) {
-			ist = beginIncr(ctx, opts, nil, res.SiteIndex, false)
+			ist = beginIncr(ctx, opts, nil, false)
 			st.Procs = n
 		})
 	}
@@ -129,7 +128,7 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 					intra[i] = nil
 					changed.Store(true)
 				}, func() {
-					env, live := iterEntryEnv(ctx, opts, i, res.SiteIndex, sums, prevSums)
+					env, live := iterEntryEnv(ctx, opts, i, sums, prevSums)
 					first := sums[i] == nil
 					if !first && sums[i].Dead == !live && envEq(entry[i], env) {
 						return
@@ -222,16 +221,17 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 // round-start snapshot for back-edge callers (including self-calls).
 // Callers without results yet contribute ⊤ (optimism), as do
 // unreachable call sites.
-func iterEntryEnv(ctx *Context, opts Options, pos int, six map[*ir.CallInstr]int, sums, prevSums []*incr.ProcSummary) (lattice.Env[*sem.Var], bool) {
+func iterEntryEnv(ctx *Context, opts Options, pos int, sums, prevSums []*incr.ProcSummary) (lattice.Env[*sem.Var], bool) {
 	cg, mr := ctx.CG, ctx.MR
 	p := cg.Reachable[pos]
-	env := make(lattice.Env[*sem.Var])
 	if pos == 0 {
+		env := make(lattice.Env[*sem.Var])
 		for g, v := range ctx.Prog.Sem.GlobalInit {
 			env[g] = opts.filter(lattice.Const(v))
 		}
 		return env, true
 	}
+	de := denseEntryEnv(ctx, p)
 	nExec := 0
 	for _, e := range cg.In[p] {
 		j := cg.Pos[e.Caller]
@@ -244,7 +244,7 @@ func iterEntryEnv(ctx *Context, opts Options, pos int, six map[*ir.CallInstr]int
 		if sum == nil || sum.Dead {
 			continue
 		}
-		sv := sum.Sites[six[e.Site]]
+		sv := sum.Sites[e.Site.SiteIdx]
 		if !sv.Reachable {
 			continue
 		}
@@ -253,20 +253,20 @@ func iterEntryEnv(ctx *Context, opts Options, pos int, six map[*ir.CallInstr]int
 			if i >= len(e.Site.Args) {
 				break
 			}
-			env.MeetInto(f, opts.filter(sv.Args[i]))
+			de.MeetInto(f, opts.filter(sv.Args[i]))
 		}
 		for g := range mr.Ref[p] {
 			if g.IsGlobal() {
-				env.MeetInto(g, opts.filter(sv.Globals[g.Index]))
+				de.MeetInto(g, opts.filter(sv.Globals[g.Index]))
 			}
 		}
 	}
-	for v, el := range env {
+	de.Each(func(v *sem.Var, el lattice.Elem) {
 		if el.IsTop() {
-			env[v] = lattice.BottomElem()
+			de.Set(v, lattice.BottomElem())
 		}
-	}
-	return env, nExec > 0
+	})
+	return de.ToEnv(), nExec > 0
 }
 
 func envEq(a, b lattice.Env[*sem.Var]) bool {

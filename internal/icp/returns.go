@@ -230,7 +230,7 @@ func refreshForward(ctx *Context, opts Options, res *Result, pool *ssaPool, g *g
 			g.protect("returns-refresh", p.Name, func(resilience.Reason) {
 				keepOld(i)
 			}, func() {
-				env, live, nBack := entryEnv(ctx, opts, p, res.SiteIndex, bySum, res.FI)
+				env, live, nBack := entryEnv(ctx, opts, p, bySum, res.FI)
 				entry[i] = env
 				r := scc.Run(pool.get(i), scc.Options{Entry: env, CallResult: callResult, CallExit: callExit, Budget: g.budget()})
 				fresh[i] = r

@@ -4,7 +4,6 @@ import (
 	"fsicp/internal/callgraph"
 	"fsicp/internal/driver"
 	"fsicp/internal/incr"
-	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/sem"
 )
@@ -61,21 +60,22 @@ type callerSummary func(q *sem.Proc) *incr.ProcSummary
 // entryEnv builds p's entry environment by meeting the contributions of
 // every incoming call edge: forward edges read the caller's completed
 // summary via caller; back edges read the flow-insensitive fallback fi
-// (nil when the PCG is acyclic — then no back edges exist). six maps a
-// call instruction to its index in the caller's summary Sites. Returns
-// the environment, whether any incoming site is executable, and how
-// many back edges were consulted. Meet is commutative and associative,
-// so the result is independent of edge order.
-func entryEnv(ctx *Context, opts Options, p *sem.Proc, six map[*ir.CallInstr]int, caller callerSummary, fi *fiSolution) (env lattice.Env[*sem.Var], live bool, backEdges int) {
+// (nil when the PCG is acyclic — then no back edges exist). A call
+// instruction's SiteIdx is its index in the caller's summary Sites.
+// Returns the environment, whether any incoming site is executable, and
+// how many back edges were consulted. Meet is commutative and
+// associative, so the result is independent of edge order.
+func entryEnv(ctx *Context, opts Options, p *sem.Proc, caller callerSummary, fi *fiSolution) (env lattice.Env[*sem.Var], live bool, backEdges int) {
 	cg, mr := ctx.CG, ctx.MR
-	env = make(lattice.Env[*sem.Var])
 	if p == cg.Reachable[0] {
 		// Block-data initial constants seed the entry of main.
+		env = make(lattice.Env[*sem.Var])
 		for g, v := range ctx.Prog.Sem.GlobalInit {
 			env[g] = opts.filter(lattice.Const(v))
 		}
 		return env, true, 0
 	}
+	de := denseEntryEnv(ctx, p)
 	nExec := 0
 	for _, e := range cg.In[p] {
 		if !cg.IsBackEdge(e) {
@@ -84,7 +84,7 @@ func entryEnv(ctx *Context, opts Options, p *sem.Proc, six map[*ir.CallInstr]int
 			if sum == nil || sum.Dead {
 				continue // dead caller: contributes ⊤
 			}
-			sv := sum.Sites[six[e.Site]]
+			sv := sum.Sites[e.Site.SiteIdx]
 			if !sv.Reachable {
 				continue // unreachable call site: contributes ⊤
 			}
@@ -93,13 +93,13 @@ func entryEnv(ctx *Context, opts Options, p *sem.Proc, six map[*ir.CallInstr]int
 				if i >= len(e.Site.Args) {
 					break
 				}
-				env.MeetInto(f, opts.filter(sv.Args[i]))
+				de.MeetInto(f, opts.filter(sv.Args[i]))
 			}
 			// Sparse global candidates: only globals the callee
 			// (transitively) references are propagated.
 			for g := range mr.Ref[p] {
 				if g.IsGlobal() {
-					env.MeetInto(g, opts.filter(sv.Globals[g.Index]))
+					de.MeetInto(g, opts.filter(sv.Globals[g.Index]))
 				}
 			}
 		} else {
@@ -107,11 +107,11 @@ func entryEnv(ctx *Context, opts Options, p *sem.Proc, six map[*ir.CallInstr]int
 			backEdges++
 			nExec++
 			for i, f := range p.Params {
-				env.MeetInto(f, fi.EdgeArg(e.Site, i))
+				de.MeetInto(f, fi.EdgeArg(e.Site, i))
 			}
 			for g := range mr.Ref[p] {
 				if g.IsGlobal() {
-					env.MeetInto(g, fi.GlobalElem(g))
+					de.MeetInto(g, fi.GlobalElem(g))
 				}
 			}
 		}
@@ -123,10 +123,31 @@ func entryEnv(ctx *Context, opts Options, p *sem.Proc, six map[*ir.CallInstr]int
 	}
 	// A residual ⊤ would claim "never receives a value"; keep the
 	// environment sound by demoting to ⊥.
-	for v, e := range env {
+	de.Each(func(v *sem.Var, e lattice.Elem) {
 		if e.IsTop() {
-			env[v] = lattice.BottomElem()
+			de.Set(v, lattice.BottomElem())
 		}
-	}
-	return env, true, backEdges
+	})
+	return de.ToEnv(), true, backEdges
+}
+
+// denseEntryEnv allocates the slice-backed environment entry
+// construction works in: a procedure's entry binds only its formals
+// (slots 0..len(Params)-1, addressed by formal position) and globals
+// (slots len(Params)+Index). Every other variable is outside the index
+// and reads as ⊥, matching the map-backed Env's absent-key default.
+func denseEntryEnv(ctx *Context, p *sem.Proc) *lattice.DenseEnv[*sem.Var] {
+	np := len(p.Params)
+	return lattice.NewDenseEnv(np+len(ctx.Prog.Sem.Globals), func(v *sem.Var) int {
+		if v == nil {
+			return -1
+		}
+		if v.IsGlobal() {
+			return np + v.Index
+		}
+		if v.Kind == sem.KindFormal && v.Owner == p {
+			return v.Index
+		}
+		return -1
+	})
 }

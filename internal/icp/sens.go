@@ -67,7 +67,7 @@ func runFS(ctx *Context, opts Options) *Result {
 	intra := make([]*scc.Result, n)
 	if opts.Incr != nil {
 		opts.Trace.Time("incr-plan", func(st *driver.PassStats) {
-			ist = beginIncr(ctx, opts, res.FI, res.SiteIndex, true)
+			ist = beginIncr(ctx, opts, res.FI, true)
 			gbn := globalsByName(ctx)
 			for i, p := range cg.Reachable {
 				if ist.plan.Clean[i] {
@@ -115,7 +115,7 @@ func runFS(ctx *Context, opts Options) *Result {
 				intra[i] = nil
 				sums[i] = degradedSummary(ctx, p, fb)
 			}, func() {
-				env, live, nBack := entryEnv(ctx, opts, p, res.SiteIndex, bySum, res.FI)
+				env, live, nBack := entryEnv(ctx, opts, p, bySum, res.FI)
 				envs[i] = env
 				if ist != nil {
 					// Value-level early cutoff: same fingerprint and same
@@ -201,12 +201,6 @@ func runFS(ctx *Context, opts Options) *Result {
 
 // newResult allocates the shared Result map set.
 func newResult(ctx *Context, opts Options) *Result {
-	six := make(map[*ir.CallInstr]int)
-	for _, p := range ctx.CG.Reachable {
-		for k, call := range ctx.Prog.FuncOf[p].Calls {
-			six[call] = k
-		}
-	}
 	return &Result{
 		Ctx:                ctx,
 		Opts:               opts,
@@ -215,7 +209,6 @@ func newResult(ctx *Context, opts Options) *Result {
 		GlobalCallVals:     make(map[*ir.CallInstr]map[*sem.Var]val.Value),
 		VisibleCallGlobals: make(map[*ir.CallInstr]map[*sem.Var]val.Value),
 		Proc:               make(map[*sem.Proc]*incr.ProcSummary),
-		SiteIndex:          six,
 		Intra:              make(map[*sem.Proc]*scc.Result),
 		Dead:               make(map[*sem.Proc]bool),
 	}

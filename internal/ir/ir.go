@@ -17,6 +17,7 @@ package ir
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -53,8 +54,16 @@ type Func struct {
 	// global (globals participate whether or not they are visible here,
 	// because constants flow through a procedure to its callees even
 	// when invisible — the paper's VIS vs FS distinction).
-	AllVars  []*sem.Var
-	VarIndex map[*sem.Var]int
+	AllVars []*sem.Var
+	// varOrd maps a variable's dense program-wide ID (sem.Var.ID) to
+	// 1+its position in AllVars; 0 means "not tracked here". A slice
+	// lookup replaces the former map[*sem.Var]int on the SSA-rename and
+	// exit-value hot paths.
+	varOrd []int32
+
+	// NumInstrs is the instruction count of the last NumberInstrs pass
+	// (0 before the first numbering).
+	NumInstrs int
 
 	// fp caches a content fingerprint of this function (see
 	// Fingerprint). IR is immutable once the load pipeline — including
@@ -95,7 +104,7 @@ type Block struct {
 	Succs  []*Block
 }
 
-func (b *Block) String() string { return fmt.Sprintf("b%d", b.Index) }
+func (b *Block) String() string { return "b" + strconv.Itoa(b.Index) }
 
 // addEdge records a CFG edge.
 func addEdge(from, to *Block) {
@@ -127,22 +136,77 @@ type Instr interface {
 	// Uses returns the variable operands read by this instruction.
 	Uses() []*sem.Var
 	String() string
+	// InstrID returns the instruction's dense per-function ID assigned
+	// by Func.NumberInstrs, or -1 if the instruction has not been
+	// numbered (e.g. it was created after the last numbering pass).
+	InstrID() int
+	setInstrID(int)
+}
+
+// instrNode carries the dense per-function instruction ID every
+// concrete instruction embeds. The stored value is id+1 so the zero
+// value decodes as the -1 "unnumbered" sentinel — instructions grafted
+// by transformation passes stay distinguishable from instruction 0.
+type instrNode struct{ id int32 }
+
+func (n *instrNode) InstrID() int     { return int(n.id) - 1 }
+func (n *instrNode) setInstrID(i int) { n.id = int32(i) + 1 }
+
+// NumberInstrs assigns dense per-function instruction IDs in block
+// order (the deterministic CFG order analyses iterate in) and records
+// the count in NumInstrs, so that def/use tables can be slices indexed
+// by instruction ID instead of pointer-keyed maps. The IR builder
+// numbers every function it emits and RebuildCallLists renumbers after
+// mutation passes, so analyses see pre-numbered functions and never
+// write to shared IR — Program.Analyze stays safe to call from many
+// goroutines at once. Renumbering is idempotent and cheap.
+func (f *Func) NumberInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			in.setInstrID(n)
+			n++
+		}
+	}
+	f.NumInstrs = n
+	return n
+}
+
+// Numbered reports whether the function's instruction numbering is
+// current: every instruction carries its block-order ID and NumInstrs
+// matches the count. It is read-only, so concurrent analyses may probe
+// a shared program; a pass that grafts or removes instructions must
+// renumber (RebuildCallLists does) before the program is shared again.
+func (f *Func) Numbered() bool {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.InstrID() != n {
+				return false
+			}
+			n++
+		}
+	}
+	return f.NumInstrs == n
 }
 
 // ConstInstr assigns a literal constant: dst = <value>.
 type ConstInstr struct {
+	instrNode
 	Dst *sem.Var
 	Val val.Value
 }
 
 // CopyInstr copies one variable: dst = src.
 type CopyInstr struct {
+	instrNode
 	Dst *sem.Var
 	Src *sem.Var
 }
 
 // UnaryInstr applies a unary operator: dst = op x.
 type UnaryInstr struct {
+	instrNode
 	Dst *sem.Var
 	Op  token.Kind
 	X   *sem.Var
@@ -150,6 +214,7 @@ type UnaryInstr struct {
 
 // BinaryInstr applies a binary operator: dst = x op y.
 type BinaryInstr struct {
+	instrNode
 	Dst  *sem.Var
 	Op   token.Kind
 	X, Y *sem.Var
@@ -157,6 +222,7 @@ type BinaryInstr struct {
 
 // ReadInstr assigns an external input value: dst = read().
 type ReadInstr struct {
+	instrNode
 	Dst *sem.Var
 }
 
@@ -168,14 +234,17 @@ type PrintArg struct {
 
 // PrintInstr writes values to the program output.
 type PrintInstr struct {
+	instrNode
 	Args []PrintArg
 }
 
 // CallInstr invokes a procedure or function.
 type CallInstr struct {
-	ID     int       // global call-site index within the Program
-	Callee *sem.Proc // resolved callee
-	Block  *Block
+	instrNode
+	ID      int       // global call-site index within the Program
+	SiteIdx int       // position within the owning Func's Calls list
+	Callee  *sem.Proc // resolved callee
+	Block   *Block
 
 	// Args holds the flattened value of each actual (always a variable
 	// after IR construction; expressions are computed into temps).
@@ -200,6 +269,7 @@ type CallInstr struct {
 // ClobberInstr marks variables as possibly redefined with unknown
 // values. Inserted for may-alias side effects of assignments.
 type ClobberInstr struct {
+	instrNode
 	Vars []*sem.Var
 	// Why documents the clobber for IR dumps.
 	Why string
@@ -237,20 +307,22 @@ func (i *PrintInstr) Uses() []*sem.Var {
 func (i *CallInstr) Uses() []*sem.Var    { return i.Args }
 func (i *ClobberInstr) Uses() []*sem.Var { return nil }
 
-func (i *ConstInstr) String() string { return fmt.Sprintf("%s = const %s", i.Dst, i.Val) }
-func (i *CopyInstr) String() string  { return fmt.Sprintf("%s = %s", i.Dst, i.Src) }
-func (i *UnaryInstr) String() string { return fmt.Sprintf("%s = %s%s", i.Dst, i.Op, i.X) }
-func (i *BinaryInstr) String() string {
-	return fmt.Sprintf("%s = %s %s %s", i.Dst, i.X, i.Op, i.Y)
+func (i *ConstInstr) String() string { return i.Dst.String() + " = const " + i.Val.String() }
+func (i *CopyInstr) String() string  { return i.Dst.String() + " = " + i.Src.String() }
+func (i *UnaryInstr) String() string {
+	return i.Dst.String() + " = " + i.Op.String() + i.X.String()
 }
-func (i *ReadInstr) String() string { return fmt.Sprintf("%s = read()", i.Dst) }
+func (i *BinaryInstr) String() string {
+	return i.Dst.String() + " = " + i.X.String() + " " + i.Op.String() + " " + i.Y.String()
+}
+func (i *ReadInstr) String() string { return i.Dst.String() + " = read()" }
 func (i *PrintInstr) String() string {
 	parts := make([]string, len(i.Args))
 	for k, a := range i.Args {
 		if a.Var != nil {
 			parts[k] = a.Var.String()
 		} else {
-			parts[k] = fmt.Sprintf("%q", a.Str)
+			parts[k] = strconv.Quote(a.Str)
 		}
 	}
 	return "print " + strings.Join(parts, ", ")
@@ -260,7 +332,7 @@ func (i *CallInstr) String() string {
 	for k, a := range i.Args {
 		args[k] = a.String()
 	}
-	s := fmt.Sprintf("call %s(%s)", i.Callee.Name, strings.Join(args, ", "))
+	s := "call " + i.Callee.Name + "(" + strings.Join(args, ", ") + ")"
 	if i.Dst != nil {
 		s = i.Dst.String() + " = " + s
 	}
@@ -317,7 +389,7 @@ func (t *Ret) Uses() []*sem.Var {
 
 func (t *Jump) String() string { return "jump " + t.Target.String() }
 func (t *If) String() string {
-	return fmt.Sprintf("if %s then %s else %s", t.Cond, t.Then, t.Else)
+	return "if " + t.Cond.String() + " then " + t.Then.String() + " else " + t.Else.String()
 }
 func (t *Ret) String() string {
 	if t.Val != nil {
@@ -441,16 +513,19 @@ func RebuildCFG(fn *Func) int {
 	return removed
 }
 
-// RebuildCallLists refreshes per-function call lists and the program's
-// global call-site index after blocks were added or removed.
+// RebuildCallLists refreshes per-function call lists, instruction
+// numbering, and the program's global call-site index after blocks
+// were added or removed.
 func RebuildCallLists(prog *Program) {
 	prog.CallSites = prog.CallSites[:0]
 	for _, fn := range prog.Funcs {
+		fn.NumberInstrs()
 		fn.Calls = fn.Calls[:0]
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
 				if call, ok := in.(*CallInstr); ok {
 					call.ID = len(prog.CallSites)
+					call.SiteIdx = len(fn.Calls)
 					call.Block = b
 					prog.CallSites = append(prog.CallSites, call)
 					fn.Calls = append(fn.Calls, call)
@@ -462,10 +537,28 @@ func RebuildCallLists(prog *Program) {
 
 // RegisterVar adds a variable to the function's tracked set if absent.
 func (f *Func) RegisterVar(v *sem.Var) {
-	if _, ok := f.VarIndex[v]; !ok {
-		f.VarIndex[v] = len(f.AllVars)
-		f.AllVars = append(f.AllVars, v)
+	if v.ID <= 0 {
+		panic("ir: variable " + v.Name + " has no dense ID (not created through sem)")
 	}
+	if v.ID < len(f.varOrd) && f.varOrd[v.ID] != 0 {
+		return
+	}
+	for v.ID >= len(f.varOrd) {
+		f.varOrd = append(f.varOrd, make([]int32, v.ID+1-len(f.varOrd))...)
+	}
+	f.varOrd[v.ID] = int32(len(f.AllVars)) + 1
+	f.AllVars = append(f.AllVars, v)
+}
+
+// VarOrd returns the variable's position in AllVars, or -1 when the
+// function does not track it. The lookup is a slice index on the
+// variable's dense program-wide ID — this sits on the SSA-rename hot
+// path, where it replaces a pointer-keyed map lookup.
+func (f *Func) VarOrd(v *sem.Var) int {
+	if v == nil || v.ID <= 0 || v.ID >= len(f.varOrd) {
+		return -1
+	}
+	return int(f.varOrd[v.ID]) - 1
 }
 
 // CloneInstr deep-copies one instruction, mapping every variable

@@ -41,6 +41,7 @@ func Build(p *sem.Program) (*ir.Program, error) {
 		if err != nil {
 			return nil, err
 		}
+		f.NumberInstrs()
 		prog.Funcs = append(prog.Funcs, f)
 		prog.FuncOf[proc] = f
 	}
@@ -89,21 +90,14 @@ func (b *builder) buildFunc(proc *sem.Proc) (*ir.Func, error) {
 }
 
 func (b *builder) collectVars(f *ir.Func) {
-	f.VarIndex = make(map[*sem.Var]int)
-	add := func(v *sem.Var) {
-		if _, ok := f.VarIndex[v]; !ok {
-			f.VarIndex[v] = len(f.AllVars)
-			f.AllVars = append(f.AllVars, v)
-		}
-	}
 	for _, v := range f.Proc.Params {
-		add(v)
+		f.RegisterVar(v)
 	}
 	for _, v := range f.Proc.Locals {
-		add(v)
+		f.RegisterVar(v)
 	}
 	for _, g := range b.sem.Globals {
-		add(g)
+		f.RegisterVar(g)
 	}
 }
 
@@ -378,6 +372,7 @@ func (b *builder) call(e *ast.CallExpr, dst *sem.Var) {
 	b.ensure()
 	ci.Block = b.cur
 	ci.ID = len(b.prog.CallSites)
+	ci.SiteIdx = len(b.fn.Calls)
 	b.prog.CallSites = append(b.prog.CallSites, ci)
 	b.fn.Calls = append(b.fn.Calls, ci)
 	b.cur.Instrs = append(b.cur.Instrs, ci)

@@ -1,0 +1,81 @@
+package scc_test
+
+import (
+	"testing"
+
+	"fsicp/internal/scc"
+	"fsicp/internal/ssa"
+	"fsicp/internal/testutil"
+)
+
+// TestRunAllocBound guards the propagator's allocation profile on a
+// small fixture with branches and a loop (so both flow and SSA
+// worklists, edge-executability bits, and φ evaluation are exercised).
+// After a warm-up run seeds the scratch pool, a run allocates only the
+// escaping Result (Values map, exec tables) — the worklists and
+// visited set come from the pool, and edge visits are bitset writes.
+// The bound is deliberately loose (2x the measured steady state when
+// the guard was written); a lost pool Put or a per-edge allocation
+// multiplies the count well past it.
+func TestRunAllocBound(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {
+  var n int = 10
+  var x int = 0
+  var c int
+  read c
+  while n > 0 {
+    if c > 0 {
+      x = x + 1
+    } else {
+      x = x + 2
+    }
+    n = n - 1
+  }
+  print x, n
+}`)
+	f := testutil.FuncByName(t, p, "main")
+	s := ssa.Build(f)
+	scc.Run(s, scc.Options{}) // warm the scratch pool
+
+	allocs := testing.AllocsPerRun(20, func() {
+		scc.Run(s, scc.Options{})
+	})
+	// Measured 4 allocs/run at the time of writing (the escaping Result
+	// and its tables); 40 leaves headroom for map layout changes across
+	// Go versions while catching per-edge or per-instruction regressions
+	// (this fixture performs hundreds of edge visits per run).
+	if allocs > 40 {
+		t.Errorf("scc.Run allocated %.0f times per warm run, want <= 40", allocs)
+	}
+}
+
+// TestEdgeExecutableAllocFree: reading the edge-executability relation
+// (a bitset since the dense-index change) never allocates.
+func TestEdgeExecutableAllocFree(t *testing.T) {
+	p := testutil.MustBuild(t, `program p
+proc main() {
+  var c int
+  read c
+  var x int
+  if c > 0 {
+    x = 1
+  } else {
+    x = 2
+  }
+  print x
+}`)
+	f := testutil.FuncByName(t, p, "main")
+	r := scc.Run(ssa.Build(f), scc.Options{})
+	nb := len(f.Blocks)
+	allocs := testing.AllocsPerRun(100, func() {
+		for from := 0; from < nb; from++ {
+			for to := 0; to < nb; to++ {
+				r.EdgeExecutable(from, to)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EdgeExecutable allocated %.1f times per run, want 0", allocs)
+	}
+}

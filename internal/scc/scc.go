@@ -17,6 +17,9 @@
 package scc
 
 import (
+	"sync"
+
+	"fsicp/internal/bitset"
 	"fsicp/internal/ir"
 	"fsicp/internal/lattice"
 	"fsicp/internal/resilience"
@@ -30,8 +33,10 @@ type Options struct {
 	// Entry gives the lattice value of formals and globals at procedure
 	// entry. Locals and temporaries always start undefined (⊥ on use
 	// before def). A nil Entry means every formal and global is ⊥ —
-	// plain intraprocedural propagation.
-	Entry lattice.Env[*sem.Var]
+	// plain intraprocedural propagation. Both the map-backed
+	// lattice.Env and the slice-backed lattice.DenseEnv satisfy the
+	// interface.
+	Entry lattice.EnvReader[*sem.Var]
 
 	// CallResult, if non-nil, supplies the lattice value of a function
 	// call's result (return-constant extension). Nil, or a nil return
@@ -60,9 +65,16 @@ type Result struct {
 	Values []lattice.Elem // indexed by Definition.ID
 	// BlockExec[b.Index] reports whether block b is executable.
 	BlockExec []bool
-	// EdgeExec reports executability of CFG edges (from,to block
-	// indices).
-	EdgeExec map[[2]int]bool
+	// edgeExec is a bitset over from*nblocks+to keys recording which
+	// CFG edges became executable; read it through EdgeExecutable.
+	edgeExec bitset.Set
+	nblocks  int
+}
+
+// EdgeExecutable reports whether the CFG edge from→to (block indices)
+// became executable during the propagation.
+func (r *Result) EdgeExecutable(from, to int) bool {
+	return r.edgeExec.Has(from*r.nblocks + to)
 }
 
 type engine struct {
@@ -70,34 +82,69 @@ type engine struct {
 	opts Options
 	res  *Result
 
+	sc *scratch
+}
+
+// scratch is the per-run transient state: the two Wegman–Zadeck
+// worklists and the visited marks. None of it escapes into the Result,
+// so it is pooled — wavefront workers and Session re-analyses reuse
+// the buffers instead of reallocating them for every procedure.
+type scratch struct {
 	flowWork []flowEdge
 	ssaWork  []*ssa.Definition
-	visited  []bool // block instruction lists evaluated once
+	visited  bitset.Set // block instruction lists evaluated once
 }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 type flowEdge struct{ from, to int }
 
-// Run computes the SCC fixpoint for s.
+// Run computes the SCC fixpoint for s. Results are byte-identical
+// whether the scratch buffers come warm from the pool or cold: the
+// worklist order depends only on their contents, and every buffer is
+// reset before use.
 func Run(s *ssa.SSA, opts Options) *Result {
+	nb := len(s.Fn.Blocks)
+	sc := scratchPool.Get().(*scratch)
+	sc.flowWork = sc.flowWork[:0]
+	sc.ssaWork = sc.ssaWork[:0]
+	sc.visited = sc.visited.Reset(nb)
 	e := &engine{
 		s:    s,
 		opts: opts,
 		res: &Result{
 			S:         s,
 			Values:    make([]lattice.Elem, len(s.Defs)),
-			BlockExec: make([]bool, len(s.Fn.Blocks)),
-			EdgeExec:  make(map[[2]int]bool),
+			BlockExec: make([]bool, nb),
+			edgeExec:  bitset.New(nb * nb),
+			nblocks:   nb,
 		},
-		visited: make([]bool, len(s.Fn.Blocks)),
+		sc: sc,
 	}
 	for i := range e.res.Values {
 		e.res.Values[i] = lattice.TopElem()
 	}
-	// Seed entry definitions.
+	// Seed entry definitions. A budget abort unwinds through here via
+	// panic, so the scratch is returned in a deferred put; dropping the
+	// stale definition pointers keeps a pooled buffer from pinning a
+	// dead SSA overlay in memory.
+	defer func() {
+		sw := sc.ssaWork[:cap(sc.ssaWork)]
+		for i := range sw {
+			sw[i] = nil
+		}
+		sc.ssaWork = sc.ssaWork[:0]
+		sc.flowWork = sc.flowWork[:0]
+		scratchPool.Put(sc)
+	}()
 	for _, d := range s.EntryDefs {
 		switch d.Var.Kind {
 		case sem.KindFormal, sem.KindGlobal:
-			e.lower(d, opts.Entry.Get(d.Var))
+			if opts.Entry != nil {
+				e.lower(d, opts.Entry.Get(d.Var))
+			} else {
+				e.lower(d, lattice.BottomElem())
+			}
 		default:
 			// Undefined local/temp: unknown on use-before-def.
 			e.lower(d, lattice.BottomElem())
@@ -117,31 +164,30 @@ func (e *engine) lower(d *ssa.Definition, v lattice.Elem) {
 		return
 	}
 	e.res.Values[d.ID] = nw
-	e.ssaWork = append(e.ssaWork, d)
+	e.sc.ssaWork = append(e.sc.ssaWork, d)
 }
 
 func (e *engine) solve() {
-	for len(e.flowWork) > 0 || len(e.ssaWork) > 0 {
-		for len(e.flowWork) > 0 {
-			edge := e.flowWork[len(e.flowWork)-1]
-			e.flowWork = e.flowWork[:len(e.flowWork)-1]
+	sc := e.sc
+	for len(sc.flowWork) > 0 || len(sc.ssaWork) > 0 {
+		for len(sc.flowWork) > 0 {
+			edge := sc.flowWork[len(sc.flowWork)-1]
+			sc.flowWork = sc.flowWork[:len(sc.flowWork)-1]
 			e.processEdge(edge)
 		}
-		for len(e.ssaWork) > 0 {
-			d := e.ssaWork[len(e.ssaWork)-1]
-			e.ssaWork = e.ssaWork[:len(e.ssaWork)-1]
+		for len(sc.ssaWork) > 0 {
+			d := sc.ssaWork[len(sc.ssaWork)-1]
+			sc.ssaWork = sc.ssaWork[:len(sc.ssaWork)-1]
 			e.processUses(d)
 		}
 	}
 }
 
 func (e *engine) addEdge(from, to *ir.Block) {
-	key := [2]int{from.Index, to.Index}
-	if e.res.EdgeExec[key] {
+	if !e.res.edgeExec.Add(from.Index*e.res.nblocks + to.Index) {
 		return
 	}
-	e.res.EdgeExec[key] = true
-	e.flowWork = append(e.flowWork, flowEdge{from.Index, to.Index})
+	e.sc.flowWork = append(e.sc.flowWork, flowEdge{from.Index, to.Index})
 }
 
 func (e *engine) processEdge(edge flowEdge) {
@@ -161,8 +207,7 @@ func (e *engine) markBlock(b *ir.Block) {
 		return
 	}
 	e.res.BlockExec[b.Index] = true
-	if !e.visited[b.Index] {
-		e.visited[b.Index] = true
+	if e.sc.visited.Add(b.Index) {
 		for _, phi := range e.s.Phis[b.Index] {
 			e.evalPhi(phi)
 		}
@@ -196,7 +241,7 @@ func (e *engine) evalPhi(phi *Phi) {
 	e.opts.Budget.Step(1)
 	acc := lattice.TopElem()
 	for i, p := range phi.Block.Preds {
-		if !e.res.EdgeExec[[2]int{p.Index, phi.Block.Index}] {
+		if !e.res.edgeExec.Has(p.Index*e.res.nblocks + phi.Block.Index) {
 			continue
 		}
 		if phi.Args[i] == nil {
@@ -212,8 +257,8 @@ type Phi = ssa.Phi
 
 func (e *engine) evalInstr(in ir.Instr) {
 	e.opts.Budget.Step(1)
-	defs := e.s.InstrDefs[in]
-	uses := e.s.UseDefs[in]
+	defs := e.s.DefsOf(in)
+	uses := e.s.UsesOf(in)
 	switch in := in.(type) {
 	case *ir.ConstInstr:
 		e.lower(defs[0], lattice.Const(in.Val))
@@ -323,7 +368,7 @@ func (r *Result) ArgValue(call *ir.CallInstr, i int) lattice.Elem {
 	if !r.Reachable(call) {
 		return lattice.TopElem()
 	}
-	return r.Values[r.S.UseDefs[call][i].ID]
+	return r.Values[r.S.UsesOf(call)[i].ID]
 }
 
 // GlobalValueAtCall returns the lattice value of global g immediately
@@ -360,10 +405,10 @@ func (r *Result) VarValueAtEntry(v *sem.Var) lattice.Elem {
 // points — the value v holds when the procedure returns (⊤ if the
 // procedure never returns, e.g. infinite loop or unreachable).
 func (r *Result) ExitValue(v *sem.Var) lattice.Elem {
-	vi := r.S.Fn.VarIndex[v]
+	vi := r.S.Fn.VarOrd(v)
 	acc := lattice.TopElem()
 	for bi, snap := range r.S.RetSnapshots {
-		if !r.BlockExec[bi] {
+		if snap == nil || !r.BlockExec[bi] {
 			continue
 		}
 		acc = lattice.Meet(acc, r.Values[snap[vi].ID])

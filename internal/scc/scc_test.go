@@ -28,7 +28,7 @@ func printValue(t *testing.T, f *ir.Func, r *scc.Result) lattice.Elem {
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			if pr, ok := in.(*ir.PrintInstr); ok {
-				return r.ValueOf(r.S.UseDefs[pr][0])
+				return r.ValueOf(r.S.UsesOf(pr)[0])
 			}
 		}
 	}
@@ -122,7 +122,7 @@ proc main() { call sub1(0) }`
 	for _, b := range f2.Blocks {
 		for _, in := range b.Instrs {
 			if pr, ok := in.(*ir.PrintInstr); ok {
-				got = r2.ValueOf(s.UseDefs[pr][0])
+				got = r2.ValueOf(s.UsesOf(pr)[0])
 			}
 		}
 	}
@@ -244,7 +244,7 @@ proc f(a int) {
 			}
 		}
 	}
-	for i, d := range s.UseDefs[pr] {
+	for i, d := range s.UsesOf(pr) {
 		if !r.ValueOf(d).IsBottom() {
 			t.Errorf("operand %d after call = %v, want ⊥", i, r.ValueOf(d))
 		}
@@ -412,7 +412,7 @@ proc main() {
 			pr = q
 		}
 	}
-	if got := r.ValueOf(s.UseDefs[pr][0]); !got.IsBottom() {
+	if got := r.ValueOf(s.UsesOf(pr)[0]); !got.IsBottom() {
 		t.Errorf("x after clobber = %v, want ⊥", got)
 	}
 }

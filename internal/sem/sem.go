@@ -5,7 +5,7 @@
 package sem
 
 import (
-	"fmt"
+	"strconv"
 
 	"fsicp/internal/ast"
 	"fsicp/internal/source"
@@ -45,6 +45,13 @@ type Var struct {
 	Index int   // formal position in Owner, or global index in Program
 	Owner *Proc // nil for globals
 	Pos   source.Pos
+
+	// ID is the variable's dense program-wide identifier, assigned at
+	// creation by Program.NewVarID. IDs start at 1; 0 marks a variable
+	// that was never registered (only possible for hand-built literals
+	// that skip the constructors). Slices indexed by ID waste slot 0 in
+	// exchange for making the unregistered state detectable.
+	ID int
 }
 
 func (v *Var) String() string {
@@ -71,6 +78,9 @@ type Proc struct {
 	Uses    []*Var // visible globals, declaration order
 	UsesSet map[*Var]bool
 	Decl    *ast.ProcDecl
+	// Prog points back at the owning program so the temp/local
+	// constructors can draw dense variable IDs from its counter.
+	Prog *Program
 
 	ntemps int
 }
@@ -83,10 +93,13 @@ func (p *Proc) NumFormals() int { return len(p.Params) }
 func (p *Proc) NewTemp(t ast.Type) *Var {
 	p.ntemps++
 	v := &Var{
-		Name:  fmt.Sprintf("%%t%d", p.ntemps),
+		Name:  "%t" + strconv.Itoa(p.ntemps),
 		Kind:  KindTemp,
 		Type:  t,
 		Owner: p,
+	}
+	if p.Prog != nil {
+		v.ID = p.Prog.NewVarID()
 	}
 	p.Locals = append(p.Locals, v)
 	return v
@@ -98,10 +111,13 @@ func (p *Proc) NewTemp(t ast.Type) *Var {
 func (p *Proc) NewLocal(name string, t ast.Type) *Var {
 	p.ntemps++
 	v := &Var{
-		Name:  fmt.Sprintf("%s#%d", name, p.ntemps),
+		Name:  name + "#" + strconv.Itoa(p.ntemps),
 		Kind:  KindLocal,
 		Type:  t,
 		Owner: p,
+	}
+	if p.Prog != nil {
+		v.ID = p.Prog.NewVarID()
 	}
 	p.Locals = append(p.Locals, v)
 	return v
@@ -117,7 +133,24 @@ type Program struct {
 	Main       *Proc
 	AST        *ast.Program
 	Info       *Info
+
+	nextVarID int // last dense variable ID handed out (IDs start at 1)
 }
+
+// NewVarID hands out the next dense program-wide variable ID. Every
+// variable constructor (checker, NewTemp/NewLocal, cloning) draws from
+// this counter, so IDs stay unique and contiguous as passes grow the
+// program. Not safe for concurrent use; variable creation only happens
+// in single-threaded passes (checking, lowering, inlining, cloning).
+func (p *Program) NewVarID() int {
+	p.nextVarID++
+	return p.nextVarID
+}
+
+// NumVarIDs returns the size a slice must have to be indexable by every
+// variable ID handed out so far (IDs run 1..NumVarIDs-1; slot 0 is the
+// never-registered sentinel).
+func (p *Program) NumVarIDs() int { return p.nextVarID + 1 }
 
 // Info records resolution results keyed by syntax nodes.
 type Info struct {
@@ -193,7 +226,7 @@ func (c *checker) collectGlobals(prog *ast.Program) {
 			c.errorf(g.KwPos, "global %q redeclared (previous declaration at %v)", g.Name, prev.Pos)
 			continue
 		}
-		v := &Var{Name: g.Name, Kind: KindGlobal, Type: g.Type, Index: len(c.p.Globals), Pos: g.KwPos}
+		v := &Var{Name: g.Name, Kind: KindGlobal, Type: g.Type, Index: len(c.p.Globals), Pos: g.KwPos, ID: c.p.NewVarID()}
 		c.globalByName[g.Name] = v
 		c.p.Globals = append(c.p.Globals, v)
 		if g.Init != nil {
@@ -242,9 +275,10 @@ func (c *checker) collectProcs(prog *ast.Program) {
 			Result:  pd.Result,
 			Decl:    pd,
 			UsesSet: make(map[*Var]bool),
+			Prog:    c.p,
 		}
 		for i, par := range pd.Params {
-			v := &Var{Name: par.Name, Kind: KindFormal, Type: par.Type, Index: i, Owner: p, Pos: par.NamePos}
+			v := &Var{Name: par.Name, Kind: KindFormal, Type: par.Type, Index: i, Owner: p, Pos: par.NamePos, ID: c.p.NewVarID()}
 			p.Params = append(p.Params, v)
 		}
 		if _, dup := c.p.ProcByName[pd.Name]; !dup {
@@ -303,7 +337,7 @@ func (c *checker) checkStmt(s ast.Stmt) {
 			}
 			return
 		}
-		v := &Var{Name: s.Name, Kind: KindLocal, Type: s.Type, Owner: c.proc, Pos: s.KwPos}
+		v := &Var{Name: s.Name, Kind: KindLocal, Type: s.Type, Owner: c.proc, Pos: s.KwPos, ID: c.p.NewVarID()}
 		c.scope[s.Name] = v
 		c.proc.Locals = append(c.proc.Locals, v)
 		if s.Init != nil {

@@ -10,6 +10,7 @@ package source
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -63,10 +64,11 @@ type Position struct {
 }
 
 func (p Position) String() string {
+	lc := strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Column)
 	if p.Filename == "" {
-		return fmt.Sprintf("%d:%d", p.Line, p.Column)
+		return lc
 	}
-	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+	return p.Filename + ":" + lc
 }
 
 // Position resolves a Pos to line/column. An invalid Pos resolves to

@@ -20,9 +20,10 @@
 package ssa
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 
+	"fsicp/internal/bitset"
 	"fsicp/internal/dom"
 	"fsicp/internal/ir"
 	"fsicp/internal/sem"
@@ -62,7 +63,7 @@ type Definition struct {
 }
 
 func (d *Definition) String() string {
-	return fmt.Sprintf("%s@%d", d.Var, d.ID)
+	return d.Var.String() + "@" + strconv.Itoa(d.ID)
 }
 
 // Phi is a φ-function for Var at the head of Block; Args is parallel to
@@ -103,45 +104,69 @@ type SSA struct {
 	// Phis[b.Index] lists the φ-functions at the head of block b.
 	Phis [][]*Phi
 
-	// UseDefs[instr][k] is the reaching definition of instr.Uses()[k].
-	UseDefs map[ir.Instr][]*Definition
+	// useDefs[instr.InstrID()][k] is the reaching definition of
+	// instr.Uses()[k]; read it through UsesOf.
+	useDefs [][]*Definition
 
-	// InstrDefs[instr][k] is the Definition for instr.Defs()[k].
-	InstrDefs map[ir.Instr][]*Definition
+	// instrDefs[instr.InstrID()][k] is the Definition for
+	// instr.Defs()[k]; read it through DefsOf.
+	instrDefs [][]*Definition
 
 	// TermUses[b.Index][k] is the reaching definition of
 	// b.Term.Uses()[k].
 	TermUses [][]*Definition
 
-	// GlobalsAtCall[call] holds, per program-global index, the reaching
-	// definition of that global immediately before the call.
-	GlobalsAtCall map[*ir.CallInstr][]*Definition
+	// globalsAtCall[call.InstrID()] holds, per program-global index,
+	// the reaching definition of that global immediately before the
+	// call; read it through GlobalAtCall/GlobalsAt.
+	globalsAtCall [][]*Definition
 
 	// RetSnapshots[b.Index], for a block ending in a Ret, holds the
 	// reaching definition of every variable (indexed like Fn.AllVars)
-	// at the return point. The return-constant extension reads formal
-	// and global exit values from it.
-	RetSnapshots map[int][]*Definition
+	// at the return point (nil for non-return blocks). The
+	// return-constant extension reads formal and global exit values
+	// from it.
+	RetSnapshots [][]*Definition
 
 	// Defs is every Definition, indexed by ID.
 	Defs []*Definition
 
 	globalOffset int // index of first global in Fn.AllVars
 	numGlobals   int
+
+	// defArena chunk-allocates Definitions so building one procedure's
+	// overlay costs a handful of allocations rather than one per
+	// definition. Definitions escape into the overlay (Defs, tables),
+	// so the chunks live exactly as long as the SSA itself.
+	defArena []Definition
+	// defBacking is sliced out to the per-instruction use/def tables;
+	// one backing array replaces two small slice allocations per
+	// instruction.
+	defBacking []*Definition
 }
 
 // Build constructs SSA form for fn.
+//
+// Build only reads the function: the IR builder and every mutation
+// pass (via ir.RebuildCallLists) keep instruction numbering current,
+// so concurrent builds over a shared program are safe. The renumbering
+// fallback below fires only for hand-assembled functions that never
+// went through those paths.
 func Build(fn *ir.Func) *SSA {
+	n := fn.NumInstrs
+	if !fn.Numbered() {
+		n = fn.NumberInstrs()
+	}
 	s := &SSA{
 		Fn:            fn,
 		Dom:           dom.New(fn),
-		UseDefs:       make(map[ir.Instr][]*Definition),
-		InstrDefs:     make(map[ir.Instr][]*Definition),
-		GlobalsAtCall: make(map[*ir.CallInstr][]*Definition),
-		RetSnapshots:  make(map[int][]*Definition),
+		useDefs:       make([][]*Definition, n),
+		instrDefs:     make([][]*Definition, n),
+		globalsAtCall: make([][]*Definition, n),
 	}
 	s.Phis = make([][]*Phi, len(fn.Blocks))
 	s.TermUses = make([][]*Definition, len(fn.Blocks))
+	s.RetSnapshots = make([][]*Definition, len(fn.Blocks))
 
 	nglobals := 0
 	offset := -1
@@ -159,57 +184,139 @@ func Build(fn *ir.Func) *SSA {
 	s.globalOffset = offset
 	s.numGlobals = nglobals
 
+	// Size the definition arena and the pointer backing array from one
+	// pre-pass. The arena holds Definitions (entry defs + instruction
+	// defs; φs grow it chunk-wise), the backing array holds the
+	// per-instruction def/use pointer tables. Both may still grow, they
+	// just start close to the final size.
+	defSlots := len(fn.AllVars) // entry defs
+	ptrSlots := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			nd := len(in.Defs())
+			defSlots += nd
+			ptrSlots += nd + len(in.Uses())
+			if _, ok := in.(*ir.CallInstr); ok {
+				ptrSlots += nglobals
+			}
+		}
+		if b.Term != nil {
+			ptrSlots += len(b.Term.Uses())
+			if _, isRet := b.Term.(*ir.Ret); isRet {
+				ptrSlots += len(fn.AllVars)
+			}
+		}
+	}
+	s.defArena = make([]Definition, 0, defSlots)
+	s.defBacking = make([]*Definition, 0, ptrSlots)
+	s.Defs = make([]*Definition, 0, defSlots)
+
 	s.placePhis()
 	s.rename()
+	s.defBacking = nil
 	return s
 }
 
 func (s *SSA) newDef(v *sem.Var, kind DefKind) *Definition {
-	d := &Definition{ID: len(s.Defs), Var: v, Kind: kind}
+	if len(s.defArena) == cap(s.defArena) {
+		// The pre-sized chunk ran out (φ definitions are not counted up
+		// front); start a fresh chunk, leaving full ones reachable via
+		// the pointers already handed out.
+		s.defArena = make([]Definition, 0, 256)
+	}
+	s.defArena = append(s.defArena, Definition{ID: len(s.Defs), Var: v, Kind: kind})
+	d := &s.defArena[len(s.defArena)-1]
 	s.Defs = append(s.Defs, d)
 	return d
 }
 
+// slice carves a fresh n-slot slice out of the shared backing array.
+func (s *SSA) slice(n int) []*Definition {
+	if n == 0 {
+		return nil
+	}
+	if len(s.defBacking)+n > cap(s.defBacking) {
+		s.defBacking = make([]*Definition, 0, max(256, n))
+	}
+	off := len(s.defBacking)
+	s.defBacking = s.defBacking[:off+n]
+	return s.defBacking[off : off+n : off+n]
+}
+
+// UsesOf returns the reaching definitions of in's operands (parallel
+// to in.Uses()), or nil for an instruction outside this overlay.
+func (s *SSA) UsesOf(in ir.Instr) []*Definition {
+	id := in.InstrID()
+	if id < 0 || id >= len(s.useDefs) {
+		return nil
+	}
+	return s.useDefs[id]
+}
+
+// DefsOf returns the definitions in creates (parallel to in.Defs()),
+// or nil for an instruction outside this overlay.
+func (s *SSA) DefsOf(in ir.Instr) []*Definition {
+	id := in.InstrID()
+	if id < 0 || id >= len(s.instrDefs) {
+		return nil
+	}
+	return s.instrDefs[id]
+}
+
+// GlobalsAt returns the per-global reaching definitions immediately
+// before call (indexed by global offset), or nil when the function
+// tracks no globals.
+func (s *SSA) GlobalsAt(call *ir.CallInstr) []*Definition {
+	id := call.InstrID()
+	if id < 0 || id >= len(s.globalsAtCall) {
+		return nil
+	}
+	return s.globalsAtCall[id]
+}
+
 // placePhis inserts φ-functions using iterated dominance frontiers.
+// The placed-φ and worklist membership sets are bitsets keyed by
+// block*nvars+var and block index — the dense layout replaces two
+// maps rebuilt for every procedure.
 func (s *SSA) placePhis() {
 	fn := s.Fn
 	nvars := len(fn.AllVars)
+	nblocks := len(fn.Blocks)
 	defBlocks := make([][]*ir.Block, nvars)
 	for _, b := range s.Dom.RPO {
 		for _, in := range b.Instrs {
 			for _, v := range in.Defs() {
-				i := fn.VarIndex[v]
+				i := fn.VarOrd(v)
 				defBlocks[i] = append(defBlocks[i], b)
 			}
 		}
 	}
-	hasPhi := make(map[[2]int]bool) // (block, var) -> placed
+	hasPhi := bitset.New(nblocks * nvars) // block*nvars+var -> placed
+	inWork := bitset.New(nblocks)
+	var work []*ir.Block
 	for vi := 0; vi < nvars; vi++ {
-		work := append([]*ir.Block(nil), defBlocks[vi]...)
+		work = append(work[:0], defBlocks[vi]...)
 		// Every variable also has its entry definition in the entry
 		// block.
 		work = append(work, s.Dom.RPO[0])
-		inWork := make(map[int]bool)
+		inWork.Clear()
 		for _, b := range work {
-			inWork[b.Index] = true
+			inWork.Add(b.Index)
 		}
 		for len(work) > 0 {
 			b := work[len(work)-1]
 			work = work[:len(work)-1]
 			for _, f := range s.Dom.Frontier(b) {
-				key := [2]int{f.Index, vi}
-				if hasPhi[key] {
+				if !hasPhi.Add(f.Index*nvars + vi) {
 					continue
 				}
-				hasPhi[key] = true
 				v := fn.AllVars[vi]
 				phi := &Phi{Var: v, Block: f, Args: make([]*Definition, len(f.Preds))}
 				phi.Def = s.newDef(v, DefPhi)
 				phi.Def.Phi = phi
 				phi.Def.Block = f
 				s.Phis[f.Index] = append(s.Phis[f.Index], phi)
-				if !inWork[f.Index] {
-					inWork[f.Index] = true
+				if inWork.Add(f.Index) {
 					work = append(work, f)
 				}
 			}
@@ -234,12 +341,12 @@ func (s *SSA) rename() {
 	walk = func(b *ir.Block) {
 		pushed := make([]int, 0, 8)
 		push := func(d *Definition) {
-			vi := fn.VarIndex[d.Var]
+			vi := fn.VarOrd(d.Var)
 			stacks[vi] = append(stacks[vi], d)
 			pushed = append(pushed, vi)
 		}
 		top := func(v *sem.Var) *Definition {
-			st := stacks[fn.VarIndex[v]]
+			st := stacks[fn.VarOrd(v)]
 			return st[len(st)-1]
 		}
 
@@ -248,25 +355,26 @@ func (s *SSA) rename() {
 			push(phi.Def)
 		}
 		for _, in := range b.Instrs {
+			id := in.InstrID()
 			uses := in.Uses()
-			uds := make([]*Definition, len(uses))
+			uds := s.slice(len(uses))
 			for k, v := range uses {
 				d := top(v)
 				uds[k] = d
 				d.Uses = append(d.Uses, Use{Kind: UseInstr, Instr: in, Block: b})
 			}
-			s.UseDefs[in] = uds
+			s.useDefs[id] = uds
 
-			if call, ok := in.(*ir.CallInstr); ok && s.numGlobals > 0 {
-				snap := make([]*Definition, s.numGlobals)
+			if _, ok := in.(*ir.CallInstr); ok && s.numGlobals > 0 {
+				snap := s.slice(s.numGlobals)
 				for gi := 0; gi < s.numGlobals; gi++ {
 					snap[gi] = top(fn.AllVars[s.globalOffset+gi])
 				}
-				s.GlobalsAtCall[call] = snap
+				s.globalsAtCall[id] = snap
 			}
 
 			defs := in.Defs()
-			ids := make([]*Definition, len(defs))
+			ids := s.slice(len(defs))
 			for k, v := range defs {
 				d := s.newDef(v, DefInstr)
 				d.Instr = in
@@ -275,11 +383,11 @@ func (s *SSA) rename() {
 				ids[k] = d
 				push(d)
 			}
-			s.InstrDefs[in] = ids
+			s.instrDefs[id] = ids
 		}
 		if b.Term != nil {
 			uses := b.Term.Uses()
-			tds := make([]*Definition, len(uses))
+			tds := s.slice(len(uses))
 			for k, v := range uses {
 				d := top(v)
 				tds[k] = d
@@ -287,7 +395,7 @@ func (s *SSA) rename() {
 			}
 			s.TermUses[b.Index] = tds
 			if _, isRet := b.Term.(*ir.Ret); isRet {
-				snap := make([]*Definition, nvars)
+				snap := s.slice(nvars)
 				for vi, v := range fn.AllVars {
 					snap[vi] = top(v)
 				}
@@ -324,14 +432,14 @@ func predIndex(b *ir.Block, pred *ir.Block) int {
 
 // EntryDef returns the entry definition of v.
 func (s *SSA) EntryDef(v *sem.Var) *Definition {
-	return s.EntryDefs[s.Fn.VarIndex[v]]
+	return s.EntryDefs[s.Fn.VarOrd(v)]
 }
 
 // GlobalAtCall returns the reaching definition of global g just before
 // call. g must be a global registered in Fn.AllVars.
 func (s *SSA) GlobalAtCall(call *ir.CallInstr, g *sem.Var) *Definition {
-	gi := s.Fn.VarIndex[g] - s.globalOffset
-	return s.GlobalsAtCall[call][gi]
+	gi := s.Fn.VarOrd(g) - s.globalOffset
+	return s.GlobalsAt(call)[gi]
 }
 
 // NumGlobals returns how many globals the function tracks.
@@ -344,15 +452,15 @@ func (s *SSA) GlobalByOffset(gi int) *sem.Var {
 
 // GlobalOffsetOf returns the offset of global g in call snapshots.
 func (s *SSA) GlobalOffsetOf(g *sem.Var) int {
-	return s.Fn.VarIndex[g] - s.globalOffset
+	return s.Fn.VarOrd(g) - s.globalOffset
 }
 
 // Dump renders the SSA overlay for debugging.
 func (s *SSA) Dump() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "ssa %s:\n", s.Fn.Proc.Name)
+	b.WriteString("ssa " + s.Fn.Proc.Name + ":\n")
 	for _, blk := range s.Dom.RPO {
-		fmt.Fprintf(&b, "%s:\n", blk)
+		b.WriteString(blk.String() + ":\n")
 		for _, phi := range s.Phis[blk.Index] {
 			args := make([]string, len(phi.Args))
 			for i, a := range phi.Args {
@@ -362,28 +470,28 @@ func (s *SSA) Dump() string {
 					args[i] = a.String()
 				}
 			}
-			fmt.Fprintf(&b, "  %s = phi(%s)\n", phi.Def, strings.Join(args, ", "))
+			b.WriteString("  " + phi.Def.String() + " = phi(" + strings.Join(args, ", ") + ")\n")
 		}
 		for _, in := range blk.Instrs {
-			fmt.Fprintf(&b, "  %s", in)
-			if uds := s.UseDefs[in]; len(uds) > 0 {
+			b.WriteString("  " + in.String())
+			if uds := s.UsesOf(in); len(uds) > 0 {
 				parts := make([]string, len(uds))
 				for i, d := range uds {
 					parts[i] = d.String()
 				}
-				fmt.Fprintf(&b, " ; uses %s", strings.Join(parts, ","))
+				b.WriteString(" ; uses " + strings.Join(parts, ","))
 			}
-			if ids := s.InstrDefs[in]; len(ids) > 0 {
+			if ids := s.DefsOf(in); len(ids) > 0 {
 				parts := make([]string, len(ids))
 				for i, d := range ids {
 					parts[i] = d.String()
 				}
-				fmt.Fprintf(&b, " ; defs %s", strings.Join(parts, ","))
+				b.WriteString(" ; defs " + strings.Join(parts, ","))
 			}
 			b.WriteByte('\n')
 		}
 		if blk.Term != nil {
-			fmt.Fprintf(&b, "  %s\n", blk.Term)
+			b.WriteString("  " + blk.Term.String() + "\n")
 		}
 	}
 	return b.String()

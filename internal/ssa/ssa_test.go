@@ -56,7 +56,7 @@ proc main() {
 	if print == nil {
 		t.Fatalf("no print in join block")
 	}
-	ud := s.UseDefs[print]
+	ud := s.UsesOf(print)
 	if len(ud) != 1 || ud[0] != xphi.Def {
 		t.Errorf("print does not use the phi: %v", ud)
 	}
@@ -88,7 +88,7 @@ proc main() { call f(1, 2.0) }`)
 			}
 		}
 	}
-	if got := s.UseDefs[print][0]; got != s.EntryDef(a) {
+	if got := s.UsesOf(print)[0]; got != s.EntryDef(a) {
 		t.Errorf("print uses %v, want entry def of a", got)
 	}
 }
@@ -124,7 +124,7 @@ proc main() {
 		t.Errorf("phi args kinds: %v\n%s", kinds, s.Dump())
 	}
 	// The loop condition uses the phi.
-	condUse := s.UseDefs[header.Instrs[len(header.Instrs)-1]]
+	condUse := s.UsesOf(header.Instrs[len(header.Instrs)-1])
 	if condUse[0] != xphi.Def {
 		t.Errorf("condition does not use loop phi")
 	}
@@ -151,7 +151,7 @@ proc f(a int) {
 	// Simulate the modref phase filling MayDef.
 	call.MayDef = []*sem.Var{x, g}
 	s := ssa.Build(f)
-	ids := s.InstrDefs[call]
+	ids := s.DefsOf(call)
 	if len(ids) != 2 {
 		t.Fatalf("call defs: %d", len(ids))
 	}
@@ -164,7 +164,7 @@ proc f(a int) {
 			}
 		}
 	}
-	ud := s.UseDefs[print]
+	ud := s.UsesOf(print)
 	for i, d := range ud {
 		if d.Kind != ssa.DefInstr || d.Instr != call {
 			t.Errorf("print use %d: %v, want def from call", i, d)

@@ -59,42 +59,46 @@ func (s *SSA) Verify() []string {
 		return s.Dom.Dominates(db, b)
 	}
 
-	for in, uds := range s.UseDefs {
-		b := instrBlock[in]
-		if b == nil {
-			continue // unreachable code is not renamed
-		}
-		uses := in.Uses()
-		if len(uses) != len(uds) {
-			report("%s: %d uses but %d reaching defs", in, len(uses), len(uds))
-			continue
-		}
-		for k, d := range uds {
-			if d == nil {
-				report("%s: use %d has no reaching def", in, k)
+	// Only reachable instructions are renamed, so walk the RPO rather
+	// than the (dense, whole-function) overlay tables.
+	for _, b := range s.Dom.RPO {
+		for _, in := range b.Instrs {
+			uds := s.UsesOf(in)
+			uses := in.Uses()
+			if len(uses) != len(uds) {
+				report("%s: %d uses but %d reaching defs", in, len(uses), len(uds))
 				continue
 			}
-			if d.Var != uses[k] {
-				report("%s: use %d of %s resolved to def of %s", in, k, uses[k], d.Var)
-			}
-			if !dominatesUse(d, b, instrPos[in]) {
-				report("%s: def %s does not dominate use", in, d)
+			for k, d := range uds {
+				if d == nil {
+					report("%s: use %d has no reaching def", in, k)
+					continue
+				}
+				if d.Var != uses[k] {
+					report("%s: use %d of %s resolved to def of %s", in, k, uses[k], d.Var)
+				}
+				if !dominatesUse(d, b, instrPos[in]) {
+					report("%s: def %s does not dominate use", in, d)
+				}
 			}
 		}
 	}
 
-	for in, ids := range s.InstrDefs {
-		defs := in.Defs()
-		if len(defs) != len(ids) {
-			report("%s: %d defs but %d definitions", in, len(defs), len(ids))
-			continue
-		}
-		for k, d := range ids {
-			if d.Var != defs[k] {
-				report("%s: def %d of %s registered as %s", in, k, defs[k], d.Var)
+	for _, b := range s.Dom.RPO {
+		for _, in := range b.Instrs {
+			ids := s.DefsOf(in)
+			defs := in.Defs()
+			if len(defs) != len(ids) {
+				report("%s: %d defs but %d definitions", in, len(defs), len(ids))
+				continue
 			}
-			if d.Kind != DefInstr || d.Instr != in {
-				report("%s: def %d not linked back to instruction", in, k)
+			for k, d := range ids {
+				if d.Var != defs[k] {
+					report("%s: def %d of %s registered as %s", in, k, defs[k], d.Var)
+				}
+				if d.Kind != DefInstr || d.Instr != in {
+					report("%s: def %d not linked back to instruction", in, k)
+				}
 			}
 		}
 	}
@@ -149,7 +153,7 @@ func (s *SSA) Verify() []string {
 			switch u.Kind {
 			case UseInstr:
 				found := false
-				for _, x := range s.UseDefs[u.Instr] {
+				for _, x := range s.UsesOf(u.Instr) {
 					if x == d {
 						found = true
 					}

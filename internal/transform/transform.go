@@ -80,7 +80,7 @@ func countProc(r *scc.Result) int {
 			continue
 		}
 		for _, in := range b.Instrs {
-			uds := s.UseDefs[in]
+			uds := s.UsesOf(in)
 			for k, v := range in.Uses() {
 				if sourceVar(v) && r.ValueOf(uds[k]).IsConst() {
 					n++
@@ -165,7 +165,7 @@ func applyProc(ctx *icp.Context, p *sem.Proc, env lattice.Env[*sem.Var]) Report 
 		for i, in := range b.Instrs {
 			switch in.(type) {
 			case *ir.CopyInstr, *ir.UnaryInstr, *ir.BinaryInstr:
-				d := s.InstrDefs[in][0]
+				d := s.DefsOf(in)[0]
 				if v := r.ValueOf(d); v.IsConst() {
 					b.Instrs[i] = &ir.ConstInstr{Dst: in.Defs()[0], Val: v.Val}
 					rep.FoldedInstrs++

@@ -6,8 +6,8 @@
 package val
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 
 	"fsicp/internal/ast"
 	"fsicp/internal/token"
@@ -53,14 +53,18 @@ func (v Value) Equal(w Value) bool {
 	return true
 }
 
+// String renders the value. It sits on the report path (every constant
+// a method finds is rendered at least once), so it uses strconv
+// directly rather than fmt's reflection-based formatting; the output is
+// byte-identical to the former %d/%g/%t verbs.
 func (v Value) String() string {
 	switch v.Type {
 	case ast.TypeInt:
-		return fmt.Sprintf("%d", v.I)
+		return strconv.FormatInt(v.I, 10)
 	case ast.TypeReal:
-		return fmt.Sprintf("%g", v.R)
+		return strconv.FormatFloat(v.R, 'g', -1, 64)
 	case ast.TypeBool:
-		return fmt.Sprintf("%t", v.B)
+		return strconv.FormatBool(v.B)
 	}
 	return "<invalid>"
 }

@@ -1,0 +1,47 @@
+package fsicp_test
+
+import (
+	"testing"
+
+	fsicp "fsicp"
+	"fsicp/internal/bench"
+)
+
+// TestPooledScratchDeterminism exercises the sync.Pool-backed SCC
+// scratch across a corpus of programs: the pool hands a worker whatever
+// scratch some other procedure — possibly of a *different program* —
+// released a moment ago, so any state leaking through the pool
+// (worklists not truncated, visited bits not reset, stale overlay
+// pointers) would surface as a diverging solution on the second pass.
+// Every program is analysed twice per worker count, interleaved so the
+// second pass always runs against a pool warmed by unrelated work, and
+// every fingerprint must match that program's cold run byte for byte.
+func TestPooledScratchDeterminism(t *testing.T) {
+	profiles := bench.SPECfp92()[:4]
+	var progs []*fsicp.Program
+	for _, p := range profiles {
+		prog, err := fsicp.Load(p.Name+".mf", bench.Build(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, prog)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, ReturnConstants: true, Workers: workers}
+		// Cold pass: record each program's reference fingerprint.
+		want := make([]string, len(progs))
+		for i, prog := range progs {
+			want[i] = fingerprint(prog.Analyze(cfg))
+		}
+		// Warm passes: the pool now holds scratch released by every
+		// program; re-analysing in a different order must change nothing.
+		for pass := 0; pass < 2; pass++ {
+			for k := len(progs) - 1; k >= 0; k-- {
+				if got := fingerprint(progs[k].Analyze(cfg)); got != want[k] {
+					t.Fatalf("workers=%d warm pass %d: %s diverged from its cold run (scratch state leaked through the pool)",
+						workers, pass, profiles[k].Name)
+				}
+			}
+		}
+	}
+}

@@ -32,4 +32,15 @@ go test -race -count=1 \
     -run 'TestFaultsNeverEscapePublicAPI|TestFaultReportsIdenticalAcrossWorkers|TestCancellationHygiene|TestDegradedResultsNotReusedAcrossRuns' \
     .
 
+echo "== bench smoke =="
+# One iteration of the wavefront benchmark: catches crashes or hangs in
+# the benchmark harness itself without paying for a full measurement.
+go test -run '^$' -bench 'BenchmarkAnalyzeParallel' -benchtime=1x -benchmem .
+
+echo "== allocation-regression gate =="
+# Re-measures the guarded benchmarks and fails when allocs/op grossly
+# exceeds the committed BENCH_icp.json (see the file's note for how to
+# refresh it after an intentional change).
+FSICP_BENCH_GATE=1 go test -count=1 -run TestBenchAllocGate .
+
 echo "ok"
