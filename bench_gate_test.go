@@ -10,6 +10,7 @@ import (
 	"os"
 	"testing"
 
+	fsicp "fsicp"
 	"fsicp/internal/bench"
 	"fsicp/internal/icp"
 	"fsicp/internal/metrics"
@@ -17,9 +18,12 @@ import (
 )
 
 // gateBenchmarks are the workloads the gate guards: the wavefront
-// scheduler on the largest synthetic SPEC program, and the full
-// Table 1 regeneration (both methods plus metric extraction) as the
-// paper-table representative.
+// scheduler on the largest synthetic SPEC program, the full Table 1
+// regeneration (both methods plus metric extraction) as the
+// paper-table representative, and the sharded load pipeline on the
+// largest progen program (serial and workers=4, plus the cold
+// end-to-end run) so front-end changes can't silently regress
+// load-phase allocations either.
 func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 	t.Helper()
 	spice, err := tables.Compile(bench.SPECfp92()[0])
@@ -34,7 +38,31 @@ func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 		}
 		suite = append(suite, ctx)
 	}
+	loadName, loadSrc := largestProgen()
 	return map[string]func(b *testing.B){
+		"BenchmarkLoad": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fsicp.LoadWith(loadName, loadSrc, fsicp.LoadOptions{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"BenchmarkLoadParallel/workers=4": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fsicp.LoadWith(loadName, loadSrc, fsicp.LoadOptions{Workers: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"BenchmarkColdEndToEnd": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				prog, err := fsicp.LoadWith(loadName, loadSrc, fsicp.LoadOptions{Workers: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4})
+			}
+		},
 		"BenchmarkAnalyzeParallel/workers=1": func(b *testing.B) {
 			opts := icp.Options{Method: icp.FlowSensitive, PropagateFloats: true, Workers: 1}
 			for i := 0; i < b.N; i++ {

@@ -14,7 +14,9 @@
 //	-run     execute the program with the reference interpreter
 //	-transform apply the solution to the IR and print the result
 //	-stats   print the per-pass timing table (load + analysis passes)
-//	-workers N bound the per-level analysis concurrency (0 = GOMAXPROCS)
+//	-workers N bound both the sharded load passes (per-procedure
+//	         lowering, alias/MOD/REF collection, clobbers, SSA prebuild)
+//	         and the per-level analysis concurrency (0 = GOMAXPROCS)
 //	-timeout D wall-clock deadline for the analysis; procedures still
 //	         unfinished at expiry degrade (soundly) to the
 //	         flow-insensitive solution and are listed in the output
@@ -77,7 +79,7 @@ func main() {
 	doTransform := flag.Bool("transform", false, "apply the solution and print the transformed IR")
 	doInline := flag.Bool("inline", false, "inline all non-recursive calls before analysing")
 	showStats := flag.Bool("stats", false, "print the per-pass timing table")
-	workers := flag.Int("workers", 0, "analysis workers per wavefront level (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "workers for the sharded load passes and per wavefront level (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the analysis as JSON (fs/fi/iter only)")
 	watch := flag.Bool("watch", false, "re-analyse incrementally whenever the file changes, printing constant deltas")
 	timeout := flag.Duration("timeout", 0, "analysis deadline; procedures unfinished at expiry degrade to the flow-insensitive solution (0 = none)")
@@ -110,7 +112,7 @@ func main() {
 		if !ok {
 			fail("-watch supports the fs|fi|iter methods, not %q", *method)
 		}
-		watchLoop(flag.Arg(0), cfg, 500*time.Millisecond)
+		watchLoop(flag.Arg(0), cfg, *showStats, 500*time.Millisecond)
 	}
 
 	name := "<stdin>"
@@ -125,7 +127,7 @@ func main() {
 		fail("%v", err)
 	}
 
-	prog, err := fsicp.Load(name, string(src))
+	prog, err := fsicp.LoadWith(name, string(src), fsicp.LoadOptions{Workers: *workers})
 	if err != nil {
 		fail("%v", err)
 	}

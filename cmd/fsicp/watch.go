@@ -23,11 +23,16 @@ const (
 // constant deltas each version introduces plus the reuse achieved.
 // It polls (no inotify dependency) and never returns.
 //
+// The session's loads run the sharded pipeline under cfg.Workers; with
+// stats set, every version prints the per-pass timing table, where
+// load-pass reuse (driver.Memo hits) shows up as "cached=…" notes and
+// the sharded passes carry their "shards=N workers=M" fan-out.
+//
 // Failure model: a read error or a program that fails to load is
 // always transient — the loop reports it once per new failure,
 // backs off, and keeps the last good session (if any) alive so the
 // next successful save resumes incremental analysis from it.
-func watchLoop(name string, cfg fsicp.Config, interval time.Duration) {
+func watchLoop(name string, cfg fsicp.Config, stats bool, interval time.Duration) {
 	var (
 		sess    *fsicp.Session
 		last    []fsicp.Constant
@@ -79,7 +84,7 @@ func watchLoop(name string, cfg fsicp.Config, interval time.Duration) {
 			// No good version yet: (re)try to open the session. A parse
 			// or semantic error is transient like any other — the next
 			// save may fix it.
-			s, err := fsicp.NewSession(name, src)
+			s, err := fsicp.NewSessionWith(name, src, fsicp.LoadOptions{Workers: cfg.Workers})
 			if err != nil {
 				lastSrc, haveSrc = src, true
 				report(err)
@@ -92,6 +97,9 @@ func watchLoop(name string, cfg fsicp.Config, interval time.Duration) {
 			a := sess.Analyze(cfg)
 			printDegradations(a.Degradations())
 			printConstants(a.Constants())
+			if stats {
+				fmt.Print(a.StatsTable())
+			}
 			last = a.Constants()
 			time.Sleep(interval)
 			continue
@@ -117,6 +125,9 @@ func watchLoop(name string, cfg fsicp.Config, interval time.Duration) {
 		}
 		for _, d := range ds {
 			fmt.Printf("   %s\n", d)
+		}
+		if stats {
+			fmt.Print(a.StatsTable())
 		}
 		last = cur
 		time.Sleep(interval)

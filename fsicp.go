@@ -217,6 +217,16 @@ type Program struct {
 	trace *driver.Trace // load-pipeline pass records
 }
 
+// LoadOptions configures the load pipeline.
+type LoadOptions struct {
+	// Workers bounds the fan-out of the sharded load passes —
+	// per-procedure lowering, alias partner lists, MOD/REF collection,
+	// clobber insertion, and the eager SSA prebuild (0 means
+	// GOMAXPROCS). The loaded program is byte-identical for every
+	// worker count; only wall-clock time changes.
+	Workers int
+}
+
 // Load parses, checks, and lowers MiniFort source text, then runs the
 // pre-ICP interprocedural phases (call graph, reference-parameter
 // aliases, MOD/REF). Errors carry positions and one line per
@@ -226,6 +236,18 @@ type Program struct {
 // (internal/driver); the per-pass timings are carried into every
 // Analysis and reported by Analysis.Stats.
 func Load(filename, src string) (*Program, error) {
+	return LoadWith(filename, src, LoadOptions{})
+}
+
+// LoadWith is Load with options.
+func LoadWith(filename, src string, opts LoadOptions) (*Program, error) {
+	return LoadContext(context.Background(), filename, src, opts)
+}
+
+// LoadContext is LoadWith under a context: when ctx ends, in-flight
+// sharded passes stop claiming work, their goroutines drain, and the
+// load fails with the context's error.
+func LoadContext(ctx context.Context, filename, src string, opts LoadOptions) (*Program, error) {
 	f := source.NewFile(filename, src)
 	var (
 		astProg *ast.Program
@@ -234,8 +256,12 @@ func Load(filename, src string) (*Program, error) {
 		cg      *callgraph.Graph
 		al      *alias.Info
 		mr      *modref.Info
+		pb      *irbuild.Builder
+		mb      *modref.Builder
+		ictx    *icp.Context
 	)
 	m := driver.NewManager()
+	m.SetWorkers(opts.Workers)
 	m.Add(driver.Pass{Name: "parse", Run: func(st *driver.PassStats) (err error) {
 		astProg, err = parser.ParseFile(f)
 		return err
@@ -244,13 +270,24 @@ func Load(filename, src string) (*Program, error) {
 		semProg, err = sem.Check(astProg, f)
 		return err
 	}})
-	m.Add(driver.Pass{Name: "irbuild", Deps: []string{"sem"}, Run: func(st *driver.PassStats) (err error) {
-		irProg, err = irbuild.Build(semProg)
-		if err == nil {
-			st.Procs = len(irProg.Funcs)
-		}
-		return err
-	}})
+	// Lowering fans out per procedure; the serial Finish epilogue hands
+	// out the dense program-wide variable and call-site IDs in
+	// procedure order, reproducing exactly the serial numbering.
+	m.Add(driver.Pass{Name: "irbuild", Deps: []string{"sem"},
+		Run: func(st *driver.PassStats) error {
+			pb = irbuild.NewBuilder(semProg)
+			return nil
+		},
+		Shards: func(workers int) (int, func(int)) {
+			return pb.NumProcs(), pb.BuildProc
+		},
+		Finish: func(st *driver.PassStats) (err error) {
+			irProg, err = pb.Finish()
+			if err == nil {
+				st.Procs = len(irProg.Funcs)
+			}
+			return err
+		}})
 	m.Add(driver.Pass{Name: "callgraph", Deps: []string{"irbuild"}, Run: func(st *driver.PassStats) error {
 		cg = callgraph.Build(irProg)
 		st.Procs = len(cg.Reachable)
@@ -258,30 +295,62 @@ func Load(filename, src string) (*Program, error) {
 		st.Notes = fmt.Sprintf("%d edges, %d back", total, back)
 		return nil
 	}})
-	m.Add(driver.Pass{Name: "alias", Deps: []string{"callgraph"}, Run: func(st *driver.PassStats) error {
-		al = alias.Compute(irProg, cg)
-		st.Procs = len(cg.Reachable)
-		return nil
-	}})
-	m.Add(driver.Pass{Name: "modref", Deps: []string{"alias"}, Run: func(st *driver.PassStats) error {
-		mr = modref.Compute(irProg, cg, al)
-		st.Procs = len(cg.Reachable)
-		return nil
-	}})
+	// The interprocedural alias-pair fixpoint stays serial (it iterates
+	// shared per-procedure pair sets over call edges); only the
+	// per-procedure partner-list construction shards.
+	m.Add(driver.Pass{Name: "alias", Deps: []string{"callgraph"},
+		Run: func(st *driver.PassStats) error {
+			al = alias.Fixpoint(irProg, cg)
+			st.Procs = len(cg.Reachable)
+			return nil
+		},
+		Shards: func(workers int) (int, func(int)) {
+			return len(cg.Reachable), al.BuildPartners
+		},
+		Finish: func(st *driver.PassStats) error {
+			al.FinishPartners()
+			return nil
+		}})
+	// Immediate MOD/REF collection is a per-procedure IR walk and
+	// shards; the interprocedural fixpoint and MayDef fill stay serial
+	// in Finish.
+	m.Add(driver.Pass{Name: "modref", Deps: []string{"alias"},
+		Run: func(st *driver.PassStats) error {
+			mb = modref.Begin(irProg, cg, al)
+			st.Procs = len(cg.Reachable)
+			return nil
+		},
+		Shards: func(workers int) (int, func(int)) {
+			return mb.NumProcs(), mb.CollectProc
+		},
+		Finish: func(st *driver.PassStats) error {
+			mr = mb.Finish()
+			return nil
+		}})
 	// Clobber insertion mutates the IR, so it must follow MOD/REF,
-	// which reads the pre-clobber program.
-	m.Add(driver.Pass{Name: "clobbers", Deps: []string{"modref"}, Run: func(st *driver.PassStats) error {
-		al.InsertClobbers(irProg, cg)
-		return nil
-	}})
-	trace, err := m.Run()
+	// which reads the pre-clobber program. Each shard rewrites and
+	// renumbers only its own function.
+	m.Add(driver.Pass{Name: "clobbers", Deps: []string{"modref"},
+		Shards: func(workers int) (int, func(int)) {
+			return al.ClobberShards(irProg, cg)
+		}})
+	// Eager SSA prebuild: construct every reachable procedure's SSA
+	// form now, in parallel, so the first analysis (whose wavefront
+	// otherwise serializes on lazily built SSA) starts hot.
+	m.Add(driver.Pass{Name: "ssa", Deps: []string{"clobbers"},
+		Run: func(st *driver.PassStats) error {
+			ictx = &icp.Context{Prog: irProg, CG: cg, AL: al, MR: mr}
+			st.Procs = len(cg.Reachable)
+			return nil
+		},
+		Shards: func(workers int) (int, func(int)) {
+			return ictx.SSAPrebuildShards()
+		}})
+	trace, err := m.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &Program{
-		ctx:   &icp.Context{Prog: irProg, CG: cg, AL: al, MR: mr},
-		trace: trace,
-	}, nil
+	return &Program{ctx: ictx, trace: trace}, nil
 }
 
 // Procedures returns the names of the procedures reachable from main,
@@ -637,6 +706,7 @@ func (a *Analysis) Transform() (int, int, int, int) {
 	rep := transform.Apply(a.prog.ctx, func(q *sem.Proc) lattice.Env[*sem.Var] {
 		return a.res.Entry[q]
 	})
+	a.prog.ctx.InvalidateSSA()
 	return rep.EntryAssignments, rep.FoldedInstrs, rep.FoldedBranches, rep.RemovedBlocks
 }
 
@@ -644,6 +714,7 @@ func (a *Analysis) Transform() (int, int, int, int) {
 // never execute (run Transform first so dead call sites are pruned).
 // Returns the removed procedures' names.
 func (a *Analysis) RemoveDeadProcedures() []string {
+	a.prog.ctx.InvalidateSSA()
 	return transform.RemoveDeadProcedures(a.prog.ctx, a.res.Dead)
 }
 

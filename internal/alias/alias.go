@@ -47,14 +47,38 @@ type Info struct {
 	PairsOf map[*sem.Proc]map[Pair]bool
 	// partners[p][v] lists v's may-alias partners in p.
 	partners map[*sem.Proc]map[*sem.Var][]*sem.Var
+
+	// procs and slots support sharded partner-list construction:
+	// BuildPartners(pos) fills slots[pos] for procs[pos] (reachable
+	// order), and FinishPartners installs the slots into the partners
+	// map serially.
+	procs []*sem.Proc
+	slots []map[*sem.Var][]*sem.Var
 }
 
 // Compute finds all may-alias pairs by propagating bindings over the
-// call graph to a fixpoint.
+// call graph to a fixpoint, then builds the per-procedure partner
+// lists. Serial convenience wrapper over Fixpoint / BuildPartners /
+// FinishPartners.
 func Compute(prog *ir.Program, cg *callgraph.Graph) *Info {
+	info := Fixpoint(prog, cg)
+	for pos := range info.procs {
+		info.BuildPartners(pos)
+	}
+	info.FinishPartners()
+	return info
+}
+
+// Fixpoint runs the serial interprocedural alias-pair propagation. The
+// per-procedure partner lists are not yet built: fan BuildPartners(pos)
+// for pos 0..len(cg.Reachable)-1 across goroutines (each shard touches
+// only its own slot), then call FinishPartners.
+func Fixpoint(prog *ir.Program, cg *callgraph.Graph) *Info {
 	info := &Info{
 		PairsOf:  make(map[*sem.Proc]map[Pair]bool),
 		partners: make(map[*sem.Proc]map[*sem.Var][]*sem.Var),
+		procs:    cg.Reachable,
+		slots:    make([]map[*sem.Var][]*sem.Var, len(cg.Reachable)),
 	}
 	for _, p := range cg.Reachable {
 		info.PairsOf[p] = make(map[Pair]bool)
@@ -122,18 +146,39 @@ func Compute(prog *ir.Program, cg *callgraph.Graph) *Info {
 		}
 	}
 
-	for p, pairs := range info.PairsOf {
-		m := make(map[*sem.Var][]*sem.Var)
-		for pr := range pairs {
-			m[pr.A] = append(m[pr.A], pr.B)
-			m[pr.B] = append(m[pr.B], pr.A)
-		}
-		for v := range m {
-			sort.Slice(m[v], func(i, j int) bool { return varLess(m[v][i], m[v][j]) })
-		}
-		info.partners[p] = m
-	}
 	return info
+}
+
+// BuildPartners builds the partner lists of the pos-th reachable
+// procedure into its private slot. Requires the Fixpoint to have
+// completed; safe to call concurrently for distinct pos (the PairsOf
+// maps are only read).
+func (i *Info) BuildPartners(pos int) {
+	p := i.procs[pos]
+	pairs := i.PairsOf[p]
+	if len(pairs) == 0 {
+		return
+	}
+	m := make(map[*sem.Var][]*sem.Var)
+	for pr := range pairs {
+		m[pr.A] = append(m[pr.A], pr.B)
+		m[pr.B] = append(m[pr.B], pr.A)
+	}
+	for v := range m {
+		sort.Slice(m[v], func(a, b int) bool { return varLess(m[v][a], m[v][b]) })
+	}
+	i.slots[pos] = m
+}
+
+// FinishPartners installs every built slot into the partners map.
+// Serial epilogue of the sharded partner construction.
+func (i *Info) FinishPartners() {
+	for pos, m := range i.slots {
+		if m != nil {
+			i.partners[i.procs[pos]] = m
+		}
+	}
+	i.slots = nil
 }
 
 // Partners returns the may-alias partners of v inside p (nil if none).
@@ -150,36 +195,56 @@ func (i *Info) HasAliases(p *sem.Proc) bool { return len(i.PairsOf[p]) > 0 }
 // separately (modref closes CallInstr.MayDef under aliases), so calls
 // are skipped here. The pass is idempotent per program build.
 func (i *Info) InsertClobbers(prog *ir.Program, cg *callgraph.Graph) {
+	n, shard := i.ClobberShards(prog, cg)
+	for pos := 0; pos < n; pos++ {
+		shard(pos)
+	}
+}
+
+// ClobberShards returns InsertClobbers as a parallel-for over the
+// reachable procedures: each shard rewrites (and renumbers) only its
+// own function, so shards may run concurrently. Returns n = 0 when the
+// program's clobbers are already inserted; the idempotence flag is
+// claimed here, serially, before any shard runs.
+func (i *Info) ClobberShards(prog *ir.Program, cg *callgraph.Graph) (int, func(pos int)) {
 	if prog.AliasClobbersDone {
-		return
+		return 0, nil
 	}
 	prog.AliasClobbersDone = true
-	for _, p := range cg.Reachable {
-		if !i.HasAliases(p) {
-			continue
-		}
-		fn := prog.FuncOf[p]
-		for _, b := range fn.Blocks {
-			var out []ir.Instr
-			for _, in := range b.Instrs {
-				out = append(out, in)
-				if _, isCall := in.(*ir.CallInstr); isCall {
-					continue
-				}
-				if _, isClob := in.(*ir.ClobberInstr); isClob {
-					continue
-				}
-				var clob []*sem.Var
-				for _, d := range in.Defs() {
-					for _, w := range i.Partners(p, d) {
-						clob = append(clob, w)
-					}
-				}
-				if len(clob) > 0 {
-					out = append(out, &ir.ClobberInstr{Vars: clob, Why: "may-alias"})
+	return len(cg.Reachable), func(pos int) {
+		i.insertClobbersProc(prog, cg.Reachable[pos])
+	}
+}
+
+// insertClobbersProc rewrites one procedure, then renumbers its
+// instructions so no later phase (ssa.Build's Numbered fallback) has to
+// write to shared IR during analysis.
+func (i *Info) insertClobbersProc(prog *ir.Program, p *sem.Proc) {
+	if !i.HasAliases(p) {
+		return
+	}
+	fn := prog.FuncOf[p]
+	for _, b := range fn.Blocks {
+		var out []ir.Instr
+		for _, in := range b.Instrs {
+			out = append(out, in)
+			if _, isCall := in.(*ir.CallInstr); isCall {
+				continue
+			}
+			if _, isClob := in.(*ir.ClobberInstr); isClob {
+				continue
+			}
+			var clob []*sem.Var
+			for _, d := range in.Defs() {
+				for _, w := range i.Partners(p, d) {
+					clob = append(clob, w)
 				}
 			}
-			b.Instrs = out
+			if len(clob) > 0 {
+				out = append(out, &ir.ClobberInstr{Vars: clob, Why: "may-alias"})
+			}
 		}
+		b.Instrs = out
 	}
+	fn.NumberInstrs()
 }

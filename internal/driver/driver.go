@@ -41,6 +41,13 @@ type PassStats struct {
 	// flow-insensitive fallback instead of completing flow-sensitively
 	// (panic isolation, fuel exhaustion, cancellation).
 	Degraded int
+
+	// Shards counts the parallel-for items a sharded pass (Pass.Shards)
+	// executed; zero for serial passes. ShardWall holds each shard's
+	// wall-clock time, indexed by shard. The manager also appends
+	// "shards=N workers=M" to Notes for sharded passes.
+	Shards    int
+	ShardWall []time.Duration
 }
 
 // Trace is an ordered, concurrency-safe collection of PassStats
@@ -189,6 +196,22 @@ type Pass struct {
 
 	Fingerprint func() string
 	Reuse       func(st *PassStats) error
+
+	// Shards opts the pass into intra-pass parallelism: after Run (the
+	// serial prologue, which may be nil for a pure fan-out pass) the
+	// manager calls Shards(workers) and runs shard(0..n-1) concurrently
+	// on at most workers goroutines (Manager.SetWorkers; the count is
+	// also passed in so a pass can pre-size per-worker scratch). Shards
+	// of one pass must be mutually independent: each may only read
+	// pipeline state produced by earlier passes or by Run, and write
+	// state no other shard touches. A shard panic is isolated and fails
+	// the pass deterministically (lowest shard index wins); when the
+	// manager's context ends, remaining shards are skipped and the
+	// pipeline stops with the context error.
+	Shards func(workers int) (n int, shard func(item int))
+	// Finish is the serial epilogue of a sharded pass, run after every
+	// shard completed (not run when a shard failed or the context ended).
+	Finish func(st *PassStats) error
 }
 
 // Memo records pass fingerprints across runs of a pipeline over
@@ -215,9 +238,10 @@ func (m *Memo) set(name, key string) {
 
 // Manager validates a pass graph and runs it in dependency order.
 type Manager struct {
-	passes []Pass
-	memo   *Memo
-	faults func(pass, proc string)
+	passes  []Pass
+	memo    *Memo
+	faults  func(pass, proc string)
+	workers int
 }
 
 // NewManager returns an empty manager.
@@ -233,6 +257,12 @@ func (m *Manager) SetMemo(memo *Memo) { m.memo = memo }
 // injection (the default). The signature matches
 // faultinject.(*Injector).Hook without importing that package.
 func (m *Manager) SetFaults(hook func(pass, proc string)) { m.faults = hook }
+
+// SetWorkers bounds the fan-out of sharded passes (Pass.Shards): at
+// most n shards of one pass run concurrently. 0 (the default) resolves
+// to GOMAXPROCS. Results are identical for every worker count; only
+// wall-clock time changes.
+func (m *Manager) SetWorkers(n int) { m.workers = n }
 
 // Add registers a pass. Registration order breaks ties among passes
 // whose dependencies are satisfied simultaneously, keeping the schedule
@@ -287,7 +317,15 @@ func (m *Manager) RunIntoContext(ctx context.Context, tr *Trace) error {
 			})
 		} else {
 			tr.Time(p.Name, func(st *PassStats) {
-				runErr = m.protect(p.Name, st, p.Run)
+				if p.Run != nil {
+					runErr = m.protect(p.Name, st, p.Run)
+				}
+				if runErr == nil && p.Shards != nil {
+					runErr = m.runShards(ctx, p, st)
+				}
+				if runErr == nil && p.Finish != nil {
+					runErr = m.protect(p.Name, st, p.Finish)
+				}
 			})
 			if runErr == nil && key != "" {
 				m.memo.set(p.Name, key)
@@ -297,6 +335,45 @@ func (m *Manager) RunIntoContext(ctx context.Context, tr *Trace) error {
 			return fmt.Errorf("pass %s: %w", p.Name, runErr)
 		}
 	}
+	return nil
+}
+
+// runShards executes the parallel-for phase of a sharded pass: it
+// resolves the worker bound, fans shard(0..n-1) across the workers,
+// times every shard, and converts shard panics into a deterministic
+// pass error (the failure of the lowest shard index is reported, so a
+// multi-shard crash yields the same diagnostic at every worker count).
+func (m *Manager) runShards(ctx context.Context, p Pass, st *PassStats) error {
+	workers := Workers(m.workers)
+	n, shard := p.Shards(workers)
+	if n <= 0 || shard == nil {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	st.Shards = n
+	st.ShardWall = make([]time.Duration, n)
+	errs := make([]error, n)
+	ParallelCtx(ctx, n, workers, func(i int) {
+		start := time.Now()
+		defer func() {
+			st.ShardWall[i] = time.Since(start)
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("shard %d/%d: panic: %v", i, n, r)
+			}
+		}()
+		shard(i)
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	st.Notes = strings.TrimSpace(st.Notes + fmt.Sprintf(" shards=%d workers=%d", n, workers))
 	return nil
 }
 

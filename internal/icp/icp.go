@@ -40,6 +40,7 @@ import (
 	"fsicp/internal/resilience"
 	"fsicp/internal/scc"
 	"fsicp/internal/sem"
+	"fsicp/internal/ssa"
 	"fsicp/internal/val"
 )
 
@@ -171,6 +172,15 @@ type Context struct {
 	CG   *callgraph.Graph
 	AL   *alias.Info
 	MR   *modref.Info
+
+	// SSACache, when non-nil, holds the eagerly prebuilt SSA form of
+	// every reachable procedure, indexed by CG.Reachable position (see
+	// SSAPrebuildShards). Analyses seed their per-run ssaPool from it,
+	// so repeated Analyze calls skip the per-procedure SSA
+	// construction. The SSA overlay is read-only during propagation, so
+	// one cache may back concurrent analyses. Any pass that mutates the
+	// IR must call InvalidateSSA.
+	SSACache []*ssa.SSA
 }
 
 // Prepare runs the pre-ICP interprocedural phases on prog.
@@ -181,6 +191,21 @@ func Prepare(prog *ir.Program) *Context {
 	al.InsertClobbers(prog, cg)
 	return &Context{Prog: prog, CG: cg, AL: al, MR: mr}
 }
+
+// SSAPrebuildShards returns the eager SSA construction as a
+// parallel-for over the reachable procedures: shard i builds procedure
+// i's SSA into its private SSACache slot. Run every shard (any
+// concurrency) before the cache is read.
+func (c *Context) SSAPrebuildShards() (int, func(i int)) {
+	c.SSACache = make([]*ssa.SSA, len(c.CG.Reachable))
+	return len(c.SSACache), func(i int) {
+		c.SSACache[i] = ssa.Build(c.Prog.FuncOf[c.CG.Reachable[i]])
+	}
+}
+
+// InvalidateSSA drops the prebuilt SSA cache. Transformation passes
+// that rewrite the IR in place must call it before the next analysis.
+func (c *Context) InvalidateSSA() { c.SSACache = nil }
 
 // Result is the outcome of one ICP run.
 type Result struct {

@@ -323,7 +323,25 @@ type ssaPool struct {
 }
 
 func newSSAPool(ctx *Context) *ssaPool {
-	return &ssaPool{ctx: ctx, slots: make([]*ssa.SSA, len(ctx.CG.Reachable))}
+	sp := &ssaPool{ctx: ctx, slots: make([]*ssa.SSA, len(ctx.CG.Reachable))}
+	if len(ctx.SSACache) == len(sp.slots) {
+		// Seed from the load-time prebuild (Context.SSAPrebuildShards):
+		// the overlay is read-only during propagation, so sharing one
+		// cache across analyses — including concurrent ones — is safe.
+		copy(sp.slots, ctx.SSACache)
+	}
+	return sp
+}
+
+// prebuilt counts the slots already filled (by the load-time cache).
+func (sp *ssaPool) prebuilt() int {
+	n := 0
+	for _, s := range sp.slots {
+		if s != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // prebuild constructs the SSA of the given positions concurrently (nil
@@ -337,6 +355,9 @@ func (sp *ssaPool) prebuild(positions []int, workers int) {
 	}
 	driver.Parallel(len(positions), workers, func(k int) {
 		i := positions[k]
+		if sp.slots[i] != nil {
+			return // seeded from the load-time SSA cache
+		}
 		sp.slots[i] = ssa.Build(sp.ctx.Prog.FuncOf[sp.ctx.CG.Reachable[i]])
 		sp.built.Add(1)
 	})

@@ -83,9 +83,15 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 		// so prebuild all SSA concurrently. Under the engine SSA is
 		// built lazily — round-zero value-cache hits never need it.
 		opts.Trace.Time("ssa", func(st *driver.PassStats) {
+			hits := pool.prebuilt()
 			pool.prebuild(nil, workers)
 			st.Procs = n
 			st.Notes = fmt.Sprintf("workers=%d", workers)
+			if hits > 0 {
+				// Seeded from the load-time prebuild (Context.SSACache).
+				st.Cached = true
+				st.Hits, st.Misses = hits, n-hits
+			}
 		})
 	}
 

@@ -88,9 +88,15 @@ func runFS(ctx *Context, opts Options) *Result {
 		// instead — a procedure whose scc run is served from the value
 		// cache never needs it.
 		opts.Trace.Time("ssa", func(st *driver.PassStats) {
+			hits := pool.prebuilt()
 			pool.prebuild(nil, workers)
 			st.Procs = n
 			st.Notes = fmt.Sprintf("workers=%d", workers)
+			if hits > 0 {
+				// Seeded from the load-time prebuild (Context.SSACache).
+				st.Cached = true
+				st.Hits, st.Misses = hits, n-hits
+			}
 		})
 	}
 

@@ -31,21 +31,89 @@ import (
 // one well-formedness rule not checked by sem: a for-loop step that is
 // not a non-zero integer literal.
 func Build(p *sem.Program) (*ir.Program, error) {
-	prog := &ir.Program{
-		Sem:    p,
-		FuncOf: make(map[*sem.Proc]*ir.Func),
+	pb := NewBuilder(p)
+	for i := 0; i < pb.NumProcs(); i++ {
+		pb.BuildProc(i)
 	}
-	for _, proc := range p.Procs {
-		b := &builder{sem: p, prog: prog}
-		f, err := b.buildFunc(proc)
+	return pb.Finish()
+}
+
+// A Builder is an in-flight lowering whose per-procedure work can be
+// fanned across goroutines: BuildProc(i) lowers procedure i touching
+// only that procedure's state (temporaries are created with deferred
+// IDs so the shared program counter is never written), and Finish is
+// the serial epilogue that assigns the dense program-wide variable and
+// call-site numbering in procedure order — reproducing exactly the IDs
+// serial lowering hands out, so results are byte-identical at every
+// worker count.
+type Builder struct {
+	sem   *sem.Program
+	funcs []*ir.Func
+	errs  []error
+}
+
+// NewBuilder prepares lowering of every procedure of p.
+func NewBuilder(p *sem.Program) *Builder {
+	return &Builder{
+		sem:   p,
+		funcs: make([]*ir.Func, len(p.Procs)),
+		errs:  make([]error, len(p.Procs)),
+	}
+}
+
+// NumProcs returns the number of procedures to lower.
+func (pb *Builder) NumProcs() int { return len(pb.sem.Procs) }
+
+// BuildProc lowers procedure i, including its per-function instruction
+// numbering. Safe to call concurrently for distinct i.
+func (pb *Builder) BuildProc(i int) {
+	b := &builder{sem: pb.sem}
+	f, err := b.buildFunc(pb.sem.Procs[i])
+	if err != nil {
+		pb.errs[i] = err
+		return
+	}
+	f.NumberInstrs()
+	pb.funcs[i] = f
+}
+
+// Finish assembles the program: deferred variable IDs, dense call-site
+// numbering, per-function variable registration, and the Funcs/FuncOf
+// tables, all in procedure order. Returns the error of the lowest
+// failed procedure (the one serial lowering would have stopped at).
+func (pb *Builder) Finish() (*ir.Program, error) {
+	for _, err := range pb.errs {
 		if err != nil {
 			return nil, err
 		}
-		f.NumberInstrs()
+	}
+	pb.sem.AssignDeferredVarIDs()
+	prog := &ir.Program{
+		Sem:    pb.sem,
+		FuncOf: make(map[*sem.Proc]*ir.Func, len(pb.funcs)),
+	}
+	for _, f := range pb.funcs {
+		pb.collectVars(f)
+		for _, ci := range f.Calls {
+			ci.ID = len(prog.CallSites)
+			prog.CallSites = append(prog.CallSites, ci)
+		}
 		prog.Funcs = append(prog.Funcs, f)
-		prog.FuncOf[proc] = f
+		prog.FuncOf[f.Proc] = f
 	}
 	return prog, nil
+}
+
+func (pb *Builder) collectVars(f *ir.Func) {
+	for _, v := range f.Proc.Params {
+		f.RegisterVar(v)
+	}
+	for _, v := range f.Proc.Locals {
+		f.RegisterVar(v)
+	}
+	for _, g := range pb.sem.Globals {
+		f.RegisterVar(g)
+	}
 }
 
 type loopCtx struct {
@@ -55,7 +123,6 @@ type loopCtx struct {
 
 type builder struct {
 	sem   *sem.Program
-	prog  *ir.Program
 	fn    *ir.Func
 	cur   *ir.Block
 	loops []loopCtx
@@ -71,7 +138,7 @@ func (b *builder) buildFunc(proc *sem.Proc) (*ir.Func, error) {
 		if proc.IsFunc {
 			// Falling off the end of a func returns the zero value of
 			// its result type (the interpreter matches this).
-			t := proc.NewTemp(proc.Result)
+			t := proc.NewTempDeferred(proc.Result)
 			b.emit(&ir.ConstInstr{Dst: t, Val: val.Zero(proc.Result)})
 			b.cur.SetTerm(&ir.Ret{Val: t})
 		} else {
@@ -85,20 +152,7 @@ func (b *builder) buildFunc(proc *sem.Proc) (*ir.Func, error) {
 			blk.SetTerm(&ir.Ret{})
 		}
 	}
-	b.collectVars(f)
 	return f, b.err
-}
-
-func (b *builder) collectVars(f *ir.Func) {
-	for _, v := range f.Proc.Params {
-		f.RegisterVar(v)
-	}
-	for _, v := range f.Proc.Locals {
-		f.RegisterVar(v)
-	}
-	for _, g := range b.sem.Globals {
-		f.RegisterVar(g)
-	}
 }
 
 func (b *builder) errorf(format string, args ...any) {
@@ -299,7 +353,10 @@ func stripParens(e ast.Expr) ast.Expr {
 	}
 }
 
-func (b *builder) newTemp(t ast.Type) *sem.Var { return b.fn.Proc.NewTemp(t) }
+// newTemp creates a compiler temporary with a deferred program ID so
+// concurrent BuildProc calls never race on the shared variable counter;
+// Builder.Finish assigns the dense IDs serially.
+func (b *builder) newTemp(t ast.Type) *sem.Var { return b.fn.Proc.NewTempDeferred(t) }
 
 // expr lowers e and returns the variable holding its value.
 func (b *builder) expr(e ast.Expr) *sem.Var {
@@ -371,9 +428,10 @@ func (b *builder) call(e *ast.CallExpr, dst *sem.Var) {
 	}
 	b.ensure()
 	ci.Block = b.cur
-	ci.ID = len(b.prog.CallSites)
 	ci.SiteIdx = len(b.fn.Calls)
-	b.prog.CallSites = append(b.prog.CallSites, ci)
+	// ci.ID (the program-wide call-site number) is assigned by
+	// Builder.Finish, the serial epilogue, so lowering can run per
+	// procedure without a shared counter.
 	b.fn.Calls = append(b.fn.Calls, ci)
 	b.cur.Instrs = append(b.cur.Instrs, ci)
 }

@@ -68,16 +68,61 @@ type Info struct {
 }
 
 // Compute runs the MOD/REF fixpoint over the reachable PCG and then
-// fills ir.CallInstr.MayDef for every reachable call site.
+// fills ir.CallInstr.MayDef for every reachable call site. Serial
+// convenience wrapper over Begin / CollectProc / Finish.
 func Compute(prog *ir.Program, cg *callgraph.Graph, al *alias.Info) *Info {
+	b := Begin(prog, cg, al)
+	for i := 0; i < b.NumProcs(); i++ {
+		b.CollectProc(i)
+	}
+	return b.Finish()
+}
+
+// A Builder splits Compute so the per-procedure immediate MOD/REF
+// collection — a pure walk over one function's IR — can be fanned
+// across goroutines, while the interprocedural fixpoint stays a serial
+// epilogue (it iterates shared per-procedure sets over call edges to
+// convergence, which has no per-procedure decomposition).
+type Builder struct {
+	prog *ir.Program
+	cg   *callgraph.Graph
+	al   *alias.Info
+	dmod []Set // indexed by reachable position; written by CollectProc
+	dref []Set
+}
+
+// Begin prepares the sharded MOD/REF computation.
+func Begin(prog *ir.Program, cg *callgraph.Graph, al *alias.Info) *Builder {
+	return &Builder{
+		prog: prog,
+		cg:   cg,
+		al:   al,
+		dmod: make([]Set, len(cg.Reachable)),
+		dref: make([]Set, len(cg.Reachable)),
+	}
+}
+
+// NumProcs returns the number of reachable procedures to collect.
+func (b *Builder) NumProcs() int { return len(b.cg.Reachable) }
+
+// CollectProc collects the immediate MOD/REF of the i-th reachable
+// procedure. Safe to call concurrently for distinct i.
+func (b *Builder) CollectProc(i int) {
+	b.dmod[i], b.dref[i] = immediate(b.prog.FuncOf[b.cg.Reachable[i]])
+}
+
+// Finish installs the collected immediate sets and runs the serial
+// interprocedural fixpoint plus the MayDef fill.
+func (b *Builder) Finish() *Info {
+	prog, cg, al := b.prog, b.cg, b.al
 	info := &Info{
 		Mod:  make(map[*sem.Proc]Set),
 		Ref:  make(map[*sem.Proc]Set),
 		DMod: make(map[*sem.Proc]Set),
 		DRef: make(map[*sem.Proc]Set),
 	}
-	for _, p := range cg.Reachable {
-		dm, dr := immediate(prog.FuncOf[p])
+	for i, p := range cg.Reachable {
+		dm, dr := b.dmod[i], b.dref[i]
 		info.DMod[p], info.DRef[p] = dm, dr
 		info.Mod[p] = copySet(dm)
 		info.Ref[p] = copySet(dr)

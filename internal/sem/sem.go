@@ -105,6 +105,24 @@ func (p *Proc) NewTemp(t ast.Type) *Var {
 	return v
 }
 
+// NewTempDeferred is NewTemp for parallel lowering: the temporary is
+// created without a program-wide ID (ID 0) so concurrent builders never
+// touch the shared counter. The caller must run
+// Program.AssignDeferredVarIDs as a serial epilogue before any dense
+// index is built over the variables (ir.Func.RegisterVar panics on a
+// zero ID).
+func (p *Proc) NewTempDeferred(t ast.Type) *Var {
+	p.ntemps++
+	v := &Var{
+		Name:  "%t" + strconv.Itoa(p.ntemps),
+		Kind:  KindTemp,
+		Type:  t,
+		Owner: p,
+	}
+	p.Locals = append(p.Locals, v)
+	return v
+}
+
 // NewLocal creates a fresh source-level local (used by transformation
 // passes such as inlining, whose cloned variables should behave like
 // programmer-written locals — e.g. they count as substitution sites).
@@ -145,6 +163,21 @@ type Program struct {
 func (p *Program) NewVarID() int {
 	p.nextVarID++
 	return p.nextVarID
+}
+
+// AssignDeferredVarIDs gives every ID-less variable (NewTempDeferred)
+// its dense program-wide ID, walking procedures and their locals in
+// declaration/creation order — exactly the order serial lowering would
+// have drawn IDs in, so parallel and serial builds number identically.
+// Serial epilogue; not safe for concurrent use.
+func (p *Program) AssignDeferredVarIDs() {
+	for _, proc := range p.Procs {
+		for _, v := range proc.Locals {
+			if v.ID == 0 {
+				v.ID = p.NewVarID()
+			}
+		}
+	}
 }
 
 // NumVarIDs returns the size a slice must have to be indexable by every

@@ -33,9 +33,10 @@ go test -race -count=1 \
     .
 
 echo "== bench smoke =="
-# One iteration of the wavefront benchmark: catches crashes or hangs in
-# the benchmark harness itself without paying for a full measurement.
-go test -run '^$' -bench 'BenchmarkAnalyzeParallel' -benchtime=1x -benchmem .
+# One iteration of the wavefront and sharded-load benchmarks: catches
+# crashes or hangs in the benchmark harnesses themselves without paying
+# for a full measurement.
+go test -run '^$' -bench 'BenchmarkAnalyzeParallel|BenchmarkLoadParallel|BenchmarkColdEndToEnd' -benchtime=1x -benchmem .
 
 echo "== allocation-regression gate =="
 # Re-measures the guarded benchmarks and fails when allocs/op grossly

@@ -44,6 +44,7 @@ import (
 // transformation work.
 type Session struct {
 	filename string
+	opts     LoadOptions
 	memo     *driver.Memo
 	engines  map[Config]*incr.Engine
 	version  int
@@ -62,8 +63,15 @@ type sessionState struct {
 // NewSession loads the initial version of the program. The error is
 // the same Load would report.
 func NewSession(filename, src string) (*Session, error) {
+	return NewSessionWith(filename, src, LoadOptions{})
+}
+
+// NewSessionWith is NewSession with load options; every Update runs
+// its sharded load passes under opts.Workers.
+func NewSessionWith(filename, src string, opts LoadOptions) (*Session, error) {
 	s := &Session{
 		filename: filename,
+		opts:     opts,
 		memo:     driver.NewMemo(),
 		engines:  make(map[Config]*incr.Engine),
 	}
@@ -93,6 +101,9 @@ func (s *Session) Update(src string) (*Program, error) {
 		cg      *callgraph.Graph
 		al      *alias.Info
 		mr      *modref.Info
+		pb      *irbuild.Builder
+		mb      *modref.Builder
+		ictx    *icp.Context
 	)
 	// astKey fingerprints the source's token stream (kinds and
 	// spellings, not positions): equal keys guarantee structurally
@@ -107,6 +118,7 @@ func (s *Session) Update(src string) (*Program, error) {
 
 	m := driver.NewManager()
 	m.SetMemo(s.memo)
+	m.SetWorkers(s.opts.Workers)
 	m.Add(driver.Pass{
 		Name:        "parse",
 		Fingerprint: func() string { return next.srcKey },
@@ -124,44 +136,90 @@ func (s *Session) Update(src string) (*Program, error) {
 	// AST (directly or transitively), so they share one fingerprint:
 	// the token stream. A lexical-only edit therefore reuses all of
 	// them — including the clobber-mutated IR — wholesale.
+	// The sharded passes mirror LoadContext: per-procedure work fans
+	// over the session's worker bound, serial prologue/epilogue keep
+	// numbering and fixpoints deterministic.
 	reusable := []struct {
-		name string
-		deps []string
-		run  func(st *driver.PassStats) error
-		use  func()
+		name   string
+		deps   []string
+		run    func(st *driver.PassStats) error
+		shards func(workers int) (int, func(int))
+		finish func(st *driver.PassStats) error
+		use    func()
 	}{
-		{"sem", []string{"parse"}, func(st *driver.PassStats) (err error) {
+		{name: "sem", deps: []string{"parse"}, run: func(st *driver.PassStats) (err error) {
 			semProg, err = sem.Check(next.astProg, f)
 			return err
-		}, func() { semProg = prev.prog.ctx.Prog.Sem }},
-		{"irbuild", []string{"sem"}, func(st *driver.PassStats) (err error) {
-			irProg, err = irbuild.Build(semProg)
-			if err == nil {
-				st.Procs = len(irProg.Funcs)
-			}
-			return err
-		}, func() { irProg = prev.prog.ctx.Prog }},
-		{"callgraph", []string{"irbuild"}, func(st *driver.PassStats) error {
+		}, use: func() { semProg = prev.prog.ctx.Prog.Sem }},
+		{name: "irbuild", deps: []string{"sem"},
+			run: func(st *driver.PassStats) error {
+				pb = irbuild.NewBuilder(semProg)
+				return nil
+			},
+			shards: func(workers int) (int, func(int)) {
+				return pb.NumProcs(), pb.BuildProc
+			},
+			finish: func(st *driver.PassStats) (err error) {
+				irProg, err = pb.Finish()
+				if err == nil {
+					st.Procs = len(irProg.Funcs)
+				}
+				return err
+			},
+			use: func() { irProg = prev.prog.ctx.Prog }},
+		{name: "callgraph", deps: []string{"irbuild"}, run: func(st *driver.PassStats) error {
 			cg = callgraph.Build(irProg)
 			st.Procs = len(cg.Reachable)
 			back, total := cg.BackEdgeRatio()
 			st.Notes = fmt.Sprintf("%d edges, %d back", total, back)
 			return nil
-		}, func() { cg = prev.prog.ctx.CG }},
-		{"alias", []string{"callgraph"}, func(st *driver.PassStats) error {
-			al = alias.Compute(irProg, cg)
-			st.Procs = len(cg.Reachable)
-			return nil
-		}, func() { al = prev.prog.ctx.AL }},
-		{"modref", []string{"alias"}, func(st *driver.PassStats) error {
-			mr = modref.Compute(irProg, cg, al)
-			st.Procs = len(cg.Reachable)
-			return nil
-		}, func() { mr = prev.prog.ctx.MR }},
-		{"clobbers", []string{"modref"}, func(st *driver.PassStats) error {
-			al.InsertClobbers(irProg, cg)
-			return nil
-		}, func() {}}, // the reused IR is already clobber-mutated
+		}, use: func() { cg = prev.prog.ctx.CG }},
+		{name: "alias", deps: []string{"callgraph"},
+			run: func(st *driver.PassStats) error {
+				al = alias.Fixpoint(irProg, cg)
+				st.Procs = len(cg.Reachable)
+				return nil
+			},
+			shards: func(workers int) (int, func(int)) {
+				return len(cg.Reachable), al.BuildPartners
+			},
+			finish: func(st *driver.PassStats) error {
+				al.FinishPartners()
+				return nil
+			},
+			use: func() { al = prev.prog.ctx.AL }},
+		{name: "modref", deps: []string{"alias"},
+			run: func(st *driver.PassStats) error {
+				mb = modref.Begin(irProg, cg, al)
+				st.Procs = len(cg.Reachable)
+				return nil
+			},
+			shards: func(workers int) (int, func(int)) {
+				return mb.NumProcs(), mb.CollectProc
+			},
+			finish: func(st *driver.PassStats) error {
+				mr = mb.Finish()
+				return nil
+			},
+			use: func() { mr = prev.prog.ctx.MR }},
+		{name: "clobbers", deps: []string{"modref"},
+			shards: func(workers int) (int, func(int)) {
+				return al.ClobberShards(irProg, cg)
+			},
+			use: func() {}}, // the reused IR is already clobber-mutated
+		{name: "ssa", deps: []string{"clobbers"},
+			run: func(st *driver.PassStats) error {
+				ictx = &icp.Context{Prog: irProg, CG: cg, AL: al, MR: mr}
+				st.Procs = len(cg.Reachable)
+				return nil
+			},
+			shards: func(workers int) (int, func(int)) {
+				return ictx.SSAPrebuildShards()
+			},
+			// All load passes share the astKey fingerprint, so a reused
+			// ssa pass implies every input artifact is prev's — the whole
+			// context (including the prebuilt SSA cache) carries over.
+			use: func() { ictx = prev.prog.ctx }},
 	}
 	for _, p := range reusable {
 		p := p
@@ -170,6 +228,8 @@ func (s *Session) Update(src string) (*Program, error) {
 			Deps:        p.deps,
 			Fingerprint: astKey,
 			Run:         p.run,
+			Shards:      p.shards,
+			Finish:      p.finish,
 			Reuse: func(st *driver.PassStats) error {
 				p.use()
 				st.Notes = "AST unchanged"
@@ -182,10 +242,7 @@ func (s *Session) Update(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	next.prog = &Program{
-		ctx:   &icp.Context{Prog: irProg, CG: cg, AL: al, MR: mr},
-		trace: trace,
-	}
+	next.prog = &Program{ctx: ictx, trace: trace}
 	s.cur = next
 	s.version++
 	return next.prog, nil
