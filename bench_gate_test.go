@@ -83,6 +83,20 @@ func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 				}
 			}
 		},
+		"BenchmarkOptimize": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog, err := fsicp.LoadWith(loadName, loadSrc, fsicp.LoadOptions{Workers: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				a := prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4})
+				b.StartTimer()
+				if _, err := a.Optimize(fsicp.AllOptimizations()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
 		"BenchmarkTable1": func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, ctx := range suite {

@@ -240,6 +240,27 @@ func BenchmarkTransform(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimize measures the full four-pass optimization pipeline
+// (fold, copy propagation, CSE, LICM) on the largest progen program
+// under the FS solution. Loading and analysing sit outside the timer;
+// each iteration rebuilds them because Optimize mutates the program.
+func BenchmarkOptimize(b *testing.B) {
+	name, src := largestProgen()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		prog, err := fsicp.LoadWith(name, src, fsicp.LoadOptions{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4})
+		b.StartTimer()
+		if _, err := a.Optimize(fsicp.AllOptimizations()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInline measures full procedure integration on the suite
 // (the Wegman–Zadeck alternative the paper's related work discusses).
 func BenchmarkInline(b *testing.B) {

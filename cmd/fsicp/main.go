@@ -13,6 +13,12 @@
 //	-cg      print the call graph with back edges marked
 //	-run     execute the program with the reference interpreter
 //	-transform apply the solution to the IR and print the result
+//	-optimize run the full SSA optimization pipeline (constant folding,
+//	         copy propagation, CSE, LICM) and print the per-pass report
+//	         and the transformed IR; with -json the report is attached
+//	         under "optimize"
+//	-opt-passes p1,p2 restrict -optimize to a pass subset
+//	         (fold, copyprop, cse, licm)
 //	-stats   print the per-pass timing table (load + analysis passes)
 //	-workers N bound both the sharded load passes (per-procedure
 //	         lowering, alias/MOD/REF collection, clobbers, SSA prebuild)
@@ -24,8 +30,8 @@
 //	         degrades to the flow-insensitive solution
 //	-json    emit the analysis as machine-readable JSON
 //	-watch   keep running: re-analyse incrementally whenever the file
-//	         changes, printing only the constant deltas and the reuse
-//	         the incremental engine achieved
+//	         changes, printing only the constant and eliminable-code
+//	         deltas and the reuse the incremental engine achieved
 //	-cpuprofile f  write a pprof CPU profile of the run to f
 //	-memprofile f  write a pprof heap profile to f on exit
 //
@@ -37,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	fsicp "fsicp"
@@ -77,6 +84,8 @@ func main() {
 	dumpCG := flag.Bool("cg", false, "print the call graph")
 	run := flag.Bool("run", false, "execute the program")
 	doTransform := flag.Bool("transform", false, "apply the solution and print the transformed IR")
+	doOptimize := flag.Bool("optimize", false, "run the SSA optimization pipeline and print the per-pass report and transformed IR")
+	optPasses := flag.String("opt-passes", "", "comma-separated pipeline passes for -optimize: fold,copyprop,cse,licm (empty = all)")
 	doInline := flag.Bool("inline", false, "inline all non-recursive calls before analysing")
 	showStats := flag.Bool("stats", false, "print the per-pass timing table")
 	workers := flag.Int("workers", 0, "workers for the sharded load passes and per wavefront level (0 = GOMAXPROCS)")
@@ -156,7 +165,15 @@ func main() {
 	if cfg, ok := icpConfig(*method, *floats, *returns, *workers, *timeout, *fuel); ok {
 		a := prog.Analyze(cfg)
 		if *jsonOut {
-			b, err := buildReport(prog, a, cfg).encode()
+			rep := buildReport(prog, a, cfg)
+			if *doOptimize {
+				opt, err := a.Optimize(parseOptPasses(*optPasses))
+				if err != nil {
+					fail("%v", err)
+				}
+				rep.Optimize = &opt
+			}
+			b, err := rep.encode()
 			if err != nil {
 				fail("%v", err)
 			}
@@ -185,10 +202,24 @@ func main() {
 		if *annotate {
 			fmt.Print(a.AnnotatedListing())
 		}
-		if *doTransform {
-			ea, fi2, fb, rb := a.Transform()
+		if *doTransform && !*doOptimize {
+			rep := a.ApplyTransform()
 			fmt.Printf("transform: %d entry assignments, %d folded instructions, %d folded branches, %d removed blocks\n",
-				ea, fi2, fb, rb)
+				rep.EntryAssignments, rep.FoldedInstrs, rep.FoldedBranches, rep.RemovedBlocks)
+			fmt.Print(prog.DumpIR())
+		}
+		if *doOptimize {
+			rep, err := a.Optimize(parseOptPasses(*optPasses))
+			if err != nil {
+				fail("%v", err)
+			}
+			for _, p := range rep.Passes {
+				fmt.Printf("optimize [%s]: %d entry assignments, %d folded, %d branches, %d blocks removed, %d instrs removed, %d copies propagated, %d cse, %d hoisted\n",
+					p.Pass, p.EntryAssignments, p.FoldedInstrs, p.FoldedBranches,
+					p.RemovedBlocks, p.RemovedInstrs, p.CopiesPropagated, p.CSEReplaced, p.HoistedConsts)
+			}
+			fmt.Printf("optimize: %d instructions eliminated (%d removed outright), %d branches eliminated\n",
+				rep.EliminatedInstrs(), rep.RemovedInstrs, rep.FoldedBranches)
 			fmt.Print(prog.DumpIR())
 		}
 		if *showStats {
@@ -215,6 +246,31 @@ func main() {
 			fail("runtime error: %v", r.Err)
 		}
 	}
+}
+
+// parseOptPasses turns the -opt-passes list into pass options; an
+// empty list selects every pass.
+func parseOptPasses(list string) fsicp.OptimizeOptions {
+	if list == "" {
+		return fsicp.AllOptimizations()
+	}
+	var opts fsicp.OptimizeOptions
+	for _, name := range strings.Split(list, ",") {
+		switch strings.TrimSpace(name) {
+		case "fold":
+			opts.Fold = true
+		case "copyprop":
+			opts.CopyProp = true
+		case "cse":
+			opts.CSE = true
+		case "licm":
+			opts.LICM = true
+		case "":
+		default:
+			fail("unknown optimization pass %q (want fold, copyprop, cse, licm)", name)
+		}
+	}
+	return opts
 }
 
 // printDegradations reports the procedures that fell back to the

@@ -27,6 +27,10 @@ type Report struct {
 	// absent on a fully precise run, so existing consumers and the
 	// golden test are unaffected.
 	Degradations []fsicp.Degradation `json:"degradations,omitempty"`
+	// Optimize reports the optimization pipeline's rewrites when
+	// -optimize ran; absent otherwise, so existing consumers and the
+	// golden test are unaffected.
+	Optimize *fsicp.OptimizeReport `json:"optimize,omitempty"`
 }
 
 // ProgramInfo summarises the loaded program.

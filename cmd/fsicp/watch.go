@@ -34,12 +34,13 @@ const (
 // next successful save resumes incremental analysis from it.
 func watchLoop(name string, cfg fsicp.Config, stats bool, interval time.Duration) {
 	var (
-		sess    *fsicp.Session
-		last    []fsicp.Constant
-		lastSrc string
-		haveSrc bool
-		backoff = watchInitialBackoff
-		lastErr string
+		sess      *fsicp.Session
+		last      []fsicp.Constant
+		lastElims []fsicp.ProcElimination
+		lastSrc   string
+		haveSrc   bool
+		backoff   = watchInitialBackoff
+		lastErr   string
 	)
 
 	// report prints an error only when it differs from the previous
@@ -97,10 +98,12 @@ func watchLoop(name string, cfg fsicp.Config, stats bool, interval time.Duration
 			a := sess.Analyze(cfg)
 			printDegradations(a.Degradations())
 			printConstants(a.Constants())
+			last = a.Constants()
+			lastElims = a.Eliminations()
+			printEliminations(lastElims)
 			if stats {
 				fmt.Print(a.StatsTable())
 			}
-			last = a.Constants()
 			time.Sleep(interval)
 			continue
 		}
@@ -126,10 +129,31 @@ func watchLoop(name string, cfg fsicp.Config, stats bool, interval time.Duration
 		for _, d := range ds {
 			fmt.Printf("   %s\n", d)
 		}
+		// Elimination deltas: what the edit changed about how much the
+		// fold pass could now delete (a non-mutating preview, so the
+		// session's program is untouched).
+		curElims := a.Eliminations()
+		for _, d := range fsicp.DiffEliminations(lastElims, curElims) {
+			fmt.Printf("   %s\n", d)
+		}
+		lastElims = curElims
 		if stats {
 			fmt.Print(a.StatsTable())
 		}
 		last = cur
 		time.Sleep(interval)
 	}
+}
+
+// printEliminations summarises the fold pass's eliminable instruction
+// and branch counts for the initial version; later versions print only
+// deltas.
+func printEliminations(es []fsicp.ProcElimination) {
+	instrs, branches := 0, 0
+	for _, e := range es {
+		instrs += e.Instrs
+		branches += e.Branches
+	}
+	fmt.Printf("eliminable: %d instructions, %d branches across %d procedures\n",
+		instrs, branches, len(es))
 }

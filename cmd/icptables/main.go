@@ -11,6 +11,9 @@
 //	icptables -table time     # FI vs FS analysis time
 //	icptables -table backedge # back-edge ratio sweep (§3.2)
 //	icptables -table methods  # every method and baseline, run concurrently
+//	icptables -table opt      # optimization pipeline: instrs/branches eliminated per method
+//	icptables -table copyprop # copy-prop vs const-prop experiment (fold/copyprop/both)
+//	icptables -json           # emit the opt table as JSON (only with -table opt)
 //	icptables -stats          # also print the aggregated per-pass timing table
 package main
 
@@ -26,9 +29,10 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,fig1,time,backedge,inline,clone,iter,use,methods,all")
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,fig1,time,backedge,inline,clone,iter,use,methods,opt,copyprop,all")
 	iters := flag.Int("iters", 3, "timing iterations for -table time")
 	depth := flag.Int("depth", 8, "chain depth for -table backedge")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (only with -table opt)")
 	stats := flag.Bool("stats", false, "print the aggregated per-pass timing table")
 	timeout := flag.Duration("timeout", 0, "deadline for the methods matrix; analyses unfinished at expiry degrade to the flow-insensitive solution (0 = none)")
 	flag.Parse()
@@ -36,6 +40,10 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "icptables:", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut && *table != "opt" {
+		fail(fmt.Errorf("-json is only valid with -table opt"))
 	}
 
 	gctx := context.Background()
@@ -117,6 +125,26 @@ func main() {
 			fail(err)
 		}
 		show(s)
+	case "opt":
+		if *jsonOut {
+			b, err := tables.OptimizeJSON(bench.SPECfp92(), true)
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(b)
+			break
+		}
+		s, err := tables.OptimizeTable(bench.SPECfp92(), true)
+		if err != nil {
+			fail(err)
+		}
+		show(s)
+	case "copyprop":
+		s, err := tables.CopyPropTable(bench.SPECfp92(), true)
+		if err != nil {
+			fail(err)
+		}
+		show(s)
 	case "all":
 		s, err := tables.Figure1Table()
 		if err != nil {
@@ -155,6 +183,16 @@ func main() {
 			fail(err)
 		}
 		show(s6)
+		s7, err := tables.OptimizeTable(bench.SPECfp92(), true)
+		if err != nil {
+			fail(err)
+		}
+		show(s7)
+		s8, err := tables.CopyPropTable(bench.SPECfp92(), true)
+		if err != nil {
+			fail(err)
+		}
+		show(s8)
 	default:
 		fail(fmt.Errorf("unknown table %q", *table))
 	}

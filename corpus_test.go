@@ -55,15 +55,35 @@ func TestCorpus(t *testing.T) {
 				_ = prog.AnalyzeJumpFunctions(k).Constants()
 			}
 
-			// Transform under the FS solution; semantics preserved.
-			a := prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true})
-			a.Transform()
-			r2 := prog.Run(nil)
-			if r2.Err != nil {
-				t.Fatalf("transformed run: %v", r2.Err)
+			// Optimize under the FS solution; semantics preserved for
+			// every pass selection. Each selection runs on a fresh load
+			// because Optimize mutates the program.
+			passSets := []struct {
+				name string
+				opts fsicp.OptimizeOptions
+			}{
+				{"fold", fsicp.OptimizeOptions{Fold: true}},
+				{"copyprop", fsicp.OptimizeOptions{CopyProp: true}},
+				{"cse", fsicp.OptimizeOptions{CSE: true}},
+				{"licm", fsicp.OptimizeOptions{LICM: true}},
+				{"all", fsicp.AllOptimizations()},
 			}
-			if r2.Output != gold {
-				t.Fatalf("transformed output mismatch\n--- got ---\n%s--- want ---\n%s", r2.Output, gold)
+			for _, ps := range passSets {
+				p2, err := fsicp.Load(file, src)
+				if err != nil {
+					t.Fatalf("%s: load: %v", ps.name, err)
+				}
+				a := p2.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true})
+				if _, err := a.Optimize(ps.opts); err != nil {
+					t.Fatalf("%s: optimize: %v", ps.name, err)
+				}
+				r2 := p2.Run(nil)
+				if r2.Err != nil {
+					t.Fatalf("%s: optimized run: %v", ps.name, r2.Err)
+				}
+				if r2.Output != gold {
+					t.Fatalf("%s: optimized output mismatch\n--- got ---\n%s--- want ---\n%s", ps.name, r2.Output, gold)
+				}
 			}
 		})
 	}

@@ -697,17 +697,197 @@ func (a *Analysis) Substitutions() (substitutions, foldedBranches, unreachableBl
 	return c.Substitutions, c.FoldedBranches, c.UnreachableBlocks
 }
 
-// Transform rewrites the program in place to reflect the solution:
+// envFn adapts the analysis result to the transform package's entry
+// environment interface.
+func (a *Analysis) envFn() transform.EnvFn {
+	return func(q *sem.Proc) lattice.Env[*sem.Var] { return a.res.Entry[q] }
+}
+
+// TransformReport is what ApplyTransform did to the program: the
+// paper's transformation step, by the numbers.
+type TransformReport struct {
+	// EntryAssignments is the number of interprocedural constants
+	// materialised as assignments at procedure entries.
+	EntryAssignments int `json:"entryAssignments"`
+	// FoldedInstrs counts instructions rewritten to constant loads.
+	FoldedInstrs int `json:"foldedInstrs"`
+	// FoldedBranches counts conditional branches rewritten to jumps.
+	FoldedBranches int `json:"foldedBranches"`
+	// RemovedBlocks counts unreachable basic blocks deleted.
+	RemovedBlocks int `json:"removedBlocks"`
+}
+
+// ApplyTransform rewrites the program in place to reflect the solution:
 // entry-constant assignments, constant folding, branch folding, and
-// unreachable-code removal. The Program remains executable via Run.
-// Returns (entry assignments, folded instructions, folded branches,
-// removed blocks).
+// unreachable-code removal — the fold-only subset of Optimize, which is
+// exactly the paper's transformation step. The Program remains
+// executable via Run.
+func (a *Analysis) ApplyTransform() TransformReport {
+	rep := transform.Apply(a.prog.ctx, a.envFn())
+	return TransformReport{
+		EntryAssignments: rep.EntryAssignments,
+		FoldedInstrs:     rep.FoldedInstrs,
+		FoldedBranches:   rep.FoldedBranches,
+		RemovedBlocks:    rep.RemovedBlocks,
+	}
+}
+
+// Transform is ApplyTransform returning bare counts: (entry
+// assignments, folded instructions, folded branches, removed blocks).
+//
+// Deprecated: use ApplyTransform, whose named report cannot be
+// misordered, or Optimize for the full pass pipeline. Transform will be
+// removed one release after the pipeline's introduction.
 func (a *Analysis) Transform() (int, int, int, int) {
-	rep := transform.Apply(a.prog.ctx, func(q *sem.Proc) lattice.Env[*sem.Var] {
-		return a.res.Entry[q]
-	})
-	a.prog.ctx.InvalidateSSA()
+	rep := a.ApplyTransform()
 	return rep.EntryAssignments, rep.FoldedInstrs, rep.FoldedBranches, rep.RemovedBlocks
+}
+
+// OptimizeOptions selects optimization passes for Analysis.Optimize.
+// The zero value (no pass selected) means every pass, so
+// Optimize(OptimizeOptions{}) and Optimize(AllOptimizations()) agree.
+type OptimizeOptions struct {
+	// Fold enables constant folding + dead-branch deletion (the
+	// paper's transformation step).
+	Fold bool
+	// CopyProp enables copy propagation.
+	CopyProp bool
+	// CSE enables local common-subexpression elimination over the
+	// dominator tree.
+	CSE bool
+	// LICM enables hoisting of loop-invariant constants.
+	LICM bool
+	// Workers bounds the per-function shard fan-out (0 = GOMAXPROCS).
+	// The rewritten program and the report are identical for every
+	// worker count.
+	Workers int
+}
+
+// AllOptimizations selects every pass.
+func AllOptimizations() OptimizeOptions {
+	return OptimizeOptions{Fold: true, CopyProp: true, CSE: true, LICM: true}
+}
+
+func (o OptimizeOptions) passes() []string {
+	var out []string
+	if o.Fold {
+		out = append(out, transform.PassFold)
+	}
+	if o.CopyProp {
+		out = append(out, transform.PassCopyProp)
+	}
+	if o.CSE {
+		out = append(out, transform.PassCSE)
+	}
+	if o.LICM {
+		out = append(out, transform.PassLICM)
+	}
+	if out == nil {
+		out = transform.AllPasses()
+	}
+	return out
+}
+
+// OptPassStats is the per-pass slice of an OptimizeReport.
+type OptPassStats struct {
+	Pass             string `json:"pass"`
+	EntryAssignments int    `json:"entryAssignments,omitempty"`
+	FoldedInstrs     int    `json:"foldedInstrs,omitempty"`
+	FoldedBranches   int    `json:"foldedBranches,omitempty"`
+	RemovedBlocks    int    `json:"removedBlocks,omitempty"`
+	RemovedInstrs    int    `json:"removedInstrs,omitempty"`
+	CopiesPropagated int    `json:"copiesPropagated,omitempty"`
+	CSEReplaced      int    `json:"cseReplaced,omitempty"`
+	HoistedConsts    int    `json:"hoistedConsts,omitempty"`
+}
+
+// OptimizeReport is what Optimize did to the program: totals across the
+// pipeline, then the per-pass breakdown in execution order.
+type OptimizeReport struct {
+	EntryAssignments int `json:"entryAssignments"`
+	FoldedInstrs     int `json:"foldedInstrs"`
+	FoldedBranches   int `json:"foldedBranches"`
+	RemovedBlocks    int `json:"removedBlocks"`
+	RemovedInstrs    int `json:"removedInstrs"`
+	CopiesPropagated int `json:"copiesPropagated"`
+	CSEReplaced      int `json:"cseReplaced"`
+	HoistedConsts    int `json:"hoistedConsts"`
+
+	Passes []OptPassStats `json:"passes"`
+}
+
+// EliminatedInstrs is the headline "instructions eliminated" number:
+// instructions deleted outright plus expression evaluations reduced to
+// constant loads or copies.
+func (r OptimizeReport) EliminatedInstrs() int {
+	return r.RemovedInstrs + r.FoldedInstrs + r.CSEReplaced
+}
+
+// Optimize runs the SSA optimization pipeline over the program, driven
+// by this analysis's constant-propagation results: constant folding +
+// dead-branch deletion, copy propagation, local CSE, and loop-invariant
+// constant hoisting, each sharded per function through the driver pass
+// manager (their stats join Analysis.StatsTable). The rewrite is
+// destructive — like Transform, it must not be applied to a Program
+// still owned by a Session — but semantics-preserving: Run produces
+// byte-identical output before and after, for every pass combination
+// and worker count.
+func (a *Analysis) Optimize(opts OptimizeOptions) (OptimizeReport, error) {
+	rep, err := transform.Optimize(a.prog.ctx, a.envFn(), transform.Options{
+		Passes:  opts.passes(),
+		Workers: opts.Workers,
+		Trace:   a.trace,
+	})
+	if err != nil {
+		return OptimizeReport{}, err
+	}
+	out := OptimizeReport{
+		EntryAssignments: rep.EntryAssignments,
+		FoldedInstrs:     rep.FoldedInstrs,
+		FoldedBranches:   rep.FoldedBranches,
+		RemovedBlocks:    rep.RemovedBlocks,
+		RemovedInstrs:    rep.RemovedInstrs,
+		CopiesPropagated: rep.CopiesPropagated,
+		CSEReplaced:      rep.CSEReplaced,
+		HoistedConsts:    rep.HoistedConsts,
+	}
+	for _, p := range rep.Passes {
+		out.Passes = append(out.Passes, OptPassStats{
+			Pass:             p.Pass,
+			EntryAssignments: p.EntryAssignments,
+			FoldedInstrs:     p.FoldedInstrs,
+			FoldedBranches:   p.FoldedBranches,
+			RemovedBlocks:    p.RemovedBlocks,
+			RemovedInstrs:    p.RemovedInstrs,
+			CopiesPropagated: p.CopiesPropagated,
+			CSEReplaced:      p.CSEReplaced,
+			HoistedConsts:    p.HoistedConsts,
+		})
+	}
+	return out, nil
+}
+
+// ProcElimination is one procedure's row in Eliminations.
+type ProcElimination struct {
+	// Proc is the procedure name.
+	Proc string `json:"proc"`
+	// Instrs counts eliminable instructions: constant-foldable ones
+	// plus those in unexecutable blocks.
+	Instrs int `json:"instrs"`
+	// Branches counts foldable conditional branches.
+	Branches int `json:"branches"`
+}
+
+// Eliminations previews what the fold pass would eliminate, per
+// procedure, without mutating the program — safe on Session-owned
+// programs, which is how watch mode reports optimization impact per
+// edit. Procedures with nothing to eliminate are omitted.
+func (a *Analysis) Eliminations() []ProcElimination {
+	var out []ProcElimination
+	for _, e := range transform.MeasureEliminations(a.prog.ctx, a.envFn()) {
+		out = append(out, ProcElimination{Proc: e.Proc.Name, Instrs: e.Instrs, Branches: e.Branches})
+	}
+	return out
 }
 
 // RemoveDeadProcedures deletes procedures this analysis proved can

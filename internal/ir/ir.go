@@ -66,9 +66,11 @@ type Func struct {
 	NumInstrs int
 
 	// fp caches a content fingerprint of this function (see
-	// Fingerprint). IR is immutable once the load pipeline — including
-	// the clobber-annotation pass — has finished, so the first value
-	// stored stays valid for the Func's lifetime.
+	// Fingerprint). IR is immutable between the end of the load
+	// pipeline — including the clobber-annotation pass — and the first
+	// transformation pass, so a stored value stays valid until a
+	// mutation pass resets it (ResetFingerprint, called for every
+	// function by RebuildCallLists).
 	fp atomic.Pointer[string]
 }
 
@@ -515,10 +517,13 @@ func RebuildCFG(fn *Func) int {
 
 // RebuildCallLists refreshes per-function call lists, instruction
 // numbering, and the program's global call-site index after blocks
-// were added or removed.
+// were added or removed. It also drops every function's cached content
+// fingerprint: all mutation passes funnel through here, so this is
+// where incremental sessions learn that rewritten procedures changed.
 func RebuildCallLists(prog *Program) {
 	prog.CallSites = prog.CallSites[:0]
 	for _, fn := range prog.Funcs {
+		fn.ResetFingerprint()
 		fn.NumberInstrs()
 		fn.Calls = fn.Calls[:0]
 		for _, b := range fn.Blocks {

@@ -1,0 +1,87 @@
+package ir
+
+import "fsicp/internal/sem"
+
+// This file is the mutation surface the SSA optimization passes use to
+// rewrite instructions in place (package ssa keeps its overlay tables
+// consistent through these, see ssa/rewrite.go). Everything here
+// operates on one instruction or terminator; CFG-level mutation stays
+// with RebuildCFG/RebuildCallLists.
+
+// TransferID moves from's dense instruction ID onto to, so a pass that
+// replaces an instruction with a simpler equivalent keeps the
+// function's numbering (and every ID-indexed side table) intact.
+func TransferID(from, to Instr) {
+	to.setInstrID(from.InstrID())
+}
+
+// SetUse replaces in's k-th variable operand (the k-th entry of
+// in.Uses()) with v. Replacing a CallInstr argument is mechanical here
+// but changes by-reference semantics when the actual is an lvalue —
+// callers that rewrite calls must check ByRef first.
+func SetUse(in Instr, k int, v *sem.Var) {
+	switch in := in.(type) {
+	case *CopyInstr:
+		if k == 0 {
+			in.Src = v
+			return
+		}
+	case *UnaryInstr:
+		if k == 0 {
+			in.X = v
+			return
+		}
+	case *BinaryInstr:
+		switch k {
+		case 0:
+			in.X = v
+			return
+		case 1:
+			in.Y = v
+			return
+		}
+	case *PrintInstr:
+		i := 0
+		for a := range in.Args {
+			if in.Args[a].Var == nil {
+				continue
+			}
+			if i == k {
+				in.Args[a].Var = v
+				return
+			}
+			i++
+		}
+	case *CallInstr:
+		if k < len(in.Args) {
+			in.Args[k] = v
+			return
+		}
+	}
+	panic("ir: SetUse: no such operand")
+}
+
+// SetTermUse replaces t's k-th variable operand (the k-th entry of
+// t.Uses()) with v.
+func SetTermUse(t Terminator, k int, v *sem.Var) {
+	switch t := t.(type) {
+	case *If:
+		if k == 0 {
+			t.Cond = v
+			return
+		}
+	case *Ret:
+		if k == 0 && t.Val != nil {
+			t.Val = v
+			return
+		}
+	}
+	panic("ir: SetTermUse: no such operand")
+}
+
+// ResetFingerprint drops the cached content fingerprint so the next
+// Fingerprint call recomputes it from the current IR. Mutation passes
+// must call it (RebuildCallLists does, for every function) — otherwise
+// an incremental session would keep matching the pre-rewrite
+// fingerprint and reuse stale per-procedure analysis results.
+func (f *Func) ResetFingerprint() { f.fp.Store(nil) }

@@ -1,0 +1,129 @@
+package ssa
+
+import "fsicp/internal/ir"
+
+// This file lets transformation passes rewrite instructions in place
+// while keeping the overlay's def-use tables consistent, so a pipeline
+// of passes (fold, copy propagation, CSE, LICM) can compose on one
+// overlay instead of rebuilding SSA from scratch between passes.
+//
+// The contract throughout: the rewritten instruction keeps its dense
+// InstrID (ir.TransferID), so every ID-indexed table stays valid, and
+// the *Definition objects it creates are reused — their IDs, lattice
+// values, and use lists survive, only their Instr pointer moves. A pass
+// that changes the CFG itself (branch folding) must still rebuild.
+
+// removeInstrUse deletes one use record of in from d's use list.
+func removeInstrUse(d *Definition, in ir.Instr) {
+	for i, u := range d.Uses {
+		if u.Kind == UseInstr && u.Instr == in {
+			d.Uses = append(d.Uses[:i], d.Uses[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeTermUse deletes one terminator use record in block b from d's
+// use list.
+func removeTermUse(d *Definition, b *ir.Block) {
+	for i, u := range d.Uses {
+		if u.Kind == UseTerm && u.Block == b {
+			d.Uses = append(d.Uses[:i], d.Uses[i+1:]...)
+			return
+		}
+	}
+}
+
+// detachOperands unlinks every operand use of b.Instrs[idx] and returns
+// the instruction and its ID. Shared prologue of the RewriteTo* pair.
+func (s *SSA) detachOperands(b *ir.Block, idx int) (ir.Instr, int) {
+	old := b.Instrs[idx]
+	id := old.InstrID()
+	for _, d := range s.useDefs[id] {
+		removeInstrUse(d, old)
+	}
+	return old, id
+}
+
+// RewriteToConst replaces b.Instrs[idx] — a single-def instruction —
+// with nc, transferring the instruction ID and the dst Definition. The
+// old instruction's operand uses are unlinked; the definition keeps its
+// ID, value, and uses.
+func (s *SSA) RewriteToConst(b *ir.Block, idx int, nc *ir.ConstInstr) {
+	old, id := s.detachOperands(b, idx)
+	ir.TransferID(old, nc)
+	s.useDefs[id] = nil
+	d := s.instrDefs[id][0]
+	d.Instr = nc
+	d.DefIdx = 0
+	b.Instrs[idx] = nc
+}
+
+// RewriteToCopy replaces b.Instrs[idx] — a single-def instruction —
+// with the copy nc, whose source operand's reaching definition is src.
+func (s *SSA) RewriteToCopy(b *ir.Block, idx int, nc *ir.CopyInstr, src *Definition) {
+	old, id := s.detachOperands(b, idx)
+	ir.TransferID(old, nc)
+	s.useDefs[id] = []*Definition{src}
+	src.Uses = append(src.Uses, Use{Kind: UseInstr, Instr: nc, Block: b})
+	d := s.instrDefs[id][0]
+	d.Instr = nc
+	d.DefIdx = 0
+	b.Instrs[idx] = nc
+}
+
+// ReplaceUseOperand redirects in's k-th operand (located in block b) to
+// read nd's variable, with nd as its reaching definition. The caller
+// must have established that nd's value equals the old operand's on
+// every path reaching the use (copy propagation's validity condition).
+func (s *SSA) ReplaceUseOperand(b *ir.Block, in ir.Instr, k int, nd *Definition) {
+	id := in.InstrID()
+	removeInstrUse(s.useDefs[id][k], in)
+	ir.SetUse(in, k, nd.Var)
+	s.useDefs[id][k] = nd
+	nd.Uses = append(nd.Uses, Use{Kind: UseInstr, Instr: in, Block: b})
+}
+
+// ReplaceTermOperand is ReplaceUseOperand for b's terminator.
+func (s *SSA) ReplaceTermOperand(b *ir.Block, k int, nd *Definition) {
+	removeTermUse(s.TermUses[b.Index][k], b)
+	ir.SetTermUse(b.Term, k, nd.Var)
+	s.TermUses[b.Index][k] = nd
+	nd.Uses = append(nd.Uses, Use{Kind: UseTerm, Block: b})
+}
+
+// RenumberInstrs renumbers the function after instructions moved
+// between blocks (LICM) and rebuilds the ID-indexed tables under the
+// new numbering. Block membership and the CFG must be unchanged apart
+// from the moves, and every moved Definition's Block field must already
+// point at its new home.
+func (s *SSA) RenumberInstrs() {
+	type saved struct {
+		in      ir.Instr
+		uses    []*Definition
+		defs    []*Definition
+		globals []*Definition
+	}
+	var list []saved
+	for _, b := range s.Fn.Blocks {
+		for _, in := range b.Instrs {
+			sv := saved{in: in}
+			if id := in.InstrID(); id >= 0 && id < len(s.useDefs) {
+				sv.uses = s.useDefs[id]
+				sv.defs = s.instrDefs[id]
+				sv.globals = s.globalsAtCall[id]
+			}
+			list = append(list, sv)
+		}
+	}
+	n := s.Fn.NumberInstrs()
+	s.useDefs = make([][]*Definition, n)
+	s.instrDefs = make([][]*Definition, n)
+	s.globalsAtCall = make([][]*Definition, n)
+	for _, sv := range list {
+		id := sv.in.InstrID()
+		s.useDefs[id] = sv.uses
+		s.instrDefs[id] = sv.defs
+		s.globalsAtCall[id] = sv.globals
+	}
+}

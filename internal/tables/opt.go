@@ -1,0 +1,233 @@
+package tables
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"fsicp/internal/bench"
+	"fsicp/internal/icp"
+	"fsicp/internal/lattice"
+	"fsicp/internal/sem"
+	"fsicp/internal/transform"
+)
+
+// This file extends the paper's tables with the optimization pipeline's
+// results dimension: instructions and branches *eliminated*, not just
+// constants *found*. Optimize is destructive, so every row compiles its
+// own fresh context instead of sharing a Suite.
+
+// OptRow is one (program, method) row of the optimization table: the
+// substitution metric (constants found) next to what the full pipeline
+// eliminated.
+type OptRow struct {
+	Program string `json:"program"`
+	Method  string `json:"method"`
+	// Substitutions is the Table 5 constants-found metric under this
+	// method's solution, measured before transforming.
+	Substitutions int `json:"substitutions"`
+	// EliminatedInstrs is instructions removed outright plus
+	// expression evaluations reduced to constant loads or copies.
+	EliminatedInstrs int `json:"eliminatedInstrs"`
+	// EliminatedBranches is conditional branches folded to jumps.
+	EliminatedBranches int `json:"eliminatedBranches"`
+
+	EntryAssignments int `json:"entryAssignments"`
+	FoldedInstrs     int `json:"foldedInstrs"`
+	RemovedBlocks    int `json:"removedBlocks"`
+	RemovedInstrs    int `json:"removedInstrs"`
+	CopiesPropagated int `json:"copiesPropagated"`
+	CSEReplaced      int `json:"cseReplaced"`
+	HoistedConsts    int `json:"hoistedConsts"`
+}
+
+func methodName(m icp.Method) string {
+	if m == icp.FlowInsensitive {
+		return "FI"
+	}
+	return "FS"
+}
+
+// optRow compiles p fresh, analyses it with one method, and runs the
+// selected optimization passes.
+func optRow(p bench.Profile, m icp.Method, floats bool, passes []string) (OptRow, error) {
+	ctx, err := Compile(p)
+	if err != nil {
+		return OptRow{}, err
+	}
+	r := icp.Analyze(ctx, icp.Options{Method: m, PropagateFloats: floats})
+	env := func(q *sem.Proc) lattice.Env[*sem.Var] { return r.Entry[q] }
+	c := transform.CountSubstitutions(ctx, env)
+	rep, err := transform.Optimize(ctx, env, transform.Options{Passes: passes})
+	if err != nil {
+		return OptRow{}, err
+	}
+	return OptRow{
+		Program:            p.Name,
+		Method:             methodName(m),
+		Substitutions:      c.Substitutions,
+		EliminatedInstrs:   rep.EliminatedInstrs(),
+		EliminatedBranches: rep.FoldedBranches,
+		EntryAssignments:   rep.EntryAssignments,
+		FoldedInstrs:       rep.FoldedInstrs,
+		RemovedBlocks:      rep.RemovedBlocks,
+		RemovedInstrs:      rep.RemovedInstrs,
+		CopiesPropagated:   rep.CopiesPropagated,
+		CSEReplaced:        rep.CSEReplaced,
+		HoistedConsts:      rep.HoistedConsts,
+	}, nil
+}
+
+// OptimizeRows computes the full-pipeline optimization results for
+// every profile under both ICP methods, in profile order with FI before
+// FS. Rows are independent, so they fan out across goroutines.
+func OptimizeRows(profiles []bench.Profile, floats bool) ([]OptRow, error) {
+	methods := []icp.Method{icp.FlowInsensitive, icp.FlowSensitive}
+	rows := make([]OptRow, len(profiles)*len(methods))
+	errs := make([]error, len(rows))
+	var wg sync.WaitGroup
+	for i, p := range profiles {
+		for j, m := range methods {
+			wg.Add(1)
+			go func(k int, p bench.Profile, m icp.Method) {
+				defer wg.Done()
+				rows[k], errs[k] = optRow(p, m, floats, nil)
+			}(i*len(methods)+j, p, m)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// OptimizeTable renders the optimization results as text.
+func OptimizeTable(profiles []bench.Profile, floats bool) (string, error) {
+	rows, err := OptimizeRows(profiles, floats)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(header("Optimization pipeline: instructions and branches eliminated (full pipeline)",
+		"PROGRAM        ", "METHOD", "CONST", "ELIM", "BRANCH", " FOLD", "BLOCKS", " COPY", "  CSE", "HOIST"))
+	var tc, te, tb int
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s | %6s | %5d | %4d | %6d | %5d | %6d | %5d | %5d | %5d\n",
+			r.Program, r.Method, r.Substitutions, r.EliminatedInstrs, r.EliminatedBranches,
+			r.FoldedInstrs, r.RemovedBlocks, r.CopiesPropagated, r.CSEReplaced, r.HoistedConsts)
+		tc += r.Substitutions
+		te += r.EliminatedInstrs
+		tb += r.EliminatedBranches
+	}
+	fmt.Fprintf(&b, "%-15s | %6s | %5d | %4d | %6d |\n", "TOTAL", "", tc, te, tb)
+	return b.String(), nil
+}
+
+// OptimizeJSON renders OptimizeRows as indented JSON with a trailing
+// newline (cmd/icptables -json).
+func OptimizeJSON(profiles []bench.Profile, floats bool) ([]byte, error) {
+	rows, err := OptimizeRows(profiles, floats)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// CopyPropRow is one (program, method) row of the copy-propagation
+// experiment: fold-only vs copyprop-only vs both, same solution.
+type CopyPropRow struct {
+	Program string `json:"program"`
+	Method  string `json:"method"`
+	// FoldOnly is instructions the fold pass alone simplified
+	// (rewritten to constant loads).
+	FoldOnly int `json:"foldOnly"`
+	// FoldElim is fold-only's full elimination count (folds plus
+	// instructions deleted with unreachable blocks).
+	FoldElim int `json:"foldElim"`
+	// CopyOnly is operands the copy-propagation pass alone rewrote.
+	CopyOnly int `json:"copyOnly"`
+	// BothFolded/BothCopies are the two passes' counts when run
+	// together (fold first, then copyprop over its residue).
+	BothFolded int `json:"bothFolded"`
+	BothCopies int `json:"bothCopies"`
+}
+
+// CopyPropRows runs the copy-prop-vs-const-prop experiment: for each
+// profile and method, three fresh compiles optimized with fold only,
+// copyprop only, and both.
+func CopyPropRows(profiles []bench.Profile, floats bool) ([]CopyPropRow, error) {
+	methods := []icp.Method{icp.FlowInsensitive, icp.FlowSensitive}
+	rows := make([]CopyPropRow, len(profiles)*len(methods))
+	errs := make([]error, len(rows))
+	var wg sync.WaitGroup
+	for i, p := range profiles {
+		for j, m := range methods {
+			wg.Add(1)
+			go func(k int, p bench.Profile, m icp.Method) {
+				defer wg.Done()
+				fold, err := optRow(p, m, floats, []string{transform.PassFold})
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				cp, err := optRow(p, m, floats, []string{transform.PassCopyProp})
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				both, err := optRow(p, m, floats, []string{transform.PassFold, transform.PassCopyProp})
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				rows[k] = CopyPropRow{
+					Program:    p.Name,
+					Method:     fold.Method,
+					FoldOnly:   fold.FoldedInstrs,
+					FoldElim:   fold.EliminatedInstrs,
+					CopyOnly:   cp.CopiesPropagated,
+					BothFolded: both.FoldedInstrs,
+					BothCopies: both.CopiesPropagated,
+				}
+			}(i*len(methods)+j, p, m)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// CopyPropTable renders the experiment as text.
+func CopyPropTable(profiles []bench.Profile, floats bool) (string, error) {
+	rows, err := CopyPropRows(profiles, floats)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(header(`Copy propagation vs constant propagation ("copy propagation subsumes constant propagation", arXiv:2207.03894)`,
+		"PROGRAM        ", "METHOD", " FOLD", "F-ELIM", "CPONLY", "B-FOLD", "B-COPY"))
+	var tf, te, tc, tbf, tbc int
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s | %6s | %5d | %6d | %6d | %6d | %6d\n",
+			r.Program, r.Method, r.FoldOnly, r.FoldElim, r.CopyOnly, r.BothFolded, r.BothCopies)
+		tf += r.FoldOnly
+		te += r.FoldElim
+		tc += r.CopyOnly
+		tbf += r.BothFolded
+		tbc += r.BothCopies
+	}
+	fmt.Fprintf(&b, "%-15s | %6s | %5d | %6d | %6d | %6d | %6d\n", "TOTAL", "", tf, te, tc, tbf, tbc)
+	return b.String(), nil
+}

@@ -1,0 +1,323 @@
+package transform_test
+
+import (
+	"strings"
+	"testing"
+
+	"fsicp/internal/icp"
+	"fsicp/internal/interp"
+	"fsicp/internal/ir"
+	"fsicp/internal/progen"
+	"fsicp/internal/ssa"
+	"fsicp/internal/transform"
+)
+
+// passSubsets enumerates every non-empty subset of the pipeline's
+// passes, in canonical pass order within each subset.
+func passSubsets() [][]string {
+	all := transform.AllPasses()
+	var subsets [][]string
+	for mask := 1; mask < 1<<len(all); mask++ {
+		var sel []string
+		for i, p := range all {
+			if mask&(1<<i) != 0 {
+				sel = append(sel, p)
+			}
+		}
+		subsets = append(subsets, sel)
+	}
+	return subsets
+}
+
+// differentialSources is the corpus for the interpreter-differential
+// property: figure 1 plus generated programs (half recursive).
+func differentialSources() []string {
+	srcs := []string{figure1}
+	for seed := int64(500); seed < 510; seed++ {
+		srcs = append(srcs, progen.Generate(progen.Config{Seed: seed, AllowRecursion: seed%2 == 0, AllowFloats: true}))
+	}
+	return srcs
+}
+
+// TestOptimizePreservesSemanticsAllSubsets runs every non-empty pass
+// subset over the differential corpus under the flow-sensitive
+// solution: the optimized program's interpreter output must be
+// byte-identical to the untouched program's.
+func TestOptimizePreservesSemanticsAllSubsets(t *testing.T) {
+	for i, src := range differentialSources() {
+		ref := interp.Run(prep(t, src).Prog, interp.Options{})
+		if ref.Err != nil {
+			t.Fatalf("case %d: reference run failed: %v", i, ref.Err)
+		}
+		for _, passes := range passSubsets() {
+			ctx := prep(t, src)
+			r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+			if _, err := transform.Optimize(ctx, envOf(r), transform.Options{Passes: passes}); err != nil {
+				t.Fatalf("case %d passes %v: %v", i, passes, err)
+			}
+			got := interp.Run(ctx.Prog, interp.Options{})
+			if got.Err != nil {
+				t.Fatalf("case %d passes %v: optimized run failed: %v\n%s", i, passes, got.Err, src)
+			}
+			if got.Output != ref.Output {
+				t.Errorf("case %d passes %v: output changed\n-- want --\n%s-- got --\n%s\nprogram:\n%s",
+					i, passes, ref.Output, got.Output, src)
+			}
+		}
+	}
+}
+
+// TestOptimizeSinglePassesFlowInsensitive repeats the differential
+// property for each pass alone under the flow-insensitive solution.
+func TestOptimizeSinglePassesFlowInsensitive(t *testing.T) {
+	for i, src := range differentialSources() {
+		ref := interp.Run(prep(t, src).Prog, interp.Options{})
+		if ref.Err != nil {
+			t.Fatalf("case %d: reference run failed: %v", i, ref.Err)
+		}
+		for _, pass := range transform.AllPasses() {
+			ctx := prep(t, src)
+			r := icp.Analyze(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: true})
+			if _, err := transform.Optimize(ctx, envOf(r), transform.Options{Passes: []string{pass}}); err != nil {
+				t.Fatalf("case %d pass %s: %v", i, pass, err)
+			}
+			got := interp.Run(ctx.Prog, interp.Options{})
+			if got.Err != nil {
+				t.Fatalf("case %d pass %s: optimized run failed: %v", i, pass, got.Err)
+			}
+			if got.Output != ref.Output {
+				t.Errorf("case %d pass %s: output changed\n-- want --\n%s-- got --\n%s",
+					i, pass, ref.Output, got.Output)
+			}
+		}
+	}
+}
+
+// TestOptimizeDeterministicAcrossWorkers checks that the sharded
+// pipeline is schedule-independent: the optimized program dump and the
+// per-pass report are byte-identical across worker counts.
+func TestOptimizeDeterministicAcrossWorkers(t *testing.T) {
+	src := progen.Generate(progen.Config{Seed: 4242, Procs: 24, Globals: 6, AllowFloats: true, AllowRecursion: true})
+	type outcome struct {
+		dump string
+		rep  transform.Report
+	}
+	var base *outcome
+	for _, w := range []int{1, 2, 4, 8} {
+		ctx := prep(t, src)
+		r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+		rep, err := transform.Optimize(ctx, envOf(r), transform.Options{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		o := &outcome{dump: ctx.Prog.Dump(), rep: rep}
+		if base == nil {
+			base = o
+			continue
+		}
+		if o.dump != base.dump {
+			t.Errorf("workers=%d: program dump differs from workers=1", w)
+		}
+		if o.rep.Counts != base.rep.Counts {
+			t.Errorf("workers=%d: report %+v differs from workers=1 %+v", w, o.rep.Counts, base.rep.Counts)
+		}
+		for i := range o.rep.Passes {
+			if o.rep.Passes[i] != base.rep.Passes[i] {
+				t.Errorf("workers=%d: pass report %d differs: %+v vs %+v", w, i, o.rep.Passes[i], base.rep.Passes[i])
+			}
+		}
+	}
+}
+
+func TestCopyPropRewritesUses(t *testing.T) {
+	ctx := prep(t, `program p
+proc main() {
+  var a int
+  var b int
+  var c int
+  var d int
+  read a
+  b = a
+  c = b + 1
+  d = b + 2
+  print c
+  print d
+}`)
+	r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+	rep, err := transform.Optimize(ctx, envOf(r), transform.Options{Passes: []string{transform.PassCopyProp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CopiesPropagated != 2 {
+		t.Errorf("CopiesPropagated = %d, want 2", rep.CopiesPropagated)
+	}
+	dump := ctx.Prog.FuncOf[ctx.Prog.Sem.ProcByName["main"]].Dump()
+	if !strings.Contains(dump, "main.c = main.a +") || !strings.Contains(dump, "main.d = main.a +") {
+		t.Errorf("uses of b not rewritten to a:\n%s", dump)
+	}
+}
+
+func TestCSEReplacesDuplicateExpr(t *testing.T) {
+	ctx := prep(t, `program p
+proc main() {
+  var a int
+  var c int
+  var d int
+  read a
+  c = a + 1
+  d = a + 1
+  print c
+  print d
+}`)
+	r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+	rep, err := transform.Optimize(ctx, envOf(r), transform.Options{Passes: []string{transform.PassCSE}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CSEReplaced != 1 {
+		t.Errorf("CSEReplaced = %d, want 1", rep.CSEReplaced)
+	}
+	dump := ctx.Prog.FuncOf[ctx.Prog.Sem.ProcByName["main"]].Dump()
+	if !strings.Contains(dump, "main.d = main.c") {
+		t.Errorf("duplicate a+1 not replaced by a copy of c:\n%s", dump)
+	}
+}
+
+func TestCSECommutativeOperandsShareKey(t *testing.T) {
+	ctx := prep(t, `program p
+proc main() {
+  var a int
+  var b int
+  var c int
+  var d int
+  read a
+  read b
+  c = a + b
+  d = b + a
+  print c
+  print d
+}`)
+	r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+	rep, err := transform.Optimize(ctx, envOf(r), transform.Options{Passes: []string{transform.PassCSE}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CSEReplaced != 1 {
+		t.Errorf("CSEReplaced = %d, want 1 (b+a should match a+b)", rep.CSEReplaced)
+	}
+}
+
+func TestLICMHoistsLoopConstant(t *testing.T) {
+	const src = `program p
+proc main() {
+  var i int
+  var c int
+  var s int
+  i = 0
+  s = 0
+  while (i < 10) {
+    c = 7
+    s = s + c
+    i = i + 1
+  }
+  print s
+}`
+	ctx := prep(t, src)
+	ref := interp.Run(prep(t, src).Prog, interp.Options{})
+
+	r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+	rep, err := transform.Optimize(ctx, envOf(r), transform.Options{Passes: []string{transform.PassLICM}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HoistedConsts == 0 {
+		t.Errorf("HoistedConsts = 0, want > 0:\n%s", ctx.Prog.FuncOf[ctx.Prog.Sem.ProcByName["main"]].Dump())
+	}
+	got := interp.Run(ctx.Prog, interp.Options{})
+	if got.Err != nil || got.Output != ref.Output {
+		t.Errorf("hoisted program output %q (err %v), want %q", got.Output, got.Err, ref.Output)
+	}
+	// A fresh overlay over the rewritten IR must still verify —
+	// catching damage (bad numbering, dangling uses) the interpreter
+	// would miss.
+	fn := ctx.Prog.FuncOf[ctx.Prog.Sem.ProcByName["main"]]
+	if probs := ssa.Build(fn).Verify(); len(probs) != 0 {
+		t.Errorf("post-LICM overlay inconsistent: %v", probs)
+	}
+}
+
+// TestOptimizeReportsPerPass checks the pipeline records one PassReport
+// per selected pass, in canonical order.
+func TestOptimizeReportsPerPass(t *testing.T) {
+	ctx := prep(t, figure1)
+	r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+	rep, err := transform.Optimize(ctx, envOf(r), transform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := transform.AllPasses()
+	if len(rep.Passes) != len(want) {
+		t.Fatalf("got %d pass reports, want %d: %+v", len(rep.Passes), len(want), rep.Passes)
+	}
+	for i, pr := range rep.Passes {
+		if pr.Pass != want[i] {
+			t.Errorf("pass %d = %s, want %s", i, pr.Pass, want[i])
+		}
+	}
+	if rep.FoldedInstrs == 0 || rep.FoldedBranches == 0 {
+		t.Errorf("figure 1 must fold instructions and a branch: %+v", rep.Counts)
+	}
+}
+
+func TestOptimizeUnknownPassErrors(t *testing.T) {
+	ctx := prep(t, figure1)
+	r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+	if _, err := transform.Optimize(ctx, envOf(r), transform.Options{Passes: []string{"bogus"}}); err == nil {
+		t.Fatal("expected an error for an unknown pass")
+	}
+}
+
+// TestOptimizeInvalidatesFingerprints checks that rewriting resets the
+// per-function fingerprint cache, so incremental reuse cannot match a
+// pre-rewrite function body against its post-rewrite self.
+func TestOptimizeInvalidatesFingerprints(t *testing.T) {
+	ctx := prep(t, figure1)
+	r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+	sub2 := ctx.Prog.Sem.ProcByName["sub2"]
+	fn := ctx.Prog.FuncOf[sub2]
+	dumpFP := func(f *ir.Func) string { return f.Dump() }
+	before := fn.Fingerprint(dumpFP)
+
+	if _, err := transform.Optimize(ctx, envOf(r), transform.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	after := fn.Fingerprint(dumpFP)
+	if before == after {
+		t.Error("fingerprint unchanged across a rewriting optimization")
+	}
+	if after != fn.Dump() {
+		t.Error("fingerprint is stale: does not match the rewritten body")
+	}
+}
+
+// TestOptimizeInvalidatesSSACache checks the pipeline drops the shared
+// SSA cache: overlays built for the pre-rewrite IR must not survive.
+func TestOptimizeInvalidatesSSACache(t *testing.T) {
+	ctx := prep(t, figure1)
+	r := icp.Analyze(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: true})
+	// Seed the cache the way the analysis driver does.
+	if len(ctx.SSACache) == 0 {
+		ctx.SSACache = make([]*ssa.SSA, len(ctx.CG.Reachable))
+	}
+	for i, p := range ctx.CG.Reachable {
+		ctx.SSACache[i] = ssa.Build(ctx.Prog.FuncOf[p])
+	}
+	if _, err := transform.Optimize(ctx, envOf(r), transform.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ctx.SSACache {
+		if s != nil {
+			t.Errorf("SSACache[%d] survived Optimize", i)
+		}
+	}
+}

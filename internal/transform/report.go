@@ -1,0 +1,94 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counts is the counter set shared by per-pass and whole-pipeline
+// reports. Every field is a number of rewrites actually performed, not
+// opportunities observed.
+type Counts struct {
+	// EntryAssignments is the number of interprocedural constants
+	// materialised as assignments at procedure entries (fold pass).
+	EntryAssignments int
+	// FoldedInstrs counts copy/unary/binary instructions rewritten to
+	// constant loads (fold pass).
+	FoldedInstrs int
+	// FoldedBranches counts conditional branches rewritten to jumps
+	// because exactly one out-edge was executable (fold pass).
+	FoldedBranches int
+	// RemovedBlocks counts basic blocks deleted as unreachable after
+	// branch folding.
+	RemovedBlocks int
+	// RemovedInstrs counts instructions deleted with those blocks.
+	RemovedInstrs int
+	// CopiesPropagated counts operands redirected past copies
+	// (copy-propagation pass).
+	CopiesPropagated int
+	// CSEReplaced counts expressions replaced by copies of an earlier,
+	// dominating computation (CSE pass).
+	CSEReplaced int
+	// HoistedConsts counts loop-invariant constant assignments moved to
+	// the loop header's dominator (LICM pass).
+	HoistedConsts int
+}
+
+func (c *Counts) add(o Counts) {
+	c.EntryAssignments += o.EntryAssignments
+	c.FoldedInstrs += o.FoldedInstrs
+	c.FoldedBranches += o.FoldedBranches
+	c.RemovedBlocks += o.RemovedBlocks
+	c.RemovedInstrs += o.RemovedInstrs
+	c.CopiesPropagated += o.CopiesPropagated
+	c.CSEReplaced += o.CSEReplaced
+	c.HoistedConsts += o.HoistedConsts
+}
+
+// EliminatedInstrs is the headline "instructions eliminated" number:
+// instructions deleted outright plus expression evaluations reduced to
+// constant loads or copies.
+func (c Counts) EliminatedInstrs() int {
+	return c.RemovedInstrs + c.FoldedInstrs + c.CSEReplaced
+}
+
+// notes renders the non-zero counters compactly for pass-stat lines.
+func (c Counts) notes() string {
+	var parts []string
+	add := func(n int, label string) {
+		if n != 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, label))
+		}
+	}
+	add(c.EntryAssignments, "entry consts")
+	add(c.FoldedInstrs, "folded")
+	add(c.FoldedBranches, "branches")
+	add(c.RemovedBlocks, "blocks gone")
+	add(c.RemovedInstrs, "instrs gone")
+	add(c.CopiesPropagated, "copies")
+	add(c.CSEReplaced, "cse")
+	add(c.HoistedConsts, "hoisted")
+	if len(parts) == 0 {
+		return "no rewrites"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// PassReport is the outcome of one pipeline pass.
+type PassReport struct {
+	Pass string
+	Counts
+}
+
+// Report summarises a transformation run: the totals (embedded Counts,
+// so the historical field names Report.EntryAssignments etc. still
+// apply) plus the per-pass breakdown in execution order.
+type Report struct {
+	Counts
+	Passes []PassReport
+}
+
+func (r *Report) addPass(p PassReport) {
+	r.Counts.add(p.Counts)
+	r.Passes = append(r.Passes, p)
+}

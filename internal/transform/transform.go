@@ -1,9 +1,10 @@
-// Package transform implements the paper's transformation step: the
-// output of interprocedural constant propagation is materialised in the
+// Package transform implements the paper's transformation step — the
+// output of interprocedural constant propagation materialised in the
 // program representation during the backward walk of the compilation
-// model (its Figure 2, step 6).
+// model (its Figure 2, step 6) — grown into a multi-pass SSA
+// optimization pipeline.
 //
-// Two entry points:
+// Entry points:
 //
 //   - CountSubstitutions measures the Metzger–Stroud metric used by the
 //     paper's Table 5: the number of intraprocedural constant
@@ -13,13 +14,19 @@
 //     temporary) whose reaching definition the propagator proves
 //     constant.
 //
-//   - Apply rewrites the IR in place: it prepends constant assignments
-//     for interprocedural constants at procedure entries (only for
-//     variables the procedure references, as the paper specifies),
-//     folds instructions with constant results, rewrites branches on
-//     constant conditions into jumps, and removes unreachable blocks.
-//     The reference interpreter produces identical output on the
-//     transformed program — the differential property the tests check.
+//   - Optimize rewrites the IR in place through a pipeline of passes
+//     scheduled by the driver pass manager, sharded per function:
+//     constant folding + dead-branch deletion (the paper's transform,
+//     driven by SCC edge executability), copy propagation, local CSE
+//     over the dominator tree, and LICM for loop-invariant constants.
+//     Apply is the fold-only subset, the original paper model. Every
+//     combination preserves the interpreter-differential property: the
+//     reference interpreter produces byte-identical output on the
+//     transformed program, independent of worker count.
+//
+//   - MeasureEliminations is the non-destructive preview: how many
+//     instructions and branches the fold pass would eliminate, per
+//     procedure, without touching the IR (watch-mode deltas use it).
 package transform
 
 import (
@@ -99,93 +106,15 @@ func countProc(r *scc.Result) int {
 	return n
 }
 
-// Report summarises an Apply run.
-type Report struct {
-	EntryAssignments int
-	FoldedInstrs     int
-	FoldedBranches   int
-	RemovedBlocks    int
-}
-
-// Apply rewrites prog in place to reflect the interprocedural solution.
-// The context's call graph and SSA overlays are invalidated; rebuild
-// them if further analysis is needed.
+// Apply rewrites prog in place to reflect the interprocedural solution:
+// the fold-only subset of the Optimize pipeline, which is exactly the
+// paper's transformation step. The context's call lists, fingerprints
+// and SSA cache are refreshed/invalidated.
 func Apply(ctx *icp.Context, env EnvFn) Report {
-	var rep Report
-	for _, p := range ctx.CG.Reachable {
-		rep.add(applyProc(ctx, p, env(p)))
+	rep, err := Optimize(ctx, env, Options{Passes: []string{PassFold}, Workers: 1})
+	if err != nil {
+		panic(err) // unreachable: the pass selection is statically valid
 	}
-	ir.RebuildCallLists(ctx.Prog)
-	return rep
-}
-
-func (r *Report) add(o Report) {
-	r.EntryAssignments += o.EntryAssignments
-	r.FoldedInstrs += o.FoldedInstrs
-	r.FoldedBranches += o.FoldedBranches
-	r.RemovedBlocks += o.RemovedBlocks
-}
-
-func applyProc(ctx *icp.Context, p *sem.Proc, env lattice.Env[*sem.Var]) Report {
-	var rep Report
-	fn := ctx.Prog.FuncOf[p]
-
-	// 1. Materialise entry constants as assignments, for referenced
-	// variables only (paper §3: "Assignment statements are created only
-	// for those variables that are referenced in that procedure").
-	var entry []ir.Instr
-	for _, v := range fn.AllVars {
-		e := env.Get(v)
-		if !e.IsConst() {
-			continue
-		}
-		if v.Kind != sem.KindFormal && !v.IsGlobal() {
-			continue
-		}
-		if !ctx.MR.DRef[p].Has(v) {
-			continue
-		}
-		entry = append(entry, &ir.ConstInstr{Dst: v, Val: e.Val})
-		rep.EntryAssignments++
-	}
-	if len(entry) > 0 {
-		eb := fn.Entry()
-		eb.Instrs = append(entry, eb.Instrs...)
-	}
-
-	// 2. Fold with a fresh intraprocedural analysis (the inserted
-	// assignments carry the interprocedural facts).
-	s := ssa.Build(fn)
-	r := scc.Run(s, scc.Options{Entry: env})
-
-	for _, b := range s.Dom.RPO {
-		if !r.BlockExec[b.Index] {
-			continue
-		}
-		for i, in := range b.Instrs {
-			switch in.(type) {
-			case *ir.CopyInstr, *ir.UnaryInstr, *ir.BinaryInstr:
-				d := s.DefsOf(in)[0]
-				if v := r.ValueOf(d); v.IsConst() {
-					b.Instrs[i] = &ir.ConstInstr{Dst: in.Defs()[0], Val: v.Val}
-					rep.FoldedInstrs++
-				}
-			}
-		}
-		if iff, ok := b.Term.(*ir.If); ok {
-			if cond := r.ValueOf(s.TermUses[b.Index][0]); cond.IsConst() {
-				target := iff.Else
-				if cond.Val.B {
-					target = iff.Then
-				}
-				b.Term = &ir.Jump{Target: target}
-				rep.FoldedBranches++
-			}
-		}
-	}
-
-	// 3. Recompute edges from terminators, drop unreachable blocks.
-	rep.RemovedBlocks += ir.RebuildCFG(fn)
 	return rep
 }
 

@@ -322,6 +322,57 @@ func DiffConstants(before, after []Constant) []ConstantDelta {
 	return out
 }
 
+// EliminationDelta is one difference between two Eliminations listings.
+type EliminationDelta struct {
+	// Op is "+" (procedure gained eliminations), "-" (lost all of
+	// them), or "~" (counts changed).
+	Op string
+	ProcElimination
+	// OldInstrs/OldBranches are the previous counts when Op is "~".
+	OldInstrs   int
+	OldBranches int
+}
+
+// DiffEliminations compares two Eliminations listings (as returned by
+// Analysis.Eliminations) and returns the differences: changes and
+// additions in after's order, then removals in before's order.
+// cmd/fsicp's -watch mode prints these between versions, next to the
+// constant deltas.
+func DiffEliminations(before, after []ProcElimination) []EliminationDelta {
+	prev := make(map[string]ProcElimination, len(before))
+	for _, e := range before {
+		prev[e.Proc] = e
+	}
+	var out []EliminationDelta
+	for _, e := range after {
+		if old, ok := prev[e.Proc]; !ok {
+			out = append(out, EliminationDelta{Op: "+", ProcElimination: e})
+		} else if old.Instrs != e.Instrs || old.Branches != e.Branches {
+			out = append(out, EliminationDelta{Op: "~", ProcElimination: e,
+				OldInstrs: old.Instrs, OldBranches: old.Branches})
+		}
+		delete(prev, e.Proc)
+	}
+	for _, e := range before {
+		if _, gone := prev[e.Proc]; gone {
+			out = append(out, EliminationDelta{Op: "-", ProcElimination: e})
+		}
+	}
+	return out
+}
+
+// String renders a delta as one line, e.g.
+// "+ sub1: 3 instrs, 1 branches eliminable" or
+// "~ main: 2 instrs, 0 branches eliminable (was 4, 1)".
+func (d EliminationDelta) String() string {
+	s := fmt.Sprintf("%s %s: %d instrs, %d branches eliminable",
+		d.Op, d.Proc, d.Instrs, d.Branches)
+	if d.Op == "~" {
+		s += fmt.Sprintf(" (was %d, %d)", d.OldInstrs, d.OldBranches)
+	}
+	return s
+}
+
 // String renders a delta as one line, e.g. "+ p2.a0 = 7" or
 // "~ main.g1 = 3 (was 2)".
 func (d ConstantDelta) String() string {
