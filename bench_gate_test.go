@@ -23,7 +23,10 @@ import (
 // paper-table representative, and the sharded load pipeline on the
 // largest progen program (serial and workers=4, plus the cold
 // end-to-end run) so front-end changes can't silently regress
-// load-phase allocations either.
+// load-phase allocations either. BenchmarkColdWarmDisk guards the
+// persistent summary store's warm read path: its allocs/op is ~100x
+// below the cold analysis, and a regression here means the disk layer
+// stopped answering.
 func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 	t.Helper()
 	spice, err := tables.Compile(bench.SPECfp92()[0])
@@ -61,6 +64,24 @@ func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 					b.Fatal(err)
 				}
 				prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4})
+			}
+		},
+		"BenchmarkColdWarmDisk": func(b *testing.B) {
+			dir := b.TempDir()
+			cfg := fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4, CacheDir: dir}
+			prewarm, err := fsicp.LoadWith(loadName, loadSrc, fsicp.LoadOptions{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prewarm.Analyze(cfg)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				prog, err := fsicp.LoadWith(loadName, loadSrc, fsicp.LoadOptions{Workers: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				prog.Analyze(cfg)
 			}
 		},
 		"BenchmarkAnalyzeParallel/workers=1": func(b *testing.B) {

@@ -14,12 +14,19 @@
 //	-run     execute the program with the reference interpreter
 //	-transform apply the solution to the IR and print the result
 //	-optimize run the full SSA optimization pipeline (constant folding,
-//	         copy propagation, CSE, LICM) and print the per-pass report
+//	         copy propagation, dead-store elimination, CSE, LICM) and
+//	         print the per-pass report
 //	         and the transformed IR; with -json the report is attached
 //	         under "optimize"
 //	-opt-passes p1,p2 restrict -optimize to a pass subset
-//	         (fold, copyprop, cse, licm)
+//	         (fold, copyprop, dse, cse, licm)
 //	-stats   print the per-pass timing table (load + analysis passes)
+//	         and, when -cache-dir is set, a cache hit/miss summary
+//	-cache-dir d keep a persistent summary cache in directory d: warm
+//	         runs of the same program and configuration reuse on-disk
+//	         procedure summaries instead of re-solving them. The cache
+//	         affects time only — reports are byte-identical with or
+//	         without it, even when cache files are corrupted
 //	-workers N bound both the sharded load passes (per-procedure
 //	         lowering, alias/MOD/REF collection, clobbers, SSA prebuild)
 //	         and the per-level analysis concurrency (0 = GOMAXPROCS)
@@ -57,8 +64,8 @@ func fail(format string, args ...any) {
 
 // icpConfig maps a -method value to an ICP configuration; ok is false
 // for the jump-function baselines and unknown methods.
-func icpConfig(method string, floats, returns bool, workers int, timeout time.Duration, fuel int) (fsicp.Config, bool) {
-	cfg := fsicp.Config{PropagateFloats: floats, ReturnConstants: returns, Workers: workers, Timeout: timeout, Fuel: fuel}
+func icpConfig(method string, floats, returns bool, workers int, timeout time.Duration, fuel int, cacheDir string) (fsicp.Config, bool) {
+	cfg := fsicp.Config{PropagateFloats: floats, ReturnConstants: returns, Workers: workers, Timeout: timeout, Fuel: fuel, CacheDir: cacheDir}
 	switch method {
 	case "fi":
 		cfg.Method = fsicp.FlowInsensitive
@@ -85,7 +92,7 @@ func main() {
 	run := flag.Bool("run", false, "execute the program")
 	doTransform := flag.Bool("transform", false, "apply the solution and print the transformed IR")
 	doOptimize := flag.Bool("optimize", false, "run the SSA optimization pipeline and print the per-pass report and transformed IR")
-	optPasses := flag.String("opt-passes", "", "comma-separated pipeline passes for -optimize: fold,copyprop,cse,licm (empty = all)")
+	optPasses := flag.String("opt-passes", "", "comma-separated pipeline passes for -optimize: fold,copyprop,dse,cse,licm (empty = all)")
 	doInline := flag.Bool("inline", false, "inline all non-recursive calls before analysing")
 	showStats := flag.Bool("stats", false, "print the per-pass timing table")
 	workers := flag.Int("workers", 0, "workers for the sharded load passes and per wavefront level (0 = GOMAXPROCS)")
@@ -93,6 +100,7 @@ func main() {
 	watch := flag.Bool("watch", false, "re-analyse incrementally whenever the file changes, printing constant deltas")
 	timeout := flag.Duration("timeout", 0, "analysis deadline; procedures unfinished at expiry degrade to the flow-insensitive solution (0 = none)")
 	fuel := flag.Int("fuel", 0, "per-procedure step budget; a procedure exceeding it degrades to the flow-insensitive solution (0 = unlimited)")
+	cacheDir := flag.String("cache-dir", "", "persistent summary cache directory; warm runs reuse on-disk procedure summaries (results are byte-identical with or without it)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -117,7 +125,7 @@ func main() {
 		if flag.NArg() == 0 {
 			fail("-watch needs a file argument")
 		}
-		cfg, ok := icpConfig(*method, *floats, *returns, *workers, *timeout, *fuel)
+		cfg, ok := icpConfig(*method, *floats, *returns, *workers, *timeout, *fuel, *cacheDir)
 		if !ok {
 			fail("-watch supports the fs|fi|iter methods, not %q", *method)
 		}
@@ -162,7 +170,7 @@ func main() {
 		fmt.Print(prog.DumpIR())
 	}
 
-	if cfg, ok := icpConfig(*method, *floats, *returns, *workers, *timeout, *fuel); ok {
+	if cfg, ok := icpConfig(*method, *floats, *returns, *workers, *timeout, *fuel, *cacheDir); ok {
 		a := prog.Analyze(cfg)
 		if *jsonOut {
 			rep := buildReport(prog, a, cfg)
@@ -214,9 +222,9 @@ func main() {
 				fail("%v", err)
 			}
 			for _, p := range rep.Passes {
-				fmt.Printf("optimize [%s]: %d entry assignments, %d folded, %d branches, %d blocks removed, %d instrs removed, %d copies propagated, %d cse, %d hoisted\n",
+				fmt.Printf("optimize [%s]: %d entry assignments, %d folded, %d branches, %d blocks removed, %d instrs removed, %d copies propagated, %d dead stores, %d cse, %d hoisted\n",
 					p.Pass, p.EntryAssignments, p.FoldedInstrs, p.FoldedBranches,
-					p.RemovedBlocks, p.RemovedInstrs, p.CopiesPropagated, p.CSEReplaced, p.HoistedConsts)
+					p.RemovedBlocks, p.RemovedInstrs, p.CopiesPropagated, p.DeadStores, p.CSEReplaced, p.HoistedConsts)
 			}
 			fmt.Printf("optimize: %d instructions eliminated (%d removed outright), %d branches eliminated\n",
 				rep.EliminatedInstrs(), rep.RemovedInstrs, rep.FoldedBranches)
@@ -224,6 +232,11 @@ func main() {
 		}
 		if *showStats {
 			fmt.Print(a.StatsTable())
+			if cs := a.CacheStats(); !cs.Empty() {
+				fmt.Printf("cache: mem %d/%d hits, disk %d/%d hits, %d writes, %d evicted, %d corrupt\n",
+					cs.MemHits, cs.MemHits+cs.MemMisses, cs.DiskHits, cs.DiskHits+cs.DiskMisses,
+					cs.DiskWrites, cs.Evictions, cs.Corrupt)
+			}
 		}
 	} else if kind, ok := map[string]fsicp.JumpFunctionKind{
 		"literal": fsicp.Literal, "intra": fsicp.IntraConstant,
@@ -261,13 +274,15 @@ func parseOptPasses(list string) fsicp.OptimizeOptions {
 			opts.Fold = true
 		case "copyprop":
 			opts.CopyProp = true
+		case "dse":
+			opts.DSE = true
 		case "cse":
 			opts.CSE = true
 		case "licm":
 			opts.LICM = true
 		case "":
 		default:
-			fail("unknown optimization pass %q (want fold, copyprop, cse, licm)", name)
+			fail("unknown optimization pass %q (want fold, copyprop, dse, cse, licm)", name)
 		}
 	}
 	return opts

@@ -31,6 +31,23 @@ type Report struct {
 	// -optimize ran; absent otherwise, so existing consumers and the
 	// golden test are unaffected.
 	Optimize *fsicp.OptimizeReport `json:"optimize,omitempty"`
+	// Cache reports persistent-store traffic when -cache-dir is set;
+	// absent otherwise. It is observability, not an analysis fact: the
+	// counts differ between cold and warm runs, so determinism
+	// comparisons (and the golden test) must ignore this block — every
+	// other field is byte-identical with or without the cache.
+	Cache *CacheReport `json:"cache,omitempty"`
+}
+
+// CacheReport is the JSON shape of fsicp.CacheStats.
+type CacheReport struct {
+	MemHits    int64 `json:"memHits"`
+	MemMisses  int64 `json:"memMisses"`
+	DiskHits   int64 `json:"diskHits"`
+	DiskMisses int64 `json:"diskMisses"`
+	DiskWrites int64 `json:"diskWrites"`
+	Evictions  int64 `json:"evictions"`
+	Corrupt    int64 `json:"corrupt"`
 }
 
 // ProgramInfo summarises the loaded program.
@@ -53,6 +70,14 @@ func buildReport(prog *fsicp.Program, a *fsicp.Analysis, cfg fsicp.Config) Repor
 		EntryMetrics:  a.EntryMetrics(),
 		BackEdgesUsed: a.UsedFlowInsensitiveFallback(),
 		Degradations:  a.Degradations(),
+	}
+	if cfg.CacheDir != "" {
+		cs := a.CacheStats()
+		r.Cache = &CacheReport{
+			MemHits: cs.MemHits, MemMisses: cs.MemMisses,
+			DiskHits: cs.DiskHits, DiskMisses: cs.DiskMisses,
+			DiskWrites: cs.DiskWrites, Evictions: cs.Evictions, Corrupt: cs.Corrupt,
+		}
 	}
 	if cfg.ReturnConstants {
 		for _, name := range prog.Procedures() {

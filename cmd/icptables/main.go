@@ -15,6 +15,9 @@
 //	icptables -table copyprop # copy-prop vs const-prop experiment (fold/copyprop/both)
 //	icptables -json           # emit the opt table as JSON (only with -table opt)
 //	icptables -stats          # also print the aggregated per-pass timing table
+//	icptables -cache-dir d    # persistent summary cache for -table methods:
+//	                          # warm runs reuse on-disk procedure summaries
+//	                          # (identical precision columns, faster timings)
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (only with -table opt)")
 	stats := flag.Bool("stats", false, "print the aggregated per-pass timing table")
 	timeout := flag.Duration("timeout", 0, "deadline for the methods matrix; analyses unfinished at expiry degrade to the flow-insensitive solution (0 = none)")
+	cacheDir := flag.String("cache-dir", "", "persistent summary cache directory for the methods matrix; warm runs reuse on-disk procedure summaries (precision columns are identical, only timings change)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -120,7 +124,7 @@ func main() {
 		}
 		show(s)
 	case "methods":
-		s, err := tables.MethodMatrixTableCtx(gctx, bench.SPECfp92(), true)
+		s, err := tables.MethodMatrixTableCacheCtx(gctx, bench.SPECfp92(), true, *cacheDir)
 		if err != nil {
 			fail(err)
 		}
@@ -178,7 +182,7 @@ func main() {
 			fail(err)
 		}
 		show(s5)
-		s6, err := tables.MethodMatrixTableCtx(gctx, bench.SPECfp92(), true)
+		s6, err := tables.MethodMatrixTableCacheCtx(gctx, bench.SPECfp92(), true, *cacheDir)
 		if err != nil {
 			fail(err)
 		}

@@ -30,8 +30,10 @@ package fsicp
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"fsicp/internal/alias"
@@ -53,6 +55,7 @@ import (
 	"fsicp/internal/parser"
 	"fsicp/internal/sem"
 	"fsicp/internal/source"
+	"fsicp/internal/store"
 	"fsicp/internal/transform"
 	"fsicp/internal/val"
 )
@@ -108,6 +111,17 @@ type Config struct {
 	// graph (0 means GOMAXPROCS). Analysis results are byte-identical
 	// for every worker count.
 	Workers int
+
+	// CacheDir, when non-empty, backs the incremental engine's value
+	// cache with a persistent on-disk store rooted at this directory,
+	// so a cold process whose program and configuration match an
+	// earlier run starts warm. The cache affects time only, never
+	// results: reports are byte-identical with a cold, warm, or even
+	// corrupted cache (invalid entries are dropped and recomputed; see
+	// Analysis.CacheStats). One store handle is shared per directory
+	// within the process. An unusable directory disables the disk
+	// layer rather than failing the analysis.
+	CacheDir string
 
 	// Timeout bounds the analysis wall-clock time. When it expires the
 	// run does not fail: procedures that have not finished their
@@ -443,6 +457,9 @@ func (p *Program) analyze(ctx context.Context, cfg Config, eng *incr.Engine) (a 
 			tr.Record(st)
 		}
 	}
+	if eng == nil && cfg.CacheDir != "" {
+		eng = newEngine(cfg, tr)
+	}
 	opts := icp.Options{
 		PropagateFloats: cfg.PropagateFloats,
 		ReturnConstants: cfg.ReturnConstants,
@@ -466,6 +483,78 @@ func (p *Program) analyze(ctx context.Context, cfg Config, eng *incr.Engine) (a 
 		opts.Method = icp.FlowSensitive
 	}
 	return &Analysis{prog: p, res: icp.Analyze(p.ctx, opts), cfg: cfg, trace: tr}, nil
+}
+
+// diskStores shares one persistent store handle per cache directory:
+// repeated analyses (and every Session engine) using the same
+// directory see one generation sequence, one size accounting, and one
+// set of counters.
+var diskStores sync.Map // absolute dir → *store.Disk
+
+// diskStore returns the shared handle for dir, opening it on first
+// use. An unusable directory records a trace note and returns nil —
+// the analysis proceeds without a disk layer rather than failing.
+func diskStore(dir string, tr *driver.Trace) *store.Disk {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	if d, ok := diskStores.Load(dir); ok {
+		return d.(*store.Disk)
+	}
+	d, err := store.Open(dir, store.Options{})
+	if err != nil {
+		tr.Record(driver.PassStats{Name: "cache", Notes: "disk layer disabled: " + err.Error()})
+		return nil
+	}
+	actual, _ := diskStores.LoadOrStore(dir, d)
+	return actual.(*store.Disk)
+}
+
+// newEngine builds the incremental engine for one Config: the
+// in-memory generational cache alone by default, layered over the
+// persistent store when CacheDir is set.
+func newEngine(cfg Config, tr *driver.Trace) *incr.Engine {
+	if cfg.CacheDir != "" {
+		if d := diskStore(cfg.CacheDir, tr); d != nil {
+			return incr.NewEngineWithStore(incr.NewTiered(incr.NewMemStore(0), d))
+		}
+	}
+	return incr.NewEngine()
+}
+
+// CacheStats is one run's summary-store traffic (see Config.CacheDir):
+// lookups served by the in-memory layer, lookups that went to disk,
+// and the disk layer's maintenance counters. All zero for runs without
+// an incremental engine.
+type CacheStats struct {
+	// MemHits/MemMisses count in-memory value-cache lookups.
+	MemHits, MemMisses int64
+	// DiskHits/DiskMisses count lookups that reached the disk layer
+	// (an in-memory hit never does).
+	DiskHits, DiskMisses int64
+	// DiskWrites counts summaries persisted; Evictions entries removed
+	// under the size cap; Corrupt entries dropped because they failed
+	// validation (each one recomputed, never trusted).
+	DiskWrites, Evictions, Corrupt int64
+}
+
+// Empty reports whether the run recorded no cache traffic at all.
+func (c CacheStats) Empty() bool { return c == CacheStats{} }
+
+// CacheStats reports this run's summary-store counters. Cache traffic
+// is observability, not part of the analysis result: reports compare
+// byte-identical whatever these numbers say.
+func (a *Analysis) CacheStats() CacheStats {
+	ds := a.res.Store
+	return CacheStats{
+		MemHits:    ds.Hits,
+		MemMisses:  ds.Misses,
+		DiskHits:   ds.DiskHits,
+		DiskMisses: ds.DiskMisses,
+		DiskWrites: ds.Writes,
+		Evictions:  ds.Evictions,
+		Corrupt:    ds.Corrupt,
+	}
 }
 
 // Stats returns one record per pipeline pass that ran for this
@@ -752,6 +841,10 @@ type OptimizeOptions struct {
 	Fold bool
 	// CopyProp enables copy propagation.
 	CopyProp bool
+	// DSE enables dead-store elimination (removal of pure computations
+	// whose result is never observed — typically copies stranded by
+	// CopyProp).
+	DSE bool
 	// CSE enables local common-subexpression elimination over the
 	// dominator tree.
 	CSE bool
@@ -765,7 +858,7 @@ type OptimizeOptions struct {
 
 // AllOptimizations selects every pass.
 func AllOptimizations() OptimizeOptions {
-	return OptimizeOptions{Fold: true, CopyProp: true, CSE: true, LICM: true}
+	return OptimizeOptions{Fold: true, CopyProp: true, DSE: true, CSE: true, LICM: true}
 }
 
 func (o OptimizeOptions) passes() []string {
@@ -775,6 +868,9 @@ func (o OptimizeOptions) passes() []string {
 	}
 	if o.CopyProp {
 		out = append(out, transform.PassCopyProp)
+	}
+	if o.DSE {
+		out = append(out, transform.PassDSE)
 	}
 	if o.CSE {
 		out = append(out, transform.PassCSE)
@@ -797,6 +893,7 @@ type OptPassStats struct {
 	RemovedBlocks    int    `json:"removedBlocks,omitempty"`
 	RemovedInstrs    int    `json:"removedInstrs,omitempty"`
 	CopiesPropagated int    `json:"copiesPropagated,omitempty"`
+	DeadStores       int    `json:"deadStores,omitempty"`
 	CSEReplaced      int    `json:"cseReplaced,omitempty"`
 	HoistedConsts    int    `json:"hoistedConsts,omitempty"`
 }
@@ -810,6 +907,7 @@ type OptimizeReport struct {
 	RemovedBlocks    int `json:"removedBlocks"`
 	RemovedInstrs    int `json:"removedInstrs"`
 	CopiesPropagated int `json:"copiesPropagated"`
+	DeadStores       int `json:"deadStores"`
 	CSEReplaced      int `json:"cseReplaced"`
 	HoistedConsts    int `json:"hoistedConsts"`
 
@@ -820,7 +918,7 @@ type OptimizeReport struct {
 // instructions deleted outright plus expression evaluations reduced to
 // constant loads or copies.
 func (r OptimizeReport) EliminatedInstrs() int {
-	return r.RemovedInstrs + r.FoldedInstrs + r.CSEReplaced
+	return r.RemovedInstrs + r.FoldedInstrs + r.CSEReplaced + r.DeadStores
 }
 
 // Optimize runs the SSA optimization pipeline over the program, driven
@@ -848,6 +946,7 @@ func (a *Analysis) Optimize(opts OptimizeOptions) (OptimizeReport, error) {
 		RemovedBlocks:    rep.RemovedBlocks,
 		RemovedInstrs:    rep.RemovedInstrs,
 		CopiesPropagated: rep.CopiesPropagated,
+		DeadStores:       rep.DeadStores,
 		CSEReplaced:      rep.CSEReplaced,
 		HoistedConsts:    rep.HoistedConsts,
 	}
@@ -860,6 +959,7 @@ func (a *Analysis) Optimize(opts OptimizeOptions) (OptimizeReport, error) {
 			RemovedBlocks:    p.RemovedBlocks,
 			RemovedInstrs:    p.RemovedInstrs,
 			CopiesPropagated: p.CopiesPropagated,
+			DeadStores:       p.DeadStores,
 			CSEReplaced:      p.CSEReplaced,
 			HoistedConsts:    p.HoistedConsts,
 		})

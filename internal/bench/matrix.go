@@ -6,7 +6,9 @@ import (
 
 	"fsicp/internal/driver"
 	"fsicp/internal/icp"
+	"fsicp/internal/incr"
 	"fsicp/internal/jumpfunc"
+	"fsicp/internal/store"
 )
 
 // MatrixEntry is one method's outcome in a method matrix: its name, the
@@ -70,13 +72,39 @@ func RunMatrix(ctx *icp.Context, floats bool, workers int) Matrix {
 // precise) and unclaimed methods are skipped, leaving zero-valued
 // entries, rather than the whole matrix failing.
 func RunMatrixCtx(gctx context.Context, ctx *icp.Context, floats bool, workers int) Matrix {
+	return RunMatrixCacheCtx(gctx, ctx, floats, workers, "")
+}
+
+// RunMatrixCacheCtx is RunMatrixCtx with an optional persistent
+// summary cache: when cacheDir is non-empty, each ICP method runs with
+// an incremental engine layered over a shared on-disk store rooted
+// there (internal/store), so a second matrix over the same programs
+// starts warm. The cache affects time only — the entries are identical
+// with or without it — and an unusable directory silently falls back
+// to the uncached path.
+func RunMatrixCacheCtx(gctx context.Context, ctx *icp.Context, floats bool, workers int, cacheDir string) Matrix {
+	var disk *store.Disk
+	if cacheDir != "" {
+		if d, err := store.Open(cacheDir, store.Options{}); err == nil {
+			disk = d
+		}
+	}
+	// One engine per ICP method: the engines share the disk layer (safe
+	// for concurrent use, and the cache keys carry the full method
+	// configuration) but keep private in-memory generations.
+	engine := func() *incr.Engine {
+		if disk == nil {
+			return nil
+		}
+		return incr.NewEngineWithStore(incr.NewTiered(incr.NewMemStore(0), disk))
+	}
 	methods := []struct {
 		name string
 		run  func() (constFormals, constEntries int)
 	}{
-		{"flow-insensitive", icpRunner(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: floats, Workers: 1, Ctx: gctx})},
-		{"flow-sensitive", icpRunner(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: floats, Workers: 1, Ctx: gctx})},
-		{"flow-sensitive-iterative", icpRunner(ctx, icp.Options{Method: icp.FlowSensitiveIterative, PropagateFloats: floats, Workers: 1, Ctx: gctx})},
+		{"flow-insensitive", icpRunner(ctx, icp.Options{Method: icp.FlowInsensitive, PropagateFloats: floats, Workers: 1, Ctx: gctx, Incr: engine()})},
+		{"flow-sensitive", icpRunner(ctx, icp.Options{Method: icp.FlowSensitive, PropagateFloats: floats, Workers: 1, Ctx: gctx, Incr: engine()})},
+		{"flow-sensitive-iterative", icpRunner(ctx, icp.Options{Method: icp.FlowSensitiveIterative, PropagateFloats: floats, Workers: 1, Ctx: gctx, Incr: engine()})},
 		{"jf-literal", jfRunner(ctx, jumpfunc.Literal)},
 		{"jf-intra", jfRunner(ctx, jumpfunc.Intra)},
 		{"jf-pass-through", jfRunner(ctx, jumpfunc.PassThrough)},

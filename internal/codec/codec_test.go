@@ -1,0 +1,202 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+
+	"fsicp/internal/ast"
+	"fsicp/internal/incr"
+	"fsicp/internal/lattice"
+	"fsicp/internal/val"
+)
+
+func sampleSummary() *incr.ProcSummary {
+	return &incr.ProcSummary{
+		BackEdges: 3,
+		Entry: map[string]lattice.Elem{
+			"a": lattice.Const(val.Int(-42)),
+			"b": lattice.Const(val.Real(3.5)),
+			"c": lattice.Const(val.Bool(true)),
+			"d": lattice.TopElem(),
+			"e": lattice.BottomElem(),
+		},
+		Sites: []incr.SiteValues{
+			{}, // unreachable
+			{
+				Reachable: true,
+				Args:      []lattice.Elem{lattice.Const(val.Int(7)), lattice.BottomElem()},
+				Globals:   []lattice.Elem{lattice.Const(val.Real(math.Copysign(0, -1)))},
+			},
+			{Reachable: true},
+		},
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	want := sampleSummary()
+	meta := Meta{KeyHash: HashKey("some\x00key"), Gen: 9}
+	data := EncodeSummary(meta, want)
+	gotMeta, got, err := DecodeSummary(data)
+	if err != nil {
+		t.Fatalf("DecodeSummary: %v", err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+	// -0.0 must survive bit-exactly.
+	g := got.Sites[1].Globals[0]
+	if math.Float64bits(g.Val.R) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("-0.0 not preserved: %v", g.Val.R)
+	}
+}
+
+func TestSummaryDeterministicEncoding(t *testing.T) {
+	meta := Meta{KeyHash: 1, Gen: 2}
+	a := EncodeSummary(meta, sampleSummary())
+	for i := 0; i < 16; i++ {
+		// Map iteration order varies; the sorted-name encoding must not.
+		if b := EncodeSummary(meta, sampleSummary()); !reflect.DeepEqual(a, b) {
+			t.Fatal("encoding is not deterministic")
+		}
+	}
+}
+
+func TestSummaryFlags(t *testing.T) {
+	for _, s := range []*incr.ProcSummary{
+		{Dead: true},
+		{Degraded: true},
+		{Dead: true, Degraded: true, BackEdges: 1},
+	} {
+		_, got, err := DecodeSummary(EncodeSummary(Meta{}, s))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", s, err)
+		}
+		if got.Dead != s.Dead || got.Degraded != s.Degraded || got.BackEdges != s.BackEdges {
+			t.Fatalf("flags round trip: got %+v, want %+v", got, s)
+		}
+	}
+}
+
+func TestEnvRoundTrip(t *testing.T) {
+	env := map[string]lattice.Elem{
+		"x":   lattice.Const(val.Int(1)),
+		"y":   lattice.TopElem(),
+		"sum": lattice.Const(val.Real(2.25)),
+	}
+	_, got, err := DecodeEnv(EncodeEnv(Meta{Gen: 4}, env))
+	if err != nil {
+		t.Fatalf("DecodeEnv: %v", err)
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Fatalf("env round trip: got %+v, want %+v", got, env)
+	}
+	if _, got, err := DecodeEnv(EncodeEnv(Meta{}, nil)); err != nil || got != nil {
+		t.Fatalf("empty env: got %+v, %v", got, err)
+	}
+}
+
+func TestNaNDecodesToBottom(t *testing.T) {
+	// No encoder ever produces a Constant NaN (lattice.Const maps it to
+	// ⊥ first), but a frame built elsewhere could carry the bits; the
+	// decoder must uphold the invariant.
+	env := map[string]lattice.Elem{
+		"n": {Level: lattice.Constant, Val: val.Value{Type: ast.TypeReal, R: math.NaN()}},
+	}
+	_, got, err := DecodeEnv(EncodeEnv(Meta{}, env))
+	if err != nil {
+		t.Fatalf("DecodeEnv: %v", err)
+	}
+	if !got["n"].IsBottom() {
+		t.Fatalf("NaN decoded to %+v, want ⊥", got["n"])
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	data := EncodeSummary(Meta{KeyHash: 5}, sampleSummary())
+	for _, n := range []int{0, 3, headerLen - 1, headerLen, len(data) / 2, len(data) - 1} {
+		if _, _, err := DecodeSummary(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+func TestBitFlipsDetected(t *testing.T) {
+	orig := EncodeSummary(Meta{KeyHash: 5, Gen: 1}, sampleSummary())
+	for i := 0; i < len(orig); i++ {
+		for bit := 0; bit < 8; bit++ {
+			data := append([]byte(nil), orig...)
+			data[i] ^= 1 << bit
+			if _, _, err := DecodeSummary(data); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d not detected", i, bit)
+			}
+		}
+	}
+}
+
+func TestVersionSkewDetected(t *testing.T) {
+	data := EncodeSummary(Meta{}, sampleSummary())
+	data[4]++ // bump the version field; checksum now stale too
+	if _, _, err := DecodeSummary(data); err == nil {
+		t.Fatal("version skew not detected")
+	}
+	// A frame legitimately written by a future version (checksum valid,
+	// version higher) must fail specifically with ErrVersion.
+	future := data[: len(data)-crcLen : len(data)-crcLen]
+	future = binary.LittleEndian.AppendUint32(future, crc32.Checksum(future, crcTable))
+	if _, _, err := DecodeSummary(future); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+}
+
+func TestKindConfusionDetected(t *testing.T) {
+	data := EncodeEnv(Meta{}, map[string]lattice.Elem{"x": lattice.TopElem()})
+	if _, _, err := DecodeSummary(data); err == nil {
+		t.Fatal("env frame accepted as summary")
+	}
+}
+
+func TestPeekMeta(t *testing.T) {
+	meta := Meta{KeyHash: 77, Gen: 12}
+	data := EncodeSummary(meta, sampleSummary())
+	got, err := PeekMeta(data)
+	if err != nil || got != meta {
+		t.Fatalf("PeekMeta = %+v, %v; want %+v", got, err, meta)
+	}
+	// Peek skips the checksum: flipping a payload bit must not matter.
+	data[headerLen] ^= 0x40
+	if got, err := PeekMeta(data); err != nil || got != meta {
+		t.Fatalf("PeekMeta after payload flip = %+v, %v", got, err)
+	}
+	if _, err := PeekMeta(data[:headerLen-2]); err == nil {
+		t.Fatal("short frame not rejected by PeekMeta")
+	}
+}
+
+// TestNonCanonicalElemsEncodeCanonically asserts the encoder
+// canonicalises before writing: a literally-built Constant NaN and a
+// ⊤/⊥ with a stale payload must encode byte-identically to their
+// canonical forms, so Eq environments always produce equal frames.
+func TestNonCanonicalElemsEncodeCanonically(t *testing.T) {
+	stale := val.Value{Type: ast.TypeInt, I: 99}
+	pairs := []struct {
+		raw, canon lattice.Elem
+	}{
+		{lattice.Elem{Level: lattice.Constant, Val: val.Value{Type: ast.TypeReal, R: math.NaN()}}, lattice.BottomElem()},
+		{lattice.Elem{Level: lattice.Top, Val: stale}, lattice.TopElem()},
+		{lattice.Elem{Level: lattice.Bottom, Val: stale}, lattice.BottomElem()},
+	}
+	for i, p := range pairs {
+		raw := EncodeEnv(Meta{}, map[string]lattice.Elem{"x": p.raw})
+		canon := EncodeEnv(Meta{}, map[string]lattice.Elem{"x": p.canon})
+		if !reflect.DeepEqual(raw, canon) {
+			t.Errorf("case %d: non-canonical element encoded differently", i)
+		}
+	}
+}

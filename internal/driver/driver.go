@@ -42,6 +42,15 @@ type PassStats struct {
 	// (panic isolation, fuel exhaustion, cancellation).
 	Degraded int
 
+	// DiskHits/DiskMisses count persistent-store lookups for passes
+	// whose cache is backed by a disk layer; Evicted and Corrupt count
+	// entries the store evicted under its size cap or dropped as
+	// corrupt during the pass. All zero without a persistent store.
+	DiskHits   int
+	DiskMisses int
+	Evicted    int
+	Corrupt    int
+
 	// Shards counts the parallel-for items a sharded pass (Pass.Shards)
 	// executed; zero for serial passes. ShardWall holds each shard's
 	// wall-clock time, indexed by shard. The manager also appends
@@ -117,7 +126,10 @@ func (t *Trace) Table() string {
 		hits     int
 		misses   int
 		degraded int
-		notes    string
+
+		diskHits   int
+		diskMisses int
+		notes      string
 	}
 	var rows []*row
 	index := make(map[string]*row)
@@ -137,6 +149,8 @@ func (t *Trace) Table() string {
 		r.hits += st.Hits
 		r.misses += st.Misses
 		r.degraded += st.Degraded
+		r.diskHits += st.DiskHits
+		r.diskMisses += st.DiskMisses
 		if st.Notes != "" {
 			r.notes = st.Notes
 		}
@@ -152,6 +166,9 @@ func (t *Trace) Table() string {
 		notes := r.notes
 		if r.hits+r.misses > 0 {
 			notes = strings.TrimSpace(notes + fmt.Sprintf(" cache=%d/%d", r.hits, r.hits+r.misses))
+		}
+		if r.diskHits+r.diskMisses > 0 {
+			notes = strings.TrimSpace(notes + fmt.Sprintf(" disk=%d/%d", r.diskHits, r.diskHits+r.diskMisses))
 		}
 		if r.cached > 0 {
 			notes = strings.TrimSpace(notes + fmt.Sprintf(" cached=%d/%d", r.cached, r.runs))

@@ -1,0 +1,71 @@
+package faultinject
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"os"
+)
+
+// FileCorruption is a deterministic way to damage an on-disk cache
+// file, mirroring the failure classes the persistent store must
+// survive: partial writes (truncation), media errors (bit flips), and
+// format drift (version skew).
+type FileCorruption int
+
+const (
+	// Truncate cuts the file to a seed-chosen prefix (possibly empty).
+	Truncate FileCorruption = iota
+	// BitFlip flips one seed-chosen bit anywhere in the file.
+	BitFlip
+	// VersionSkew bumps the format-version field of the codec frame
+	// header (offset 4), simulating a file written by a different
+	// release.
+	VersionSkew
+)
+
+func (k FileCorruption) String() string {
+	switch k {
+	case Truncate:
+		return "truncate"
+	case BitFlip:
+		return "bit-flip"
+	case VersionSkew:
+		return "version-skew"
+	}
+	return "unknown"
+}
+
+// CorruptFile damages path in place. The damage position is a pure
+// function of (seed, path) — the same FNV-1a mixing the fault
+// injector's roll uses — so test failures reproduce from the seed
+// alone. Corrupting an empty file is a no-op for BitFlip/VersionSkew.
+func CorruptFile(path string, kind FileCorruption, seed uint64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case Truncate:
+		data = data[:int(corruptMix(seed, path)%uint64(len(data)+1))]
+	case BitFlip:
+		if len(data) == 0 {
+			break
+		}
+		bit := int(corruptMix(seed, path) % uint64(len(data)*8))
+		data[bit/8] ^= 1 << (bit % 8)
+	case VersionSkew:
+		if len(data) > 5 {
+			data[4]++
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func corruptMix(seed uint64, path string) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h := fnv.New64a()
+	h.Write(b[:])
+	h.Write([]byte(path))
+	return h.Sum64()
+}

@@ -289,6 +289,11 @@ type Result struct {
 	CacheHits   int
 	CacheMisses int
 
+	// Store is this run's summary-store counter delta (memory layer
+	// hits/misses; disk-layer traffic when the engine has a persistent
+	// layer). Zero-valued without an engine.
+	Store incr.StoreStats
+
 	// Degradations lists, in deterministic order, every procedure (or
 	// whole pass, Proc == "") that fell back to the flow-insensitive
 	// solution instead of completing flow-sensitively — because of a

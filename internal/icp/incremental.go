@@ -1,6 +1,7 @@
 package icp
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -30,6 +31,10 @@ type incrState struct {
 	plan   *incr.Plan
 	fps    []string
 	inputs incr.RunInputs
+	eng    *incr.Engine
+	// stats0 snapshots the engine's cumulative store counters at Begin,
+	// so storeDelta can report this run's share.
+	stats0 incr.StoreStats
 }
 
 // beginIncr fingerprints the program and opens a plan against the
@@ -42,7 +47,7 @@ func beginIncr(ctx *Context, opts Options, fi *fiSolution, structural bool) *inc
 	}
 	cg, mr := ctx.CG, ctx.MR
 	n := len(cg.Reachable)
-	st := &incrState{fps: make([]string, n)}
+	st := &incrState{fps: make([]string, n), eng: opts.Incr, stats0: opts.Incr.Stats()}
 	sccs := make([][]int, len(cg.SCCs))
 	for k, members := range cg.SCCs {
 		pos := make([]int, len(members))
@@ -96,6 +101,35 @@ func beginIncr(ctx *Context, opts Options, fi *fiSolution, structural bool) *inc
 	st.inputs = in
 	st.plan = opts.Incr.Begin(in)
 	return st
+}
+
+// storeDelta reports the engine's store activity since beginIncr: this
+// run's cache traffic.
+func (st *incrState) storeDelta() incr.StoreStats {
+	return st.eng.Stats().Sub(st.stats0)
+}
+
+// fillStoreStats copies a run's persistent-layer counters into the
+// pass record and the result, and extends the pass notes, when a disk
+// layer saw any traffic. Memory-only engines leave everything zero.
+func fillStoreStats(ps *driver.PassStats, res *Result, ist *incrState) {
+	ds := ist.storeDelta()
+	res.Store = ds
+	if ds.DiskHits+ds.DiskMisses+ds.Corrupt == 0 {
+		return
+	}
+	// The driver's stats table renders a disk=hits/lookups note from the
+	// structured fields; only the rarer counters go into Notes directly.
+	ps.DiskHits = int(ds.DiskHits)
+	ps.DiskMisses = int(ds.DiskMisses)
+	ps.Evicted = int(ds.Evictions)
+	ps.Corrupt = int(ds.Corrupt)
+	if ds.Corrupt > 0 {
+		ps.Notes = fmt.Sprintf("%s corrupt=%d", ps.Notes, ds.Corrupt)
+	}
+	if ds.Evictions > 0 {
+		ps.Notes = fmt.Sprintf("%s evicted=%d", ps.Notes, ds.Evictions)
+	}
 }
 
 // backEdgeKey renders everything p's entry environment takes from the

@@ -197,6 +197,7 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 			st.Notes = fmt.Sprintf("%s scc-runs=%d ssa-built=%d", st.Notes, physRuns.Load(), pool.built.Load())
 			res.CacheHits = st.Hits
 			res.CacheMisses = st.Misses
+			fillStoreStats(st, res, ist)
 		}
 	})
 	res.SCCRuns = int(sccRuns.Load())

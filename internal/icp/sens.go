@@ -170,6 +170,7 @@ func runFS(ctx *Context, opts Options) *Result {
 				st.Notes, res.ProcsReused, n-res.ProcsReused, len(allLevels)-len(levels), pool.built.Load())
 			res.CacheHits = st.Hits
 			res.CacheMisses = st.Misses
+			fillStoreStats(st, res, ist)
 		}
 	})
 

@@ -3,42 +3,66 @@ package incr
 import (
 	"sync"
 	"sync/atomic"
+
+	"fsicp/internal/resilience"
 )
 
-// Engine owns the cross-run state: the value cache and the snapshot of
-// the previous committed run. One Engine serves one evolving program
-// (a Session); it is safe for the concurrent wavefront of a single run
-// to hit it from many goroutines, but runs themselves must be issued
-// one at a time (Begin .. Commit pairs must not overlap).
+// Engine owns the cross-run state: the value store (one or more
+// layers, see Store) and the snapshot of the previous committed run.
+// One Engine serves one evolving program (a Session); it is safe for
+// the concurrent wavefront of a single run to hit it from many
+// goroutines, but runs themselves must be issued one at a time
+// (Begin .. Commit pairs must not overlap).
 type Engine struct {
 	mu    sync.Mutex
-	cache *cache
+	store Store
 	snap  *Snapshot
-	limit int
 }
 
-// DefaultCacheLimit is the value-cache generation size above which a
-// Commit ages out untouched entries (see SetCacheLimit).
+// DefaultCacheLimit is the in-memory value-cache generation size above
+// which a Commit ages out untouched entries (see SetCacheLimit).
 const DefaultCacheLimit = 2048
 
-// NewEngine returns an empty engine.
+// NewEngine returns an empty engine backed by the in-memory store
+// only.
 func NewEngine() *Engine {
-	return &Engine{cache: newCache(), limit: DefaultCacheLimit}
+	return NewEngineWithStore(NewMemStore(0))
 }
 
-// SetCacheLimit bounds the value cache: when the live generation holds
-// at least n entries at Commit, entries untouched since the previous
-// ageing are dropped (two-generation collection). Ageing on every
-// Commit would evict the working set under edit/undo alternation, so
-// collection is deferred until the cache has actually grown. n <= 0
-// restores the default.
+// NewEngineWithStore returns an empty engine over an explicit storage
+// hierarchy (typically NewTiered(NewMemStore(0), disk)).
+func NewEngineWithStore(s Store) *Engine {
+	return &Engine{store: s}
+}
+
+// SetCacheLimit bounds the in-memory value cache: when the live
+// generation holds at least n entries at Commit, entries untouched
+// since the previous ageing are dropped (two-generation collection).
+// Ageing on every Commit would evict the working set under edit/undo
+// alternation, so collection is deferred until the cache has actually
+// grown. n <= 0 restores the default. Engines over stores without an
+// adjustable memory layer ignore the call.
 func (e *Engine) SetCacheLimit(n int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if n <= 0 {
-		n = DefaultCacheLimit
+	if sl, ok := e.store.(interface{ SetLimit(int) }); ok {
+		sl.SetLimit(n)
 	}
-	e.limit = n
+}
+
+// Stats returns the store's cumulative counters. Callers wanting
+// per-run numbers snapshot before the run and Sub after.
+func (e *Engine) Stats() StoreStats { return e.store.Stats() }
+
+// Degradations returns the corruption records kept by persistent store
+// layers (nil for memory-only engines). They are cumulative for the
+// engine's lifetime and deliberately not part of any analysis result:
+// a corrupt cache entry costs recomputation, never precision.
+func (e *Engine) Degradations() []resilience.Degradation {
+	if d, ok := e.store.(interface {
+		Degradations() []resilience.Degradation
+	}); ok {
+		return d.Degradations()
+	}
+	return nil
 }
 
 // Snapshot is the committed outcome of one run: the keys under which
@@ -123,7 +147,8 @@ func (e *Engine) Begin(in RunInputs) *Plan {
 	snap := e.snap
 	if snap != nil && snap.ProgramKey != in.ProgramKey {
 		// The global index space moved under the cached summaries.
-		e.cache.reset()
+		// (Layers whose keys fully qualify the program may no-op this.)
+		e.store.Reset()
 	}
 	if snap == nil || !in.Structural ||
 		snap.ConfigKey != in.ConfigKey || snap.ProgramKey != in.ProgramKey {
@@ -195,7 +220,7 @@ func (e *Engine) Begin(in RunInputs) *Plan {
 // Lookup consults the value cache for a (pass, procedure, fingerprint,
 // input-key) tuple and counts the hit or miss.
 func (p *Plan) Lookup(pass, name, fp, inputKey string) (*ProcSummary, bool) {
-	s, ok := p.eng.cache.get(p.key(pass, name, fp, inputKey))
+	s, ok := p.eng.store.Get(p.key(pass, name, fp, inputKey))
 	if ok {
 		p.hits.Add(1)
 	} else {
@@ -205,8 +230,13 @@ func (p *Plan) Lookup(pass, name, fp, inputKey string) (*ProcSummary, bool) {
 }
 
 // Store records a freshly computed summary in the value cache.
+// Degraded summaries are never stored: they are not the analysis of
+// the key, only a sound placeholder for this run.
 func (p *Plan) Store(pass, name, fp, inputKey string, s *ProcSummary) {
-	p.eng.cache.put(p.key(pass, name, fp, inputKey), s)
+	if s == nil || s.Degraded {
+		return
+	}
+	p.eng.store.Put(p.key(pass, name, fp, inputKey), s)
 }
 
 func (p *Plan) key(pass, name, fp, inputKey string) string {
@@ -229,60 +259,12 @@ func (p *Plan) Reused() int {
 }
 
 // Commit installs the run's snapshot, making it the baseline the next
-// Begin diffs against, and ages the value cache if it has outgrown
-// the engine's limit.
+// Begin diffs against, and marks the run boundary on the store (the
+// memory layer ages its generations, the disk layer advances its
+// generation stamp).
 func (p *Plan) Commit(snap *Snapshot) {
 	p.eng.mu.Lock()
 	defer p.eng.mu.Unlock()
 	p.eng.snap = snap
-	p.eng.cache.maybeRotate(p.eng.limit)
-}
-
-// cache is a two-generation (LRU-ish) map: entries touched since the
-// last rotation survive it, the rest are dropped a generation later.
-// Rotation happens only when the live generation has grown past the
-// engine's limit, so memory stays bounded across long edit sessions
-// without the working set being evicted between consecutive runs.
-type cache struct {
-	mu       sync.Mutex
-	cur, old map[string]*ProcSummary
-}
-
-func newCache() *cache {
-	return &cache{cur: map[string]*ProcSummary{}, old: map[string]*ProcSummary{}}
-}
-
-func (c *cache) get(key string) (*ProcSummary, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if s, ok := c.cur[key]; ok {
-		return s, true
-	}
-	if s, ok := c.old[key]; ok {
-		c.cur[key] = s // promote
-		return s, true
-	}
-	return nil, false
-}
-
-func (c *cache) put(key string, s *ProcSummary) {
-	c.mu.Lock()
-	c.cur[key] = s
-	c.mu.Unlock()
-}
-
-func (c *cache) maybeRotate(limit int) {
-	c.mu.Lock()
-	if len(c.cur) >= limit {
-		c.old = c.cur
-		c.cur = map[string]*ProcSummary{}
-	}
-	c.mu.Unlock()
-}
-
-func (c *cache) reset() {
-	c.mu.Lock()
-	c.cur = map[string]*ProcSummary{}
-	c.old = map[string]*ProcSummary{}
-	c.mu.Unlock()
+	p.eng.store.EndRun()
 }

@@ -393,3 +393,22 @@ func (r *Result) EntryEnv(p *sem.Proc) lattice.Env[*sem.Var] {
 	}
 	return env
 }
+
+// PortableEntryEnv projects the formal solution for p onto variable
+// names — the name-keyed shape codec.EncodeEnv persists — so
+// jump-function results can ride the same versioned store entries as
+// the ICP summaries. Formal names are unique within a procedure, so
+// the projection is lossless; only constant formals are bound, and a
+// nil map means none.
+func (r *Result) PortableEntryEnv(p *sem.Proc) map[string]lattice.Elem {
+	var env map[string]lattice.Elem
+	for _, f := range p.Params {
+		if e := r.Formals[f]; e.IsConst() {
+			if env == nil {
+				env = make(map[string]lattice.Elem, len(p.Params))
+			}
+			env[f.Name] = e
+		}
+	}
+	return env
+}

@@ -42,6 +42,22 @@ func Const(v val.Value) Elem {
 	return Elem{Level: Constant, Val: v}
 }
 
+// Canonical returns the canonical representation of e: ⊤ and ⊥ carry
+// no value payload, and a Constant holding NaN collapses to ⊥ (the
+// Const invariant, restated for elements built literally). Serializers
+// must canonicalise before encoding — two Eq elements must produce
+// identical bytes, and Eq ignores the payload of non-constants.
+func (e Elem) Canonical() Elem {
+	switch {
+	case e.Level == Constant && !e.Val.IsNaN():
+		return e
+	case e.Level == Constant:
+		return BottomElem()
+	default:
+		return Elem{Level: e.Level}
+	}
+}
+
 // IsTop reports whether e is ⊤.
 func (e Elem) IsTop() bool { return e.Level == Top }
 

@@ -157,3 +157,33 @@ func TestZeroValuesAreConstants(t *testing.T) {
 		t.Errorf("zero int: %v", z)
 	}
 }
+
+// TestCanonical pins the canonical-form contract serializers rely on:
+// Eq elements must canonicalise to identical structs, non-constants
+// drop any stale payload, and a literally-built Constant NaN collapses
+// to ⊥ exactly as Const would have built it.
+func TestCanonical(t *testing.T) {
+	stale := val.Value{Type: ast.TypeInt, I: 99}
+	cases := []struct {
+		in, want Elem
+	}{
+		{TopElem(), TopElem()},
+		{BottomElem(), BottomElem()},
+		{Elem{Level: Top, Val: stale}, TopElem()},
+		{Elem{Level: Bottom, Val: stale}, BottomElem()},
+		{Const(val.Int(7)), Const(val.Int(7))},
+		{Elem{Level: Constant, Val: val.Value{Type: ast.TypeReal, R: math.NaN()}}, BottomElem()},
+	}
+	for _, c := range cases {
+		if got := c.in.Canonical(); got != c.want {
+			t.Errorf("Canonical(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	f := func(a Elem) bool {
+		c := a.Canonical()
+		return c.Eq(a) && c == c.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

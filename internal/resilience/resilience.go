@@ -35,6 +35,13 @@ const (
 	ReasonCancelled Reason = "cancelled"
 	// ReasonDeadline: the analysis context's deadline passed.
 	ReasonDeadline Reason = "deadline"
+	// ReasonCacheCorrupt: a persistent-cache entry failed validation
+	// (truncated, bit-flipped, version-skewed, or mis-keyed) and was
+	// dropped; the procedure was recomputed from scratch. Unlike the
+	// reasons above this loses no precision at all — only the cached
+	// work — so these records are observability, not soundness events,
+	// and stay out of the analysis result's degradation list.
+	ReasonCacheCorrupt Reason = "cache-corrupt"
 )
 
 // Degradation records one procedure (or whole pass, when Proc is empty)

@@ -115,6 +115,14 @@ func MethodMatrixTable(profiles []bench.Profile, floats bool) (string, error) {
 // flow-insensitive solution instead of the table failing (see
 // bench.RunMatrixCtx).
 func MethodMatrixTableCtx(gctx context.Context, profiles []bench.Profile, floats bool) (string, error) {
+	return MethodMatrixTableCacheCtx(gctx, profiles, floats, "")
+}
+
+// MethodMatrixTableCacheCtx is MethodMatrixTableCtx with an optional
+// persistent summary cache directory (see bench.RunMatrixCacheCtx):
+// the precision columns are identical with or without it, only the
+// timing columns change on a warm cache.
+func MethodMatrixTableCacheCtx(gctx context.Context, profiles []bench.Profile, floats bool, cacheDir string) (string, error) {
 	var b strings.Builder
 	b.WriteString(header("Method matrix: all methods and baselines, run concurrently per benchmark",
 		"PROGRAM        ", "METHOD                  ", "CONST", "ENTRY", "    WALL"))
@@ -123,7 +131,7 @@ func MethodMatrixTableCtx(gctx context.Context, profiles []bench.Profile, floats
 		if err != nil {
 			return "", err
 		}
-		m := bench.RunMatrixCtx(gctx, ctx, floats, 0)
+		m := bench.RunMatrixCacheCtx(gctx, ctx, floats, 0, cacheDir)
 		for _, e := range m.Entries {
 			fmt.Fprintf(&b, "%-15s | %-24s | %5d | %5d | %8s\n",
 				p.Name, e.Name, e.ConstFormals, e.ConstEntries, round(e.Wall))

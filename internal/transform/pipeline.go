@@ -15,13 +15,14 @@ import (
 const (
 	PassFold     = "fold"     // constant folding + dead-branch deletion
 	PassCopyProp = "copyprop" // copy propagation
+	PassDSE      = "dse"      // dead-store elimination
 	PassCSE      = "cse"      // local CSE over the dominator tree
 	PassLICM     = "licm"     // loop-invariant constant hoisting
 )
 
 // AllPasses returns every pass name in execution order.
 func AllPasses() []string {
-	return []string{PassFold, PassCopyProp, PassCSE, PassLICM}
+	return []string{PassFold, PassCopyProp, PassDSE, PassCSE, PassLICM}
 }
 
 // Options configures an Optimize run.
@@ -46,7 +47,7 @@ func selectPasses(names []string) ([]string, error) {
 	want := make(map[string]bool, len(names))
 	for _, n := range names {
 		switch n {
-		case PassFold, PassCopyProp, PassCSE, PassLICM:
+		case PassFold, PassCopyProp, PassDSE, PassCSE, PassLICM:
 			want[n] = true
 		default:
 			return nil, fmt.Errorf("transform: unknown pass %q", n)
@@ -188,6 +189,8 @@ func (st *optState) shardFn(name string) func(i int) PassReport {
 		return st.foldFunc
 	case PassCopyProp:
 		return st.copyPropFunc
+	case PassDSE:
+		return st.dseFunc
 	case PassCSE:
 		return st.cseFunc
 	case PassLICM:

@@ -26,6 +26,9 @@ type Counts struct {
 	// CopiesPropagated counts operands redirected past copies
 	// (copy-propagation pass).
 	CopiesPropagated int
+	// DeadStores counts never-observed pure computations deleted
+	// (dead-store-elimination pass).
+	DeadStores int
 	// CSEReplaced counts expressions replaced by copies of an earlier,
 	// dominating computation (CSE pass).
 	CSEReplaced int
@@ -41,6 +44,7 @@ func (c *Counts) add(o Counts) {
 	c.RemovedBlocks += o.RemovedBlocks
 	c.RemovedInstrs += o.RemovedInstrs
 	c.CopiesPropagated += o.CopiesPropagated
+	c.DeadStores += o.DeadStores
 	c.CSEReplaced += o.CSEReplaced
 	c.HoistedConsts += o.HoistedConsts
 }
@@ -49,7 +53,7 @@ func (c *Counts) add(o Counts) {
 // instructions deleted outright plus expression evaluations reduced to
 // constant loads or copies.
 func (c Counts) EliminatedInstrs() int {
-	return c.RemovedInstrs + c.FoldedInstrs + c.CSEReplaced
+	return c.RemovedInstrs + c.FoldedInstrs + c.CSEReplaced + c.DeadStores
 }
 
 // notes renders the non-zero counters compactly for pass-stat lines.
@@ -66,6 +70,7 @@ func (c Counts) notes() string {
 	add(c.RemovedBlocks, "blocks gone")
 	add(c.RemovedInstrs, "instrs gone")
 	add(c.CopiesPropagated, "copies")
+	add(c.DeadStores, "dead stores")
 	add(c.CSEReplaced, "cse")
 	add(c.HoistedConsts, "hoisted")
 	if len(parts) == 0 {

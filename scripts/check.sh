@@ -32,11 +32,24 @@ go test -race -count=1 \
     -run 'TestFaultsNeverEscapePublicAPI|TestFaultReportsIdenticalAcrossWorkers|TestCancellationHygiene|TestDegradedResultsNotReusedAcrossRuns' \
     .
 
+echo "== warm-cache determinism =="
+# The persistent summary store must change analysis time only: cold,
+# warm-disk, and corrupted-cache runs must produce byte-identical
+# reports, and the store's fault-injection matrix must degrade every
+# damaged entry to a clean recompute.
+go test -race -count=1 \
+    -run 'TestWarmDiskCacheDeterminism|TestCacheStatsShape' \
+    .
+go test -race -count=1 \
+    -run 'TestCorruptionDegradesToMiss|TestWrongKeyHashRejected|TestEviction' \
+    ./internal/store
+go test -race -count=1 ./internal/codec
+
 echo "== bench smoke =="
 # One iteration of the wavefront and sharded-load benchmarks: catches
 # crashes or hangs in the benchmark harnesses themselves without paying
 # for a full measurement.
-go test -run '^$' -bench 'BenchmarkAnalyzeParallel|BenchmarkLoadParallel|BenchmarkColdEndToEnd|BenchmarkOptimize' -benchtime=1x -benchmem .
+go test -run '^$' -bench 'BenchmarkAnalyzeParallel|BenchmarkLoadParallel|BenchmarkColdEndToEnd|BenchmarkColdWarmDisk|BenchmarkOptimize' -benchtime=1x -benchmem .
 
 echo "== allocation-regression gate =="
 # Re-measures the guarded benchmarks and fails when allocs/op grossly

@@ -271,7 +271,9 @@ func (s *Session) Analyze(cfg Config) *Analysis {
 func (s *Session) AnalyzeContext(ctx context.Context, cfg Config) (*Analysis, error) {
 	eng := s.engines[cfg]
 	if eng == nil {
-		eng = incr.NewEngine()
+		// Memory-only by default; layered over the shared persistent
+		// store when the config names a cache directory.
+		eng = newEngine(cfg, nil)
 		s.engines[cfg] = eng
 	}
 	return s.cur.prog.analyze(ctx, cfg, eng)
