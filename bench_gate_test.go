@@ -26,7 +26,10 @@ import (
 // load-phase allocations either. BenchmarkColdWarmDisk guards the
 // persistent summary store's warm read path: its allocs/op is ~100x
 // below the cold analysis, and a regression here means the disk layer
-// stopped answering.
+// stopped answering. BenchmarkServeSustained guards the daemon's
+// steady state — concurrent clients driving warm sessions through
+// edit streams over HTTP — so serving-layer changes can't silently
+// pile allocations onto every request.
 func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 	t.Helper()
 	spice, err := tables.Compile(bench.SPECfp92()[0])
@@ -118,6 +121,7 @@ func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 				}
 			}
 		},
+		"BenchmarkServeSustained": runServeSustained,
 		"BenchmarkTable1": func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, ctx := range suite {

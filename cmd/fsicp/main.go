@@ -55,6 +55,7 @@ import (
 
 	fsicp "fsicp"
 	"fsicp/internal/bench"
+	"fsicp/internal/report"
 )
 
 func fail(format string, args ...any) {
@@ -173,7 +174,7 @@ func main() {
 	if cfg, ok := icpConfig(*method, *floats, *returns, *workers, *timeout, *fuel, *cacheDir); ok {
 		a := prog.Analyze(cfg)
 		if *jsonOut {
-			rep := buildReport(prog, a, cfg)
+			rep := report.Build(prog, a, cfg)
 			if *doOptimize {
 				opt, err := a.Optimize(parseOptPasses(*optPasses))
 				if err != nil {
@@ -181,7 +182,7 @@ func main() {
 				}
 				rep.Optimize = &opt
 			}
-			b, err := rep.encode()
+			b, err := rep.Encode()
 			if err != nil {
 				fail("%v", err)
 			}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	fsicp "fsicp"
+	"fsicp/internal/report"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -30,7 +31,7 @@ func TestJSONReportGolden(t *testing.T) {
 		ReturnConstants: true,
 		Workers:         1,
 	}
-	got, err := buildReport(prog, prog.Analyze(cfg), cfg).encode()
+	got, err := report.Build(prog, prog.Analyze(cfg), cfg).Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestJSONReportGolden(t *testing.T) {
 
 	// The report must not depend on the worker count.
 	cfg.Workers = 8
-	again, err := buildReport(prog, prog.Analyze(cfg), cfg).encode()
+	again, err := report.Build(prog, prog.Analyze(cfg), cfg).Encode()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,13 +6,16 @@ import (
 	"time"
 
 	fsicp "fsicp"
+	"fsicp/internal/resilience"
 )
 
 // watchBackoff controls the retry schedule for transient file errors
 // (editor save races, the file briefly missing during an atomic
 // rename, permission flaps). Reads are retried with doubling delays up
 // to watchMaxBackoff; the loop never gives up — watch mode's contract
-// is to outlive anything the filesystem does to the file.
+// is to outlive anything the filesystem does to the file. The schedule
+// itself is the shared resilience.Backoff, the same one the daemon's
+// Retry-After computation uses.
 const (
 	watchInitialBackoff = 100 * time.Millisecond
 	watchMaxBackoff     = 5 * time.Second
@@ -39,7 +42,7 @@ func watchLoop(name string, cfg fsicp.Config, stats bool, interval time.Duration
 		lastElims []fsicp.ProcElimination
 		lastSrc   string
 		haveSrc   bool
-		backoff   = watchInitialBackoff
+		backoff   = resilience.NewBackoff(watchInitialBackoff, watchMaxBackoff)
 		lastErr   string
 	)
 
@@ -57,7 +60,7 @@ func watchLoop(name string, cfg fsicp.Config, stats bool, interval time.Duration
 			fmt.Fprintf(os.Stderr, "fsicp: recovered\n")
 			lastErr = ""
 		}
-		backoff = watchInitialBackoff
+		backoff.Reset()
 	}
 
 	fmt.Printf("watching %s (%s)\n", name, cfg.Method)
@@ -65,10 +68,7 @@ func watchLoop(name string, cfg fsicp.Config, stats bool, interval time.Duration
 		b, err := os.ReadFile(name)
 		if err != nil {
 			report(err)
-			time.Sleep(backoff)
-			if backoff *= 2; backoff > watchMaxBackoff {
-				backoff = watchMaxBackoff
-			}
+			time.Sleep(backoff.Next())
 			continue
 		}
 		src := string(b)
@@ -76,7 +76,7 @@ func watchLoop(name string, cfg fsicp.Config, stats bool, interval time.Duration
 			// Unchanged content: the read succeeded, so reset the read
 			// backoff — but a standing parse/sem error on this content
 			// is not recovered until the content changes.
-			backoff = watchInitialBackoff
+			backoff.Reset()
 			time.Sleep(interval)
 			continue
 		}

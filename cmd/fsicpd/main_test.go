@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8723" {
+		t.Errorf("default addr = %q", o.addr)
+	}
+	if o.drainTimeout != 30*time.Second {
+		t.Errorf("default drain timeout = %v", o.drainTimeout)
+	}
+	if o.AllowFaults {
+		t.Error("fault injection enabled by default")
+	}
+	if o.CacheDir != "" {
+		t.Errorf("default cache dir = %q", o.CacheDir)
+	}
+}
+
+func TestParseFlagsFull(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-addr", "127.0.0.1:9000",
+		"-pool", "4",
+		"-concurrency", "2",
+		"-queue", "8",
+		"-shed-queue", "3",
+		"-shed-latency", "250ms",
+		"-timeout", "2s",
+		"-max-timeout", "5s",
+		"-fuel", "1000",
+		"-cache", "/tmp/fsicpd-cache",
+		"-workers", "2",
+		"-allow-faults",
+		"-drain-timeout", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:9000" || o.PoolSize != 4 || o.Concurrency != 2 ||
+		o.MaxQueue != 8 || o.ShedQueue != 3 || o.ShedLatency != 250*time.Millisecond ||
+		o.DefaultTimeout != 2*time.Second || o.MaxTimeout != 5*time.Second ||
+		o.Fuel != 1000 || o.CacheDir != "/tmp/fsicpd-cache" || o.Workers != 2 ||
+		!o.AllowFaults || o.drainTimeout != 10*time.Second {
+		t.Errorf("parsed options: %+v", o)
+	}
+}
+
+func TestParseFlagsRejectsGarbage(t *testing.T) {
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if _, err := parseFlags([]string{"stray"}); err == nil {
+		t.Error("positional argument accepted")
+	}
+}

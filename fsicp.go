@@ -144,6 +144,32 @@ type Config struct {
 	Faults FaultSpec
 }
 
+// ShedToFI returns the configuration's cheap, sound fallback: the same
+// options with the flow-insensitive method selected. The paper's
+// two-solution structure makes this the natural load-shedding answer —
+// the FI solution is sound for every procedure (it is already the
+// fallback for call-graph back edges and for degraded procedures), it
+// costs a small fraction of the flow-sensitive traversal, and it never
+// requires iteration. The daemon (internal/serve) answers with it when
+// over its load watermark instead of queueing or dropping the request.
+func (c Config) ShedToFI() Config {
+	c.Method = FlowInsensitive
+	return c
+}
+
+// engineKey normalises a configuration to the identity of its
+// incremental engine. Timeout is excluded: a deadline changes which
+// procedures finish, never the facts committed for the ones that do
+// (degraded summaries are never cached), so sessions serving
+// per-request deadlines — the daemon's whole traffic — share one
+// engine instead of leaking one per distinct timeout value. Fuel and
+// Faults stay in the key at this level for snapshot locality; the
+// store-level cache keys carry them regardless.
+func (c Config) engineKey() Config {
+	c.Timeout = 0
+	return c
+}
+
 // FaultSpec configures deterministic, seeded fault injection (see
 // internal/faultinject). Whether a fault fires at a given (pass,
 // procedure) site is a pure function of the seed, so a fault scenario
@@ -483,6 +509,28 @@ func (p *Program) analyze(ctx context.Context, cfg Config, eng *incr.Engine) (a 
 		opts.Method = icp.FlowSensitive
 	}
 	return &Analysis{prog: p, res: icp.Analyze(p.ctx, opts), cfg: cfg, trace: tr}, nil
+}
+
+// SourceFingerprint fingerprints MiniFort source text by its token
+// stream: kinds and spellings, never positions, comments, or
+// whitespace. Two sources with equal fingerprints compile to
+// structurally identical programs and therefore produce byte-identical
+// analyses under equal configurations — the property the daemon's
+// request coalescing and session pool rely on. The computation is one
+// lexer sweep, far cheaper than a load.
+func SourceFingerprint(src string) string { return incr.TokenKey(src) }
+
+// FlushCaches marks a run boundary on every persistent cache handle
+// the process has opened (see Config.CacheDir): the generation stamp
+// advances and is written to disk, so entries from this process age
+// correctly in replicas that share the directory. Entry data itself is
+// always written through at commit time; this flushes only the
+// recency clock. The daemon calls it on graceful shutdown.
+func FlushCaches() {
+	diskStores.Range(func(_, v any) bool {
+		v.(*store.Disk).EndRun()
+		return true
+	})
 }
 
 // diskStores shares one persistent store handle per cache directory:

@@ -1,4 +1,15 @@
-package main
+// Package report is the machine-readable encoding of one analysis: the
+// JSON document cmd/fsicp emits under -json and cmd/fsicpd serves per
+// request. It lives outside both commands so the CLI and the daemon
+// cannot drift apart — one shape, one golden test.
+//
+// A Report contains only deterministic facts (no timings), so the same
+// source and configuration always produce byte-identical output, which
+// is what the determinism suites compare. The one exception is the
+// Cache block: cache traffic is observability that legitimately differs
+// between cold and warm runs, so determinism comparisons must ignore
+// it — every other field is byte-identical with or without a cache.
+package report
 
 import (
 	"encoding/json"
@@ -6,10 +17,7 @@ import (
 	fsicp "fsicp"
 )
 
-// Report is the machine-readable shape of one analysis, emitted by the
-// -json flag. It contains only deterministic facts (no timings), so
-// the same source and configuration always produce byte-identical
-// output; the golden test pins the encoding.
+// Report is the machine-readable shape of one analysis.
 type Report struct {
 	Program       ProgramInfo           `json:"program"`
 	Method        string                `json:"method"`
@@ -23,7 +31,8 @@ type Report struct {
 	// when the return-constant extension ran and proved any).
 	Returns map[string]string `json:"returns,omitempty"`
 	// Degradations lists the procedures answered from the
-	// flow-insensitive fallback (deadline, fuel, or fault isolation);
+	// flow-insensitive fallback (deadline, fuel, or fault isolation) —
+	// plus, in daemon responses, the per-request load-shed record;
 	// absent on a fully precise run, so existing consumers and the
 	// golden test are unaffected.
 	Degradations []fsicp.Degradation `json:"degradations,omitempty"`
@@ -31,11 +40,12 @@ type Report struct {
 	// -optimize ran; absent otherwise, so existing consumers and the
 	// golden test are unaffected.
 	Optimize *fsicp.OptimizeReport `json:"optimize,omitempty"`
-	// Cache reports persistent-store traffic when -cache-dir is set;
-	// absent otherwise. It is observability, not an analysis fact: the
-	// counts differ between cold and warm runs, so determinism
-	// comparisons (and the golden test) must ignore this block — every
-	// other field is byte-identical with or without the cache.
+	// Cache reports persistent-store traffic when a cache directory is
+	// configured; absent otherwise. It is observability, not an
+	// analysis fact: the counts differ between cold and warm runs, so
+	// determinism comparisons (and the golden test) must ignore this
+	// block — every other field is byte-identical with or without the
+	// cache.
 	Cache *CacheReport `json:"cache,omitempty"`
 }
 
@@ -57,8 +67,8 @@ type ProgramInfo struct {
 	BackEdges  int `json:"backEdges"`
 }
 
-// buildReport gathers the report for one analysis.
-func buildReport(prog *fsicp.Program, a *fsicp.Analysis, cfg fsicp.Config) Report {
+// Build gathers the report for one analysis.
+func Build(prog *fsicp.Program, a *fsicp.Analysis, cfg fsicp.Config) Report {
 	back, total := prog.BackEdges()
 	r := Report{
 		Program:       ProgramInfo{Procedures: len(prog.Procedures()), CallEdges: total, BackEdges: back},
@@ -92,8 +102,8 @@ func buildReport(prog *fsicp.Program, a *fsicp.Analysis, cfg fsicp.Config) Repor
 	return r
 }
 
-// encode renders the report as indented JSON with a trailing newline.
-func (r Report) encode() ([]byte, error) {
+// Encode renders the report as indented JSON with a trailing newline.
+func (r Report) Encode() ([]byte, error) {
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return nil, err

@@ -1,0 +1,111 @@
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is a capped exponential retry schedule with optional jitter:
+// the delay starts at Initial, multiplies by Factor per Next, and never
+// exceeds Max. It is the one backoff implementation in the tree —
+// watch mode's transient-file-error retries and the daemon's
+// client-visible Retry-After computation both use it, so their retry
+// behaviour stays consistent and testable in one place.
+//
+// Jitter spreads synchronized retriers: with Jitter j, each delay is
+// scaled by a factor drawn uniformly from [1-j, 1+j] (clamped to Max).
+// The draw comes from the Backoff's own generator, so a Seed call makes
+// the whole schedule a pure function of the seed — deterministic for
+// tests and for replaying a production incident.
+//
+// A Backoff is not safe for concurrent use; callers that share one
+// (the daemon's admission path) guard it with their own lock.
+type Backoff struct {
+	// Initial is the first delay (default 100ms).
+	Initial time.Duration
+	// Max caps every delay (default 5s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the randomised fraction of each delay, in [0, 1]
+	// (default 0: fully deterministic without a seed).
+	Jitter float64
+
+	attempt int
+	rng     *rand.Rand
+}
+
+// NewBackoff returns a jitter-free schedule from initial to max with
+// the default doubling factor.
+func NewBackoff(initial, max time.Duration) *Backoff {
+	return &Backoff{Initial: initial, Max: max}
+}
+
+// Seed fixes the jitter stream: two Backoffs with equal parameters and
+// seeds produce identical delay sequences.
+func (b *Backoff) Seed(seed int64) {
+	b.rng = rand.New(rand.NewSource(seed))
+}
+
+func (b *Backoff) params() (initial, max time.Duration, factor float64) {
+	initial, max, factor = b.Initial, b.Max, b.Factor
+	if initial <= 0 {
+		initial = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	return initial, max, factor
+}
+
+// Peek returns the delay Next would return now, without advancing the
+// schedule or drawing jitter (Peek is always the un-jittered value, so
+// it is safe to call repeatedly).
+func (b *Backoff) Peek() time.Duration {
+	initial, max, factor := b.params()
+	d := float64(initial)
+	for i := 0; i < b.attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			return max
+		}
+	}
+	if d > float64(max) {
+		return max
+	}
+	return time.Duration(d)
+}
+
+// Next returns the delay for the current attempt and advances the
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	_, max, _ := b.params()
+	d := b.Peek()
+	b.attempt++
+	if b.Jitter > 0 {
+		if b.rng == nil {
+			b.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		}
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d = time.Duration(float64(d) * (1 - j + 2*j*b.rng.Float64()))
+		if d > max {
+			d = max
+		}
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// Reset returns the schedule to its initial delay (after a success).
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempts reports how many times Next has run since the last Reset.
+func (b *Backoff) Attempts() int { return b.attempt }

@@ -1,0 +1,85 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, 5*time.Second)
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 3200 * time.Millisecond,
+		5 * time.Second, 5 * time.Second,
+	}
+	for i, w := range want {
+		if p := b.Peek(); p != w {
+			t.Fatalf("attempt %d: Peek = %v, want %v", i, p, w)
+		}
+		if d := b.Next(); d != w {
+			t.Fatalf("attempt %d: Next = %v, want %v", i, d, w)
+		}
+	}
+	if b.Attempts() != len(want) {
+		t.Fatalf("Attempts = %d, want %d", b.Attempts(), len(want))
+	}
+	b.Reset()
+	if d := b.Next(); d != 100*time.Millisecond {
+		t.Fatalf("after Reset: Next = %v, want 100ms", d)
+	}
+}
+
+func TestBackoffZeroValueHasSaneDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.Next(); d != 100*time.Millisecond {
+		t.Fatalf("zero-value first delay = %v, want 100ms", d)
+	}
+	for i := 0; i < 20; i++ {
+		if d := b.Next(); d > 5*time.Second {
+			t.Fatalf("zero-value delay %v exceeds default cap", d)
+		}
+	}
+}
+
+// TestBackoffJitterDeterministicUnderSeed: equal parameters and seeds
+// give byte-identical schedules; the jittered delays stay within the
+// [1-j, 1+j] band and under the cap.
+func TestBackoffJitterDeterministicUnderSeed(t *testing.T) {
+	mk := func() *Backoff {
+		b := &Backoff{Initial: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
+		b.Seed(42)
+		return b
+	}
+	a, c := mk(), mk()
+	for i := 0; i < 16; i++ {
+		base := a.Peek()
+		da, dc := a.Next(), c.Next()
+		if da != dc {
+			t.Fatalf("attempt %d: seeded schedules diverge (%v vs %v)", i, da, dc)
+		}
+		lo := time.Duration(float64(base) * 0.5)
+		hi := time.Duration(float64(base) * 1.5)
+		if hi > 2*time.Second {
+			hi = 2 * time.Second
+		}
+		if da < lo || da > hi {
+			t.Fatalf("attempt %d: jittered delay %v outside [%v, %v]", i, da, lo, hi)
+		}
+	}
+}
+
+func TestBackoffDifferentSeedsDiverge(t *testing.T) {
+	a := &Backoff{Initial: time.Second, Max: time.Minute, Jitter: 0.9}
+	a.Seed(1)
+	c := &Backoff{Initial: time.Second, Max: time.Minute, Jitter: 0.9}
+	c.Seed(2)
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter for 8 attempts")
+	}
+}

@@ -35,6 +35,12 @@ const (
 	ReasonCancelled Reason = "cancelled"
 	// ReasonDeadline: the analysis context's deadline passed.
 	ReasonDeadline Reason = "deadline"
+	// ReasonShed: the serving layer answered the whole request from the
+	// flow-insensitive solution because the daemon was over its load
+	// watermark. Per-request rather than per-procedure: the request's
+	// Degradation record carries an empty Proc. Like every other reason
+	// the answer stays sound; it only loses flow-sensitive precision.
+	ReasonShed Reason = "load-shed"
 	// ReasonCacheCorrupt: a persistent-cache entry failed validation
 	// (truncated, bit-flipped, version-skewed, or mis-keyed) and was
 	// dropped; the procedure was recomputed from scratch. Unlike the

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// errQueueFull reports an admission rejection: no free slot and the
+// waiting queue at capacity.
+var errQueueFull = errors.New("admission queue full")
+
+// admit acquires an execution slot, waiting in the bounded queue if
+// none is free. It returns a release function on success; on failure
+// (queue full, or ctx done while queued) the caller owes the client a
+// 429 with Retry-After. ctx bounds only the queue wait — the caller
+// detaches the computation itself.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.slots <- struct{}{}:
+		return s.release, nil
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		return nil, errQueueFull
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return s.release, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("queued past deadline: %w", ctx.Err())
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// retryAfter advances the shared backoff schedule and returns the
+// delay a rejected client should honor. Successive rejections see
+// growing delays (capped); see resetRetry.
+func (s *Server) retryAfter() time.Duration {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	return s.retry.Next()
+}
+
+// resetRetry snaps the Retry-After schedule back to its initial delay;
+// called on every successful admission, so the advertised delay decays
+// as soon as the server is keeping up again.
+func (s *Server) resetRetry() {
+	s.retryMu.Lock()
+	s.retry.Reset()
+	s.retryMu.Unlock()
+}
+
+// shouldShed decides, at request arrival, whether a flow-sensitive
+// request should be answered from the flow-insensitive solution. The
+// two watermarks are independent: queue depth is the fast signal
+// (requests already waiting), the latency EWMA the slow one (analyses
+// recently taking too long). The returned detail string becomes the
+// Degradation record's Detail on a shed response.
+func (s *Server) shouldShed() (bool, string) {
+	if q := s.waiting.Load(); s.cfg.ShedQueue > 0 && q >= int64(s.cfg.ShedQueue) {
+		return true, fmt.Sprintf("queue depth %d at watermark %d", q, s.cfg.ShedQueue)
+	}
+	if s.cfg.ShedLatency > 0 {
+		if ew := time.Duration(s.ewmaNanos.Load()); ew > s.cfg.ShedLatency {
+			return true, fmt.Sprintf("latency ewma %v over watermark %v", ew, s.cfg.ShedLatency)
+		}
+	}
+	return false, ""
+}

@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	fsicp "fsicp"
+	"fsicp/internal/interp"
+	"fsicp/internal/progen"
+	"fsicp/internal/testutil"
+)
+
+// oracle holds the ground truth for one program source: the reference
+// interpreter's entry observations and the clean (fault-free,
+// unbounded) constants per method. Every constant a chaos response
+// claims must (a) appear in the clean solution of its effective
+// method with the same value — degradation loses precision, never
+// invents facts — and (b) agree with what the interpreter actually
+// observed wherever it observed anything.
+type oracle struct {
+	trace   *interp.Trace
+	procs   map[string]map[string]*interp.Observation // proc → var → entry observation
+	invoked map[string]bool
+	clean   map[string]map[string]string // method string → "proc.var" → value
+}
+
+func newOracle(t *testing.T, src string) *oracle {
+	t.Helper()
+	irProg := testutil.MustBuild(t, src)
+	run := interp.Run(irProg, interp.Options{})
+	o := &oracle{
+		trace:   run.Trace,
+		procs:   make(map[string]map[string]*interp.Observation),
+		invoked: make(map[string]bool),
+		clean:   make(map[string]map[string]string),
+	}
+	for p, obs := range run.Trace.Entry {
+		byVar := make(map[string]*interp.Observation, len(obs))
+		for v, ob := range obs {
+			byVar[v.Name] = ob
+		}
+		o.procs[p.Name] = byVar
+	}
+	for p, n := range run.Trace.Invocations {
+		o.invoked[p.Name] = n > 0
+	}
+	prog, err := fsicp.Load("oracle.mf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []fsicp.Method{fsicp.FlowSensitive, fsicp.FlowInsensitive, fsicp.FlowSensitiveIterative} {
+		a := prog.Analyze(fsicp.Config{Method: m, PropagateFloats: true})
+		facts := make(map[string]string)
+		for _, c := range a.Constants() {
+			facts[c.Proc+"."+c.Var] = c.Value
+		}
+		o.clean[m.String()] = facts
+	}
+	return o
+}
+
+// check validates one response's constants against the oracle; every
+// violation is a test error tagged with label.
+func (o *oracle) check(t *testing.T, label, method string, constants []fsicp.Constant) {
+	t.Helper()
+	clean, ok := o.clean[method]
+	if !ok {
+		t.Errorf("%s: response names unknown method %q", label, method)
+		return
+	}
+	for _, c := range constants {
+		key := c.Proc + "." + c.Var
+		if v, ok := clean[key]; !ok || v != c.Value {
+			t.Errorf("%s: claimed %s = %s, not in the clean %s solution (have %q)",
+				label, key, c.Value, method, v)
+		}
+		if !o.invoked[c.Proc] {
+			continue // never ran: nothing observed, nothing to contradict
+		}
+		ob := o.procs[c.Proc][c.Var]
+		if ob == nil || ob.Count == 0 {
+			continue
+		}
+		if ob.Multiple {
+			t.Errorf("%s: claimed %s constant %s but the interpreter saw multiple values", label, key, c.Value)
+		} else if ob.First.String() != c.Value {
+			t.Errorf("%s: claimed %s = %s but the interpreter observed %s", label, key, c.Value, ob.First)
+		}
+	}
+}
+
+// TestServeChaosSoak is the acceptance test for the serving layer:
+// concurrent clients hammer a deliberately tiny server (2 slots, queue
+// of 2, shed watermark 1) with a mix of clean requests, injected
+// faults, starved fuel, and 1ms deadlines, across three program
+// versions sharing two pool slots. Every single request must come
+// back as either a 200 whose constants are interpreter-consistent and
+// within the clean solution, or a 429 carrying Retry-After — nothing
+// dropped, nothing hung, no goroutine left behind.
+func TestServeChaosSoak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	v1 := genSource(2026, 14)
+	v2 := progen.Edit(v1, 1)
+	v3 := progen.Edit(v2, 2)
+	sources := []string{v1, v2, v3}
+	oracles := make([]*oracle, len(sources))
+	for i, src := range sources {
+		oracles[i] = newOracle(t, src)
+	}
+
+	s := New(Config{
+		PoolSize:       2,
+		Concurrency:    2,
+		MaxQueue:       2,
+		ShedQueue:      1,
+		DefaultTimeout: 5 * time.Second,
+		AllowFaults:    true,
+	})
+	ts := httptest.NewServer(s.Handler())
+	client := ts.Client()
+
+	// Seed every program name so /update always has a target.
+	methods := []string{"fs", "fi", "iter"}
+	for i := range sources {
+		name := fmt.Sprintf("chaos-%d", i)
+		if status, data, _ := post(t, client, ts.URL+"/analyze", Request{Program: name, Source: sources[i]}); status != 200 {
+			t.Fatalf("seed analyze %s: status %d: %s", name, status, data)
+		}
+	}
+
+	const clients, perClient = 6, 10
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		status2x int
+		rejects  int
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				variant := (c + i) % len(sources)
+				name := fmt.Sprintf("chaos-%d", (c+2*i)%len(sources))
+				req := Request{
+					Program: name,
+					Source:  sources[variant],
+					Method:  methods[(c+i)%len(methods)],
+				}
+				seed := int64(c*100 + i)
+				switch i % 4 {
+				case 1:
+					// Heavy latency injection is what builds real queue
+					// depth: it slows analyses enough that admission,
+					// shedding, and rejection all actually fire.
+					req.Faults = &FaultRequest{Seed: seed, PanicRate: 0.3, FuelRate: 0.3, LatencyRate: 1, LatencyUs: 2000}
+				case 2:
+					req.Fuel = 3
+				case 3:
+					req.TimeoutMs = 1
+				}
+				endpoint := "/analyze"
+				if i%2 == 1 {
+					endpoint = "/update"
+				}
+				label := fmt.Sprintf("client %d req %d (%s %s %s)", c, i, endpoint, name, req.Method)
+				st, data, hdr := post(t, client, ts.URL+endpoint, req)
+				switch st {
+				case 200:
+					r := decodeResponse(t, data)
+					oracles[variant].check(t, label, r.Method, r.Report.Constants)
+					if r.Shed && r.Method != "flow-insensitive" {
+						t.Errorf("%s: shed but method %q", label, r.Method)
+					}
+					mu.Lock()
+					status2x++
+					mu.Unlock()
+				case 429:
+					if hdr.Get("Retry-After") == "" {
+						t.Errorf("%s: 429 without Retry-After", label)
+					}
+					var e ErrorResponse
+					if err := json.Unmarshal(data, &e); err != nil || e.RetryAfterMs <= 0 {
+						t.Errorf("%s: 429 body unusable: %s", label, data)
+					}
+					mu.Lock()
+					rejects++
+					mu.Unlock()
+				case 404:
+					// Legitimate only for an update whose program the
+					// LRU pool evicted under churn; the client's move is
+					// a fresh /analyze.
+					if endpoint != "/update" {
+						t.Errorf("%s: unexpected 404: %s", label, data)
+					}
+				default:
+					t.Errorf("%s: status %d: %s", label, st, data)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if status2x == 0 {
+		t.Error("chaos soak served nothing")
+	}
+	stats := s.Stats()
+	t.Logf("soak: %d served (%d shed, %d coalesced), %d rejected, %d panics isolated",
+		stats.Served, stats.Shed, stats.Coalesced, stats.Rejected, stats.Panics)
+	if got := int(stats.Rejected); got != rejects {
+		t.Errorf("rejected counter %d, clients saw %d", got, rejects)
+	}
+
+	// Graceful teardown, then the goroutine-leak gate: everything the
+	// server started must be gone.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+	ts.Close()
+	client.CloseIdleConnections()
+	checkGoroutines(t, baseline)
+}
+
+// checkGoroutines waits for the goroutine count to return to (near)
+// its baseline; a sustained excess is a leak.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d at baseline, %d after drain\n%s", baseline, n, buf)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestReportsByteIdenticalAcrossPoolSizes replays one request script —
+// three programs, two versions each, alternating methods — against a
+// one-slot pool (constant eviction and cold reloads) and a roomy one.
+// The Report block of every answer must be byte-identical between the
+// two servers: pool management is a time optimization, never a result.
+func TestReportsByteIdenticalAcrossPoolSizes(t *testing.T) {
+	type step struct {
+		endpoint string
+		req      Request
+	}
+	var script []step
+	for i := 0; i < 3; i++ {
+		v1 := genSource(int64(300+i), 6)
+		v2 := progen.Edit(v1, int64(i+1))
+		name := fmt.Sprintf("p%d", i)
+		method := methodName(i)
+		script = append(script,
+			step{"/analyze", Request{Program: name, Source: v1, Method: method}},
+			step{"/update", Request{Program: name, Source: v2, Method: method}},
+			step{"/update", Request{Program: name, Source: v1, Method: method}},
+		)
+	}
+	run := func(pool int) [][]byte {
+		s := New(Config{PoolSize: pool})
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Drain(ctx)
+			ts.Close()
+		}()
+		client := ts.Client()
+		var out [][]byte
+		for _, st := range script {
+			status, data, _ := post(t, client, ts.URL+st.endpoint, st.req)
+			if status != 200 {
+				t.Fatalf("pool %d: %s %s: status %d: %s", pool, st.endpoint, st.req.Program, status, data)
+			}
+			rep, err := json.Marshal(decodeResponse(t, data).Report)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rep)
+		}
+		return out
+	}
+	tiny, roomy := run(1), run(8)
+	for i := range script {
+		if !bytes.Equal(tiny[i], roomy[i]) {
+			t.Errorf("step %d (%s %s): report differs between pool sizes 1 and 8",
+				i, script[i].endpoint, script[i].req.Program)
+		}
+	}
+}
+
+func methodName(i int) string {
+	return []string{"fs", "fi", "iter"}[i%3]
+}

@@ -1,0 +1,264 @@
+// Package serve is the analysis-as-a-service layer: a long-running
+// HTTP+JSON daemon (cmd/fsicpd) that keeps a bounded pool of warm
+// incremental fsicp.Sessions and answers analyze/update/query requests
+// with the same report encoding cmd/fsicp emits under -json.
+//
+// The serving discipline is built from the paper's own two-solution
+// structure. Every request gets a sound answer; what varies under load
+// is precision and latency, through four layers:
+//
+//   - Admission control: a fixed number of execution slots plus a
+//     bounded waiting queue. A request that cannot queue is rejected
+//     with 429 and a Retry-After computed from the shared
+//     resilience.Backoff schedule — the same schedule watch mode uses
+//     for file retries — so rejected clients back off progressively
+//     instead of hammering.
+//
+//   - Coalescing: identical in-flight requests (same program
+//     fingerprint, same effective configuration, same endpoint) share
+//     one computation. The leader runs detached from any client's
+//     context — bounded by the configuration's own deadline, never by
+//     a caller hanging up — so followers (and late retries) always
+//     find a completed outcome.
+//
+//   - Load-shedding: past a queue-depth or latency watermark the
+//     server answers flow-sensitive requests from the flow-insensitive
+//     solution (Config.ShedToFI). The FI method is the paper's sound
+//     fallback — it is already what back edges and degraded procedures
+//     consult — at a small fraction of the cost, so the queue drains
+//     instead of collapsing. Shed responses carry a structured
+//     Degradation record (reason "load-shed"); no request is dropped.
+//
+//   - Lifecycle: every request runs under panic isolation (a panic
+//     becomes a 500 with the other requests unharmed), /healthz and
+//     /readyz report liveness and drain state, and Drain stops
+//     admission, waits out in-flight work, and flushes the persistent
+//     summary store's generation stamp.
+//
+// Determinism contract: the Report block of every 200 response is
+// byte-identical to what a cold `fsicp -json` run over the same source
+// and configuration prints (minus the cache block, which is
+// observability) — for any pool size, concurrency, or request
+// interleaving. The envelope around it (version, reuse counters,
+// coalescing flags) is honest observability and legitimately varies.
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fsicp "fsicp"
+	"fsicp/internal/resilience"
+)
+
+// Config configures a Server. The zero value is usable: every field
+// has a serving-grade default.
+type Config struct {
+	// PoolSize bounds the number of warm sessions (distinct programs)
+	// kept resident; the least recently used is evicted past the bound.
+	// Default 8.
+	PoolSize int
+	// Concurrency bounds the analyses executing at once (execution
+	// slots). Default GOMAXPROCS.
+	Concurrency int
+	// MaxQueue bounds the requests waiting for a slot; a request
+	// arriving past the bound is rejected with 429. Default 64;
+	// negative means no waiting at all (reject whenever every slot is
+	// busy).
+	MaxQueue int
+	// ShedQueue is the queue-depth watermark: a flow-sensitive request
+	// arriving while at least this many requests wait is answered from
+	// the flow-insensitive solution instead. 0 means MaxQueue/2
+	// (minimum 1); negative disables depth-based shedding.
+	ShedQueue int
+	// ShedLatency is the latency watermark: when the exponentially
+	// weighted moving average of analysis wall time exceeds it,
+	// flow-sensitive requests shed to FI. Shed analyses are cheap and
+	// are averaged in too, which is what lets the EWMA recover and
+	// full precision resume. 0 disables latency-based shedding.
+	ShedLatency time.Duration
+	// DefaultTimeout is the per-request analysis deadline when the
+	// request names none; it also bounds how long a request may wait
+	// in the admission queue. Default 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-supplied deadlines. Default 30s.
+	MaxTimeout time.Duration
+	// Fuel is the default per-procedure fuel bound (0 = unlimited);
+	// requests may lower or raise it within no particular bound — fuel
+	// exhaustion degrades, never fails.
+	Fuel int
+	// CacheDir, when set, backs every pooled session with the shared
+	// persistent summary store (fsicp.Config.CacheDir).
+	CacheDir string
+	// Workers bounds each analysis's internal fan-out (0 = GOMAXPROCS).
+	Workers int
+	// AllowFaults accepts the request-level fault-injection block (the
+	// chaos-testing harness). Off by default: production daemons
+	// reject requests that ask for injected faults.
+	AllowFaults bool
+	// RetrySeed seeds the Retry-After jitter so tests can pin the
+	// schedule. 0 uses the unjittered schedule.
+	RetrySeed int64
+	// MaxSourceBytes bounds the request body. Default 8 MiB.
+	MaxSourceBytes int64
+}
+
+// withDefaults resolves the zero fields.
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 8
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.ShedQueue == 0 {
+		c.ShedQueue = c.MaxQueue / 2
+		if c.ShedQueue < 1 {
+			c.ShedQueue = 1
+		}
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is one daemon instance. Create with New; serve its Handler;
+// stop with Drain.
+type Server struct {
+	cfg Config
+
+	pool  *pool
+	slots chan struct{} // execution slots (admission)
+
+	waiting  atomic.Int64 // requests queued for a slot
+	draining atomic.Bool
+	inflight sync.WaitGroup // every request between accept and response
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// retry is the shared Retry-After schedule: advanced on every
+	// rejection, reset on every successful admission, so the advertised
+	// delay grows with sustained overload and snaps back when the
+	// queue drains. Backoff is not concurrency-safe; retryMu guards it.
+	retryMu sync.Mutex
+	retry   *resilience.Backoff
+
+	// ewmaNanos is the moving average of analysis wall time feeding the
+	// ShedLatency watermark.
+	ewmaNanos atomic.Int64
+
+	stats serverStats
+}
+
+type serverStats struct {
+	served, rejected, shed, coalesced, panics atomic.Int64
+	active                                    atomic.Int64
+}
+
+// retrySchedule is the Retry-After backoff shape: starts at 250ms,
+// doubles to a 8s cap while rejections continue.
+const (
+	retryInitial = 250 * time.Millisecond
+	retryMax     = 8 * time.Second
+)
+
+// New builds a Server from cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    newPool(cfg.PoolSize),
+		slots:   make(chan struct{}, cfg.Concurrency),
+		flights: make(map[string]*flight),
+		retry:   resilience.NewBackoff(retryInitial, retryMax),
+	}
+	if cfg.RetrySeed != 0 {
+		s.retry.Seed(cfg.RetrySeed)
+	}
+	return s
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Served    int64 `json:"served"`    // 200 responses
+	Rejected  int64 `json:"rejected"`  // 429 responses
+	Shed      int64 `json:"shed"`      // 200s answered from the FI solution
+	Coalesced int64 `json:"coalesced"` // requests that shared another's computation
+	Panics    int64 `json:"panics"`    // requests isolated by the panic backstop
+	Active    int64 `json:"active"`    // analyses holding a slot now
+	Queued    int64 `json:"queued"`    // requests waiting for a slot now
+	Programs  int   `json:"programs"`  // warm sessions resident
+	Draining  bool  `json:"draining"`
+	// LatencyEWMA is the moving average feeding the shed watermark.
+	LatencyEWMA time.Duration `json:"latencyEwmaNs"`
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Served:      s.stats.served.Load(),
+		Rejected:    s.stats.rejected.Load(),
+		Shed:        s.stats.shed.Load(),
+		Coalesced:   s.stats.coalesced.Load(),
+		Panics:      s.stats.panics.Load(),
+		Active:      s.stats.active.Load(),
+		Queued:      s.waiting.Load(),
+		Programs:    s.pool.len(),
+		Draining:    s.draining.Load(),
+		LatencyEWMA: time.Duration(s.ewmaNanos.Load()),
+	}
+}
+
+// Drain performs the graceful-shutdown sequence: stop admitting
+// (analyze/update answer 503 from here on), wait for in-flight
+// requests to finish, then flush the persistent cache's generation
+// stamp. If ctx expires first, the caches are still flushed and the
+// context error returned — in-flight requests are themselves deadline-
+// bounded, so the wait is finite either way.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	fsicp.FlushCaches()
+	return err
+}
+
+// observeLatency folds one analysis duration into the EWMA
+// (alpha = 1/4). Shed analyses count too: they are cheap, so sustained
+// shedding pulls the average back under the watermark and full
+// precision resumes — the feedback loop that makes latency shedding
+// self-limiting rather than latching.
+func (s *Server) observeLatency(d time.Duration) {
+	for {
+		old := s.ewmaNanos.Load()
+		nw := old + (int64(d)-old)/4
+		if s.ewmaNanos.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -116,7 +117,7 @@ func (d *Disk) readGen() uint64 {
 	if err != nil {
 		return 0
 	}
-	g, err := strconv.ParseUint(string(data), 10, 64)
+	g, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
 	if err != nil {
 		return 0
 	}
@@ -125,8 +126,36 @@ func (d *Disk) readGen() uint64 {
 
 // writeGen persists the generation counter (best effort: a store that
 // cannot write it still works, with weaker eviction ordering).
+//
+// The stamp is shared cross-process state: two daemons or CI jobs
+// pointed at one cache directory each hold their own *Disk over the
+// same GENERATION file. Plain WriteFile would let their truncate+write
+// sequences interleave into a torn stamp ("10" racing "9" can leave
+// "90", jumping the recency clock by an order of magnitude and
+// scrambling eviction order for every existing entry). Two rules make
+// the stamp safe without a lock file:
+//
+//   - atomic replace: the value is written to a temp file and renamed
+//     over GENERATION, so a reader (or a crashed writer) always sees
+//     one complete, parseable stamp — never an interleaving;
+//   - monotonic merge: the written value is the max of ours and the
+//     current on-disk one, so the shared clock never moves backwards
+//     even when another process has advanced past us. Two processes
+//     may stamp the same value — eviction ordering needs monotonicity,
+//     not uniqueness.
 func (d *Disk) writeGen() {
-	os.WriteFile(d.genPath(), []byte(strconv.FormatUint(d.gen, 10)), 0o644)
+	if disk := d.readGen(); disk > d.gen {
+		d.gen = disk
+	}
+	tmp, err := os.CreateTemp(d.dir, ".gen-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.WriteString(strconv.FormatUint(d.gen, 10))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), d.genPath()) != nil {
+		os.Remove(tmp.Name())
+	}
 }
 
 // path maps a store key to its entry file: two hex digits of the

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strconv"
+	"sync"
 	"testing"
 
 	"fsicp/internal/faultinject"
@@ -217,4 +218,98 @@ func TestTieredPromotion(t *testing.T) {
 	if st.Hits != 1 || st.DiskHits != 1 {
 		t.Fatalf("tiered stats = %+v", st)
 	}
+}
+
+// TestGenerationStampSurvivesConcurrentHandles: two handles over one
+// directory — the two-daemons / two-CI-jobs sharing a -cache-dir
+// scenario — hammer writes and run boundaries concurrently. The
+// GENERATION stamp must always parse as a single integer (atomic
+// replace: no torn or interleaved writes) and must never move
+// backwards (monotonic merge), so eviction ordering stays coherent
+// across processes. Before the atomic-rename stamp, the plain
+// WriteFile truncate+write pairs of the two handles could interleave
+// into a stamp like "90" from "10" racing "9".
+func TestGenerationStampSurvivesConcurrentHandles(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, Options{})
+	b := mustOpen(t, dir, Options{})
+	floor := a.Generation()
+	if g := b.Generation(); g > floor {
+		floor = g
+	}
+
+	var wg sync.WaitGroup
+	for h, d := range []*Disk{a, b} {
+		wg.Add(1)
+		go func(h int, d *Disk) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.Put("gen-race-"+strconv.Itoa(h)+"-"+strconv.Itoa(i), testSummary(int64(i)))
+				d.EndRun()
+			}
+		}(h, d)
+	}
+	wg.Wait()
+
+	data, err := os.ReadFile(filepath.Join(dir, "GENERATION"))
+	if err != nil {
+		t.Fatalf("GENERATION unreadable after concurrent handles: %v", err)
+	}
+	g, err := strconv.ParseUint(string(data), 10, 64)
+	if err != nil {
+		t.Fatalf("GENERATION corrupt after concurrent handles: %q: %v", data, err)
+	}
+	// Each handle advanced 100 times; the shared clock must reflect at
+	// least one handle's full progress and never have moved backwards.
+	if g < floor+100 {
+		t.Errorf("GENERATION = %d, want >= %d (stamp moved backwards or lost writes)", g, floor+100)
+	}
+	if g > floor+2*100+1 {
+		t.Errorf("GENERATION = %d jumped past the %d increments issued (torn stamp?)", g, 2*100)
+	}
+
+	// A third open must land strictly above everything it can read.
+	c := mustOpen(t, dir, Options{})
+	if c.Generation() <= floor {
+		t.Errorf("reopen generation %d not above floor %d", c.Generation(), floor)
+	}
+}
+
+// TestGenerationStampAtomicReplaceKeepsParseability: a reader polling
+// the stamp mid-write must never observe a partial value. (With
+// os.WriteFile this fails in principle via truncate/write windows;
+// with CreateTemp+Rename the file content is replaced atomically.)
+func TestGenerationStampAtomicReplaceKeepsParseability(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, Options{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			data, err := os.ReadFile(filepath.Join(dir, "GENERATION"))
+			if err != nil {
+				continue // mid-rename on non-POSIX would error, never corrupt
+			}
+			if len(data) == 0 {
+				t.Error("observed empty GENERATION stamp")
+				return
+			}
+			if _, err := strconv.ParseUint(string(data), 10, 64); err != nil {
+				t.Errorf("observed unparseable GENERATION stamp %q", data)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		d.EndRun()
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -45,11 +45,21 @@ go test -race -count=1 \
     ./internal/store
 go test -race -count=1 ./internal/codec
 
+echo "== server soak smoke =="
+# The daemon's chaos soak: concurrent clients against a deliberately
+# tiny server (2 slots, queue of 2, shed watermark 1) with injected
+# panics, starved fuel, and 1ms deadlines. Race-enabled; every request
+# must come back sound or 429, and no goroutine may survive the drain.
+go test -race -count=1 \
+    -run 'TestServeChaosSoak|TestReportsByteIdenticalAcrossPoolSizes|TestPooledSessionReusableAfterDegradedRun' \
+    ./internal/serve
+go test -race -count=1 ./cmd/fsicpd
+
 echo "== bench smoke =="
 # One iteration of the wavefront and sharded-load benchmarks: catches
 # crashes or hangs in the benchmark harnesses themselves without paying
 # for a full measurement.
-go test -run '^$' -bench 'BenchmarkAnalyzeParallel|BenchmarkLoadParallel|BenchmarkColdEndToEnd|BenchmarkColdWarmDisk|BenchmarkOptimize' -benchtime=1x -benchmem .
+go test -run '^$' -bench 'BenchmarkAnalyzeParallel|BenchmarkLoadParallel|BenchmarkColdEndToEnd|BenchmarkColdWarmDisk|BenchmarkOptimize|BenchmarkServeSustained' -benchtime=1x -benchmem .
 
 echo "== allocation-regression gate =="
 # Re-measures the guarded benchmarks and fails when allocs/op grossly

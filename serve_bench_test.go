@@ -1,0 +1,112 @@
+package fsicp_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fsicp/internal/progen"
+	"fsicp/internal/serve"
+)
+
+// runServeSustained is the daemon's sustained-traffic benchmark: N
+// concurrent clients, each driving its own warm session through an
+// edit stream over the 241-procedure progen program via real HTTP.
+// One op is one round — every client posts its next version and waits
+// for the 200. The warmup plays one full edit cycle per client, so
+// the measured ops are the daemon's steady state: incremental updates
+// over a warm pool, the workload the service exists for. Shared with
+// the allocation gate (gateBenchmarks), which holds the serving
+// path's allocs/op to the committed BENCH_icp.json budget.
+func runServeSustained(b *testing.B) {
+	_, src := largestProgen()
+	const clients = 4
+	const streamLen = 6
+	versions := make([]string, streamLen)
+	versions[0] = src
+	for i := 1; i < streamLen; i++ {
+		versions[i] = progen.Edit(versions[i-1], int64(i))
+	}
+
+	s := serve.New(serve.Config{
+		PoolSize:       clients,
+		Concurrency:    2,
+		MaxQueue:       4 * clients,
+		ShedQueue:      -1,
+		DefaultTimeout: time.Minute,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	client := ts.Client()
+
+	post := func(endpoint string, req serve.Request) error {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(ts.URL+endpoint, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("%s: status %d: %s", endpoint, resp.StatusCode, data)
+		}
+		return nil
+	}
+	round := func(i int) error {
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		for k := 0; k < clients; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				errs[k] = post("/update", serve.Request{
+					Program: fmt.Sprintf("bench-%d", k),
+					Source:  versions[(i+k)%streamLen],
+				})
+			}(k)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for k := 0; k < clients; k++ {
+		if err := post("/analyze", serve.Request{Program: fmt.Sprintf("bench-%d", k), Source: versions[0]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < streamLen; i++ {
+		if err := round(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := round(i + streamLen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeSustained: `go test -bench ServeSustained` entry for
+// the shared harness above.
+func BenchmarkServeSustained(b *testing.B) { runServeSustained(b) }

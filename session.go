@@ -242,11 +242,22 @@ func (s *Session) Update(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The token fingerprint is normally computed by the pass memo above;
+	// force it so SourceKey is always available on a committed version.
+	astKey()
 	next.prog = &Program{ctx: ictx, trace: trace}
 	s.cur = next
 	s.version++
 	return next.prog, nil
 }
+
+// SourceKey returns the token-stream fingerprint of the session's
+// current version — the same value SourceFingerprint(src) yields for
+// the source it was built from. The daemon's session pool compares it
+// against an incoming request's fingerprint to skip Update entirely
+// when the program is unchanged (cheaper than Update's own
+// memoization, which still has to lex the source).
+func (s *Session) SourceKey() string { return s.cur.astKey }
 
 // Analyze runs the selected ICP method on the current version with
 // the session's incremental engine for that configuration attached:
@@ -269,12 +280,16 @@ func (s *Session) Analyze(cfg Config) *Analysis {
 // usable afterwards — degraded procedures are never cached, so a later
 // Analyze with a live context recomputes them at full precision.
 func (s *Session) AnalyzeContext(ctx context.Context, cfg Config) (*Analysis, error) {
-	eng := s.engines[cfg]
+	// Engines are keyed by the configuration minus its deadline (see
+	// Config.engineKey): per-request timeouts — the daemon's normal
+	// traffic — must share cached facts, not multiply engines.
+	key := cfg.engineKey()
+	eng := s.engines[key]
 	if eng == nil {
 		// Memory-only by default; layered over the shared persistent
 		// store when the config names a cache directory.
 		eng = newEngine(cfg, nil)
-		s.engines[cfg] = eng
+		s.engines[key] = eng
 	}
 	return s.cur.prog.analyze(ctx, cfg, eng)
 }
