@@ -29,7 +29,11 @@ import (
 // stopped answering. BenchmarkServeSustained guards the daemon's
 // steady state — concurrent clients driving warm sessions through
 // edit streams over HTTP — so serving-layer changes can't silently
-// pile allocations onto every request.
+// pile allocations onto every request. BenchmarkLargeCorpus guards the
+// corpus-scale cold path (2049 procedures across 17 files through
+// LoadFiles + flow-sensitive analysis) on both allocs/op and peak live
+// heap — the scale where a lost spill threshold or a quadratic table
+// shows up long before the small workloads notice.
 func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 	t.Helper()
 	spice, err := tables.Compile(bench.SPECfp92()[0])
@@ -121,6 +125,18 @@ func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 				}
 			}
 		},
+		"BenchmarkLargeCorpus": func(b *testing.B) {
+			files, _ := corpus2k()
+			src := asSourceFiles(files)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prog, err := fsicp.LoadFiles(src, fsicp.LoadOptions{Workers: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4})
+			}
+		},
 		"BenchmarkServeSustained": runServeSustained,
 		"BenchmarkTable1": func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -135,17 +151,40 @@ func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 	}
 }
 
-func measureGate(t testing.TB, f func(b *testing.B)) bench.Metrics {
+// peakHeapOps names the gated benchmarks that additionally record a
+// peak-live-heap number: one sampled cold end-to-end operation of the
+// workload. Only the corpus-scale run is worth the extra sampled pass —
+// peak heap is where large-corpus regressions (a reverted spill table,
+// an unbounded arena) show first, often before allocs/op moves.
+func peakHeapOps() map[string]func() {
+	return map[string]func(){
+		"BenchmarkLargeCorpus": func() {
+			files, _ := corpus2k()
+			src := asSourceFiles(files)
+			prog, err := fsicp.LoadFiles(src, fsicp.LoadOptions{Workers: 4})
+			if err != nil {
+				panic(err)
+			}
+			prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4})
+		},
+	}
+}
+
+func measureGate(t testing.TB, name string, f func(b *testing.B)) bench.Metrics {
 	t.Helper()
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		f(b)
 	})
-	return bench.Metrics{
+	m := bench.Metrics{
 		NsPerOp:     float64(r.NsPerOp()),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
+	if op, ok := peakHeapOps()[name]; ok {
+		m.PeakHeapBytes = bench.MeasurePeakHeap(op).PeakBytes
+	}
+	return m
 }
 
 // TestBenchAllocGate fails on gross allocation regressions against the
@@ -163,9 +202,9 @@ func TestBenchAllocGate(t *testing.T) {
 	if record {
 		measured := make(map[string]bench.Metrics, len(benches))
 		for name, f := range benches {
-			measured[name] = measureGate(t, f)
-			t.Logf("%s: %.0f ns/op, %d B/op, %d allocs/op",
-				name, measured[name].NsPerOp, measured[name].BytesPerOp, measured[name].AllocsPerOp)
+			measured[name] = measureGate(t, name, f)
+			t.Logf("%s: %.0f ns/op, %d B/op, %d allocs/op, peak heap %d",
+				name, measured[name].NsPerOp, measured[name].BytesPerOp, measured[name].AllocsPerOp, measured[name].PeakHeapBytes)
 		}
 		if err := bench.RecordBaseline(bench.BaselineFile, measured); err != nil {
 			t.Fatal(err)
@@ -183,7 +222,7 @@ func TestBenchAllocGate(t *testing.T) {
 			t.Errorf("%s: in %s but not measured by the gate; update gateBenchmarks", name, bench.BaselineFile)
 			continue
 		}
-		got := measureGate(t, f)
+		got := measureGate(t, name, f)
 		// Alloc counts are deterministic up to map-growth noise and
 		// worker scheduling; 1.5x headroom lets those through while
 		// still catching a lost pooling or a reverted dense table
@@ -194,6 +233,19 @@ func TestBenchAllocGate(t *testing.T) {
 				name, got.AllocsPerOp, budget, entry.After.AllocsPerOp, entry.Before.AllocsPerOp)
 		} else {
 			t.Logf("%s: %d allocs/op within budget %d", name, got.AllocsPerOp, budget)
+		}
+		// Peak live heap is GC-timing dependent where alloc counts are
+		// not, so its budget is looser (2x): it exists to catch the
+		// order-of-magnitude blowups a lost spill threshold causes, not
+		// percent-level drift.
+		if entry.After.PeakHeapBytes > 0 {
+			heapBudget := entry.After.PeakHeapBytes * 2
+			if got.PeakHeapBytes > heapBudget {
+				t.Errorf("%s: peak heap %d exceeds budget %d (committed after=%d)",
+					name, got.PeakHeapBytes, heapBudget, entry.After.PeakHeapBytes)
+			} else {
+				t.Logf("%s: peak heap %d within budget %d", name, got.PeakHeapBytes, heapBudget)
+			}
 		}
 	}
 }

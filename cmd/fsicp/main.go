@@ -2,6 +2,11 @@
 // interprocedural constant propagation methods.
 //
 //	fsicp [flags] file.mf
+//	fsicp [flags] corpusdir/
+//
+// A directory argument names a multi-file corpus: the files listed by
+// a progen manifest (corpus.json) when present, otherwise every *.mf
+// file in lexical order, with exactly one "program" unit among them.
 //
 //	-method fs|fi|literal|intra|passthrough|polynomial
 //	        analysis to run (default fs)
@@ -20,7 +25,8 @@
 //	         under "optimize"
 //	-opt-passes p1,p2 restrict -optimize to a pass subset
 //	         (fold, copyprop, dse, cse, licm)
-//	-stats   print the per-pass timing table (load + analysis passes)
+//	-stats   print the per-pass timing table (load + analysis passes),
+//	         with live-heap and GC-cycle notes on the load passes
 //	         and, when -cache-dir is set, a cache hit/miss summary
 //	-cache-dir d keep a persistent summary cache in directory d: warm
 //	         runs of the same program and configuration reuse on-disk
@@ -133,19 +139,28 @@ func main() {
 		watchLoop(flag.Arg(0), cfg, *showStats, 500*time.Millisecond)
 	}
 
+	loadOpts := fsicp.LoadOptions{Workers: *workers, MemStats: *showStats}
+	var prog *fsicp.Program
 	name := "<stdin>"
-	var src []byte
 	if flag.NArg() > 0 {
 		name = flag.Arg(0)
-		src, err = os.ReadFile(name)
+	}
+	if fi, statErr := os.Stat(name); statErr == nil && fi.IsDir() {
+		// A directory argument is a multi-file corpus (progen manifest or
+		// every *.mf in lexical order).
+		prog, err = fsicp.LoadDir(name, loadOpts)
 	} else {
-		src, err = io.ReadAll(os.Stdin)
+		var src []byte
+		if flag.NArg() > 0 {
+			src, err = os.ReadFile(name)
+		} else {
+			src, err = io.ReadAll(os.Stdin)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		prog, err = fsicp.LoadWith(name, string(src), loadOpts)
 	}
-	if err != nil {
-		fail("%v", err)
-	}
-
-	prog, err := fsicp.LoadWith(name, string(src), fsicp.LoadOptions{Workers: *workers})
 	if err != nil {
 		fail("%v", err)
 	}

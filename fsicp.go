@@ -29,11 +29,14 @@ package fsicp
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsicp/internal/alias"
@@ -53,6 +56,7 @@ import (
 	"fsicp/internal/metrics"
 	"fsicp/internal/modref"
 	"fsicp/internal/parser"
+	"fsicp/internal/progen"
 	"fsicp/internal/sem"
 	"fsicp/internal/source"
 	"fsicp/internal/store"
@@ -265,6 +269,13 @@ type LoadOptions struct {
 	// GOMAXPROCS). The loaded program is byte-identical for every
 	// worker count; only wall-clock time changes.
 	Workers int
+
+	// MemStats turns on per-pass memory sampling: each load pass records
+	// the live heap at its exit and the GC cycles it triggered
+	// (runtime.ReadMemStats at pass boundaries), surfaced in the stats
+	// table as "heap=… gc=…". Off by default — the world-stopping
+	// ReadMemStats reads are cheap per pass but not free.
+	MemStats bool
 }
 
 // Load parses, checks, and lowers MiniFort source text, then runs the
@@ -292,16 +303,10 @@ func LoadContext(ctx context.Context, filename, src string, opts LoadOptions) (*
 	var (
 		astProg *ast.Program
 		semProg *sem.Program
-		irProg  *ir.Program
-		cg      *callgraph.Graph
-		al      *alias.Info
-		mr      *modref.Info
-		pb      *irbuild.Builder
-		mb      *modref.Builder
-		ictx    *icp.Context
 	)
 	m := driver.NewManager()
 	m.SetWorkers(opts.Workers)
+	m.SetMemStats(opts.MemStats)
 	m.Add(driver.Pass{Name: "parse", Run: func(st *driver.PassStats) (err error) {
 		astProg, err = parser.ParseFile(f)
 		return err
@@ -310,12 +315,188 @@ func LoadContext(ctx context.Context, filename, src string, opts LoadOptions) (*
 		semProg, err = sem.Check(astProg, f)
 		return err
 	}})
+	ictx := addBackendPasses(m, &semProg)
+	trace, err := m.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ctx: *ictx, trace: trace}, nil
+}
+
+// SourceFile is one file of a multi-file corpus handed to LoadFiles:
+// a display name (used in diagnostics) plus its contents.
+type SourceFile struct {
+	Name string
+	Src  string
+}
+
+// LoadFiles loads a multi-file corpus: exactly one file with a
+// "program" header plus any number of "module" files contributing
+// globals and procedures to the same namespace. Files parse
+// concurrently (one shard per file, bounded by LoadOptions.Workers)
+// against per-file buffers — the corpus is never concatenated into one
+// string — and the parsed units merge in the order given, so the loaded
+// program is byte-identical for every worker count. Diagnostics carry
+// the owning file's name and position.
+func LoadFiles(files []SourceFile, opts LoadOptions) (*Program, error) {
+	return LoadFilesContext(context.Background(), files, opts)
+}
+
+// LoadFilesContext is LoadFiles under a context.
+func LoadFilesContext(ctx context.Context, files []SourceFile, opts LoadOptions) (*Program, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fsicp: no source files")
+	}
+	fset := source.NewFileSet()
+	sfiles := make([]*source.File, len(files))
+	for i, sf := range files {
+		sfiles[i] = fset.Add(sf.Name, sf.Src)
+	}
+	var (
+		astProg *ast.Program
+		semProg *sem.Program
+	)
+	units := make([]*ast.Program, len(files))
+	perrs := make([]error, len(files))
+	var parseFailed atomic.Bool
+	m := driver.NewManager()
+	m.SetWorkers(opts.Workers)
+	m.SetMemStats(opts.MemStats)
+	// One shard per file. A failed file flips parseFailed so shards that
+	// have not started yet return immediately — the load is already
+	// doomed, and skipping their parse bounds the wasted work on large
+	// corpora. Finish then aggregates the recorded diagnostics in file
+	// order; an errored load constructs no Program, so no partially
+	// filled tables survive.
+	m.Add(driver.Pass{Name: "parse",
+		Shards: func(workers int) (int, func(int)) {
+			return len(sfiles), func(i int) {
+				if parseFailed.Load() {
+					return
+				}
+				u, err := parser.ParseUnit(sfiles[i], fset)
+				if err != nil {
+					perrs[i] = err
+					parseFailed.Store(true)
+					return
+				}
+				units[i] = u
+			}
+		},
+		Finish: func(st *driver.PassStats) error {
+			errs := &source.ErrorList{File: fset}
+			for _, err := range perrs {
+				var el *source.ErrorList
+				if errors.As(err, &el) {
+					errs.Diags = append(errs.Diags, el.Diags...)
+				} else if err != nil {
+					return err
+				}
+			}
+			if err := errs.Err(); err != nil {
+				return err
+			}
+			roots := 0
+			for _, u := range units {
+				if u != nil && !u.IsModule {
+					roots++
+					if roots > 1 {
+						errs.Errorf(u.NamePos, "corpus has more than one 'program' unit (%q)", u.Name)
+					}
+				}
+			}
+			if roots == 0 {
+				errs.Errorf(units[0].NamePos, "corpus has no 'program' unit (%d module files)", len(units))
+			}
+			if err := errs.Err(); err != nil {
+				return err
+			}
+			astProg = ast.MergeUnits(units)
+			st.Procs = len(astProg.Procs)
+			st.Notes = fmt.Sprintf("%d files", len(units))
+			return nil
+		}})
+	m.Add(driver.Pass{Name: "sem", Deps: []string{"parse"}, Run: func(st *driver.PassStats) (err error) {
+		semProg, err = sem.Check(astProg, fset)
+		return err
+	}})
+	ictx := addBackendPasses(m, &semProg)
+	trace, err := m.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ctx: *ictx, trace: trace}, nil
+}
+
+// LoadDir loads a corpus from a directory: the files named by a
+// progen corpus manifest (corpus.json) when one is present, otherwise
+// every *.mf file in lexical order. Files are read one at a time —
+// memory holds the per-file buffers, never a concatenated corpus.
+func LoadDir(dir string, opts LoadOptions) (*Program, error) {
+	return LoadDirContext(context.Background(), dir, opts)
+}
+
+// LoadDirContext is LoadDir under a context.
+func LoadDirContext(ctx context.Context, dir string, opts LoadOptions) (*Program, error) {
+	names, err := corpusFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]SourceFile, 0, len(names))
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, SourceFile{Name: name, Src: string(b)})
+	}
+	return LoadFilesContext(ctx, files, opts)
+}
+
+// corpusFileNames resolves a corpus directory to an ordered file list.
+func corpusFileNames(dir string) ([]string, error) {
+	if m, err := progen.ReadManifest(dir); err == nil {
+		return m.Files, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".mf") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fsicp: no corpus manifest and no .mf files in %s", dir)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// addBackendPasses wires the post-sem load passes (irbuild through the
+// eager SSA prebuild) onto m. *semProg must be populated by an earlier
+// pass; the returned pointer yields the prepared interprocedural
+// context once the manager has run.
+func addBackendPasses(m *driver.Manager, semProg **sem.Program) **icp.Context {
+	var (
+		irProg *ir.Program
+		cg     *callgraph.Graph
+		al     *alias.Info
+		mr     *modref.Info
+		pb     *irbuild.Builder
+		mb     *modref.Builder
+		ictx   *icp.Context
+	)
 	// Lowering fans out per procedure; the serial Finish epilogue hands
 	// out the dense program-wide variable and call-site IDs in
 	// procedure order, reproducing exactly the serial numbering.
 	m.Add(driver.Pass{Name: "irbuild", Deps: []string{"sem"},
 		Run: func(st *driver.PassStats) error {
-			pb = irbuild.NewBuilder(semProg)
+			pb = irbuild.NewBuilder(*semProg)
 			return nil
 		},
 		Shards: func(workers int) (int, func(int)) {
@@ -386,11 +567,7 @@ func LoadContext(ctx context.Context, filename, src string, opts LoadOptions) (*
 		Shards: func(workers int) (int, func(int)) {
 			return ictx.SSAPrebuildShards()
 		}})
-	trace, err := m.RunContext(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return &Program{ctx: ictx, trace: trace}, nil
+	return &ictx
 }
 
 // Procedures returns the names of the procedures reachable from main,

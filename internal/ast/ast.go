@@ -41,15 +41,50 @@ func (t Type) String() string {
 	return "invalid"
 }
 
-// Program is a whole MiniFort program.
+// Program is a whole MiniFort program, or — when IsModule is set — one
+// module of a multi-file corpus awaiting a MergeUnits into the root
+// program's namespace.
 type Program struct {
-	NamePos source.Pos
-	Name    string
-	Globals []*GlobalDecl
-	Procs   []*ProcDecl
+	NamePos  source.Pos
+	Name     string
+	Globals  []*GlobalDecl
+	Procs    []*ProcDecl
+	IsModule bool
 }
 
 func (p *Program) Pos() source.Pos { return p.NamePos }
+
+// MergeUnits combines parsed units (one program plus any number of
+// modules) into a single Program. Globals and procedures keep unit
+// order, then declaration order, so the merge is deterministic
+// regardless of how the units were parsed. The merged program takes its
+// name from the first non-module unit; validating that exactly one such
+// unit exists is the caller's job. Nil units (failed parses) are
+// skipped.
+func MergeUnits(units []*Program) *Program {
+	merged := &Program{}
+	nglobals, nprocs := 0, 0
+	for _, u := range units {
+		if u == nil {
+			continue
+		}
+		nglobals += len(u.Globals)
+		nprocs += len(u.Procs)
+	}
+	merged.Globals = make([]*GlobalDecl, 0, nglobals)
+	merged.Procs = make([]*ProcDecl, 0, nprocs)
+	for _, u := range units {
+		if u == nil {
+			continue
+		}
+		if !u.IsModule && merged.Name == "" {
+			merged.Name, merged.NamePos = u.Name, u.NamePos
+		}
+		merged.Globals = append(merged.Globals, u.Globals...)
+		merged.Procs = append(merged.Procs, u.Procs...)
+	}
+	return merged
+}
 
 // GlobalDecl declares one program-wide variable, optionally initialised
 // with a literal (the BLOCK DATA analogue).

@@ -22,6 +22,11 @@ type Metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// PeakHeapBytes is the highest live heap (runtime.MemStats.HeapAlloc)
+	// sampled during one operation, for benchmarks that run under a
+	// HeapSampler. Zero for benchmarks without peak tracking.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
 }
 
 // Entry pairs the frozen pre-optimisation numbers with the current

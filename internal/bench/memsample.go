@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// HeapSampler tracks the peak live heap over a region of work by
+// polling runtime.ReadMemStats from a background goroutine. Polling
+// trades exactness for cost: ReadMemStats stops the world briefly, so
+// a tight loop would distort the very benchmark it measures, while a
+// few-millisecond cadence catches the transient peaks the end-of-run
+// snapshot misses (the whole point for load-then-analyze pipelines,
+// whose largest heap lives between parse and the final solution).
+type HeapSampler struct {
+	interval time.Duration
+	stop     chan struct{}
+	done     sync.WaitGroup
+
+	mu      sync.Mutex
+	peak    uint64
+	gcStart uint32
+	gcEnd   uint32
+}
+
+// HeapStats is what a sampler observed between Start and Stop.
+type HeapStats struct {
+	// PeakBytes is the largest HeapAlloc seen at any sample point,
+	// including the snapshots taken at Start and Stop themselves.
+	PeakBytes uint64
+
+	// GCs is the number of collection cycles completed during the
+	// sampled region.
+	GCs uint32
+}
+
+// StartHeapSampler begins sampling at the given interval (a
+// non-positive interval defaults to 2ms) and returns the running
+// sampler. Call Stop to end sampling and read the result.
+func StartHeapSampler(interval time.Duration) *HeapSampler {
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	s := &HeapSampler{
+		interval: interval,
+		stop:     make(chan struct{}),
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.peak = ms.HeapAlloc
+	s.gcStart = ms.NumGC
+	s.done.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *HeapSampler) loop() {
+	defer s.done.Done()
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+func (s *HeapSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	if ms.HeapAlloc > s.peak {
+		s.peak = ms.HeapAlloc
+	}
+	s.gcEnd = ms.NumGC
+	s.mu.Unlock()
+}
+
+// Stop ends sampling, takes one final snapshot, and returns the
+// observed stats. Stop is idempotent only in the sense that it must be
+// called exactly once per sampler.
+func (s *HeapSampler) Stop() HeapStats {
+	close(s.stop)
+	s.done.Wait()
+	s.sample()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return HeapStats{PeakBytes: s.peak, GCs: s.gcEnd - s.gcStart}
+}
+
+// MeasurePeakHeap runs fn under a heap sampler and returns its stats.
+// It forces a collection first so the reported peak reflects fn's own
+// allocations rather than garbage left by earlier work.
+func MeasurePeakHeap(fn func()) HeapStats {
+	runtime.GC()
+	s := StartHeapSampler(0)
+	fn()
+	return s.Stop()
+}

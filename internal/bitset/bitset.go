@@ -55,3 +55,57 @@ func (s Set) Reset(n int) Set {
 	s.Clear()
 	return s
 }
+
+// SpillThreshold is the capacity (in bits) above which NewAuto switches
+// from the dense []uint64 representation to the sparse one. 1<<21 bits
+// is a 256 KiB dense set — cheap to allocate and clear; anything larger
+// typically comes from a quadratic index domain (blocks × vars, edges ×
+// edges) on a 10k+-procedure corpus, where the populated fraction is
+// tiny and the dense array would dominate peak heap.
+const SpillThreshold = 1 << 21
+
+// Auto is a bit set whose representation is chosen from its capacity:
+// dense below SpillThreshold, sparse (word-indexed map) above it. The
+// sparse form trades O(1) array indexing for a map lookup but allocates
+// proportionally to the bits actually set — the quadratic domains that
+// need it are sparse in practice (phi placement touches |defs| of the
+// blocks×vars grid, edge-executable touches the real CFG edges of the
+// nblocks² grid).
+type Auto struct {
+	dense  Set
+	sparse map[int]uint64 // word index → word; nil in dense mode
+}
+
+// NewAuto returns an empty set able to hold bits [0, n), choosing the
+// representation by capacity.
+func NewAuto(n int) *Auto {
+	if n <= SpillThreshold {
+		return &Auto{dense: New(n)}
+	}
+	return &Auto{sparse: make(map[int]uint64)}
+}
+
+// Sparse reports whether the set spilled to the sparse representation.
+func (a *Auto) Sparse() bool { return a.sparse != nil }
+
+// Has reports whether bit i is set.
+func (a *Auto) Has(i int) bool {
+	if a.sparse == nil {
+		return a.dense.Has(i)
+	}
+	return a.sparse[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Add sets bit i and reports whether the set changed.
+func (a *Auto) Add(i int) bool {
+	if a.sparse == nil {
+		return a.dense.Add(i)
+	}
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	old := a.sparse[w]
+	if old&m != 0 {
+		return false
+	}
+	a.sparse[w] = old | m
+	return true
+}

@@ -16,6 +16,7 @@ package driver
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -57,6 +58,14 @@ type PassStats struct {
 	// "shards=N workers=M" to Notes for sharded passes.
 	Shards    int
 	ShardWall []time.Duration
+
+	// HeapBytes is the live heap (runtime.MemStats.HeapAlloc) observed
+	// when the pass finished, and GCs the collection cycles that ran
+	// during it. Both are zero unless the manager's memory sampling is
+	// on (Manager.SetMemStats) — reading MemStats stops the world
+	// briefly, so it is opt-in observability, never ambient cost.
+	HeapBytes uint64
+	GCs       uint32
 }
 
 // Trace is an ordered, concurrency-safe collection of PassStats
@@ -129,6 +138,8 @@ func (t *Trace) Table() string {
 
 		diskHits   int
 		diskMisses int
+		heap       uint64
+		gcs        uint32
 		notes      string
 	}
 	var rows []*row
@@ -151,6 +162,10 @@ func (t *Trace) Table() string {
 		r.degraded += st.Degraded
 		r.diskHits += st.DiskHits
 		r.diskMisses += st.DiskMisses
+		if st.HeapBytes > r.heap {
+			r.heap = st.HeapBytes
+		}
+		r.gcs += st.GCs
 		if st.Notes != "" {
 			r.notes = st.Notes
 		}
@@ -176,11 +191,27 @@ func (t *Trace) Table() string {
 		if r.degraded > 0 {
 			notes = strings.TrimSpace(notes + fmt.Sprintf(" degraded=%d", r.degraded))
 		}
+		if r.heap > 0 {
+			notes = strings.TrimSpace(notes + fmt.Sprintf(" heap=%s gc=%d", fmtBytes(r.heap), r.gcs))
+		}
 		fmt.Fprintf(&b, "%-16s %5d %10s %6s  %s\n", r.name, r.runs, fmtDuration(r.wall), procs, notes)
 		total += r.wall
 	}
 	fmt.Fprintf(&b, "%-16s %5s %10s\n", "TOTAL", "", fmtDuration(total))
 	return b.String()
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func fmtDuration(d time.Duration) string {
@@ -255,10 +286,11 @@ func (m *Memo) set(name, key string) {
 
 // Manager validates a pass graph and runs it in dependency order.
 type Manager struct {
-	passes  []Pass
-	memo    *Memo
-	faults  func(pass, proc string)
-	workers int
+	passes   []Pass
+	memo     *Memo
+	faults   func(pass, proc string)
+	workers  int
+	memStats bool
 }
 
 // NewManager returns an empty manager.
@@ -274,6 +306,13 @@ func (m *Manager) SetMemo(memo *Memo) { m.memo = memo }
 // injection (the default). The signature matches
 // faultinject.(*Injector).Hook without importing that package.
 func (m *Manager) SetFaults(hook func(pass, proc string)) { m.faults = hook }
+
+// SetMemStats enables per-pass memory observability: every pass record
+// gets the live-heap size at pass exit and the GC cycles the pass
+// spanned (PassStats.HeapBytes/GCs; rendered by Trace.Table). Off by
+// default — each sample is one runtime.ReadMemStats, a brief
+// stop-the-world.
+func (m *Manager) SetMemStats(on bool) { m.memStats = on }
 
 // SetWorkers bounds the fan-out of sharded passes (Pass.Shards): at
 // most n shards of one pass run concurrently. 0 (the default) resolves
@@ -327,10 +366,12 @@ func (m *Manager) RunIntoContext(ctx context.Context, tr *Trace) error {
 		if m.memo != nil && p.Fingerprint != nil && p.Reuse != nil {
 			key = p.Fingerprint()
 		}
+		gcBase := m.gcCount()
 		if key != "" && m.memo.match(p.Name, key) {
 			tr.Time(p.Name, func(st *PassStats) {
 				st.Cached = true
 				runErr = m.protect(p.Name, st, p.Reuse)
+				m.sampleMem(st, gcBase)
 			})
 		} else {
 			tr.Time(p.Name, func(st *PassStats) {
@@ -343,6 +384,7 @@ func (m *Manager) RunIntoContext(ctx context.Context, tr *Trace) error {
 				if runErr == nil && p.Finish != nil {
 					runErr = m.protect(p.Name, st, p.Finish)
 				}
+				m.sampleMem(st, gcBase)
 			})
 			if runErr == nil && key != "" {
 				m.memo.set(p.Name, key)
@@ -353,6 +395,27 @@ func (m *Manager) RunIntoContext(ctx context.Context, tr *Trace) error {
 		}
 	}
 	return nil
+}
+
+// gcCount reads the current GC cycle count when memory sampling is on.
+func (m *Manager) gcCount() uint32 {
+	if !m.memStats {
+		return 0
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.NumGC
+}
+
+// sampleMem fills the pass record's heap fields when sampling is on.
+func (m *Manager) sampleMem(st *PassStats, gcBase uint32) {
+	if !m.memStats {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st.HeapBytes = ms.HeapAlloc
+	st.GCs = ms.NumGC - gcBase
 }
 
 // runShards executes the parallel-for phase of a sharded pass: it

@@ -58,8 +58,14 @@ type Func struct {
 	// varOrd maps a variable's dense program-wide ID (sem.Var.ID) to
 	// 1+its position in AllVars; 0 means "not tracked here". A slice
 	// lookup replaces the former map[*sem.Var]int on the SSA-rename and
-	// exit-value hot paths.
-	varOrd []int32
+	// exit-value hot paths. The dense slice covers IDs below
+	// VarOrdSpillID only; the rare higher IDs live in varOrdSparse —
+	// without the split, every function's table would grow to the whole
+	// program's ID space, and on a 10k-procedure corpus that per-function
+	// O(program) footprint multiplies into O(procedures × program) bytes
+	// (gigabytes of zeroed int32, dominated by clearing time).
+	varOrd       []int32
+	varOrdSparse map[int32]int32
 
 	// NumInstrs is the instruction count of the last NumberInstrs pass
 	// (0 before the first numbering).
@@ -540,10 +546,29 @@ func RebuildCallLists(prog *Program) {
 	}
 }
 
+// VarOrdSpillID is the variable ID at which a function's varOrd table
+// switches from the dense slice to the sparse map. IDs are assigned in
+// declaration order, so globals and the first few hundred procedures'
+// variables — the IDs every function looks up — stay dense (the slice
+// tops out at 64 KiB per function), while a 100k-ID corpus costs each
+// function only a small map holding its own high-ID locals.
+const VarOrdSpillID = 1 << 14
+
 // RegisterVar adds a variable to the function's tracked set if absent.
 func (f *Func) RegisterVar(v *sem.Var) {
 	if v.ID <= 0 {
 		panic("ir: variable " + v.Name + " has no dense ID (not created through sem)")
+	}
+	if v.ID >= VarOrdSpillID {
+		if f.varOrdSparse[int32(v.ID)] != 0 {
+			return
+		}
+		if f.varOrdSparse == nil {
+			f.varOrdSparse = make(map[int32]int32)
+		}
+		f.varOrdSparse[int32(v.ID)] = int32(len(f.AllVars)) + 1
+		f.AllVars = append(f.AllVars, v)
+		return
 	}
 	if v.ID < len(f.varOrd) && f.varOrd[v.ID] != 0 {
 		return
@@ -558,9 +583,17 @@ func (f *Func) RegisterVar(v *sem.Var) {
 // VarOrd returns the variable's position in AllVars, or -1 when the
 // function does not track it. The lookup is a slice index on the
 // variable's dense program-wide ID — this sits on the SSA-rename hot
-// path, where it replaces a pointer-keyed map lookup.
+// path, where it replaces a pointer-keyed map lookup. Variables whose
+// ID spilled past VarOrdSpillID pay a map lookup instead; a function's
+// own high-ID locals are the only spilled IDs it ever asks about.
 func (f *Func) VarOrd(v *sem.Var) int {
-	if v == nil || v.ID <= 0 || v.ID >= len(f.varOrd) {
+	if v == nil || v.ID <= 0 {
+		return -1
+	}
+	if v.ID >= VarOrdSpillID {
+		return int(f.varOrdSparse[int32(v.ID)]) - 1
+	}
+	if v.ID >= len(f.varOrd) {
 		return -1
 	}
 	return int(f.varOrd[v.ID]) - 1

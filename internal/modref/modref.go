@@ -128,28 +128,53 @@ func (b *Builder) Finish() *Info {
 		info.Ref[p] = copySet(dr)
 	}
 
-	// Fixpoint over call edges, with alias closure folded in. The PCG
-	// may be cyclic; iteration terminates because sets only grow within
-	// the finite domain formals(p) ∪ globals.
-	for changed := true; changed; {
-		changed = false
-		for _, e := range cg.Edges {
-			caller, callee, call := e.Caller, e.Callee, e.Site
-			if propagate(info.Mod, caller, callee, call) {
-				changed = true
-			}
-			if propagate(info.Ref, caller, callee, call) {
-				changed = true
-			}
+	// Worklist fixpoint over call edges, with alias closure folded in.
+	// Effects flow callee→caller, so a procedure's incoming edges (as
+	// callee) need reprocessing only after its own set grew; everything
+	// starts dirty to seed the alias closure of the immediate sets. The
+	// PCG may be cyclic; termination holds because sets only grow within
+	// the finite domain formals(p) ∪ globals. Compared to the former
+	// repeat-all-edges sweep this is the classic worklist form — on a
+	// 10k-procedure corpus with deep call chains, the sweep reprocessed
+	// every edge once per chain level, which turned the front end's
+	// MOD/REF pass quadratic.
+	index := make(map[*sem.Proc]int, len(cg.Reachable))
+	for i, p := range cg.Reachable {
+		index[p] = i
+	}
+	intoCaller := make([][]int, len(cg.Reachable)) // callee index → edge indices
+	for ei, e := range cg.Edges {
+		ci := index[e.Callee]
+		intoCaller[ci] = append(intoCaller[ci], ei)
+	}
+	queued := make([]bool, len(cg.Reachable))
+	queue := make([]int, 0, len(cg.Reachable))
+	enqueue := func(i int) {
+		if !queued[i] {
+			queued[i] = true
+			queue = append(queue, i)
 		}
-		for _, p := range cg.Reachable {
-			if al != nil {
-				if closeUnderAliases(info.Mod[p], al, p) {
-					changed = true
-				}
-				if closeUnderAliases(info.Ref[p], al, p) {
-					changed = true
-				}
+	}
+	for i := range cg.Reachable {
+		enqueue(i)
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		queued[i] = false
+		p := cg.Reachable[i]
+		if al != nil {
+			closeUnderAliases(info.Mod[p], al, p)
+			closeUnderAliases(info.Ref[p], al, p)
+		}
+		for _, ei := range intoCaller[i] {
+			e := cg.Edges[ei]
+			changed := propagate(info.Mod, e.Caller, e.Callee, e.Site)
+			if propagate(info.Ref, e.Caller, e.Callee, e.Site) {
+				changed = true
+			}
+			if changed {
+				enqueue(index[e.Caller])
 			}
 		}
 	}

@@ -3,6 +3,7 @@
 // Grammar (EBNF):
 //
 //	program   = "program" IDENT { global } { proc } .
+//	unit      = ("program" | "module") IDENT { global } { proc } .
 //	global    = "global" IDENT type [ "=" initlit ] .
 //	initlit   = [ "-" ] (INTLIT | REALLIT) | "true" | "false" .
 //	proc      = ("proc" | "func") IDENT "(" [ params ] ")" [ type ] block .
@@ -69,6 +70,24 @@ func ParseFile(f *source.File) (*ast.Program, error) {
 	return prog, errs.Err()
 }
 
+// ParseUnit parses one file of a multi-file corpus. A unit opens with
+// either a "program" header (the corpus root — exactly one per corpus)
+// or a "module" header (any number); the grammar is otherwise identical.
+// Diagnostics are resolved through the supplied resolver so positions
+// report the right file when f belongs to a FileSet; pass f itself for
+// standalone parses.
+func ParseUnit(f *source.File, resolver source.PosResolver) (*ast.Program, error) {
+	if resolver == nil {
+		resolver = f
+	}
+	errs := &source.ErrorList{File: resolver}
+	p := &Parser{file: f, lex: lexer.New(f, errs), errs: errs}
+	p.tok = p.lex.Next()
+	p.next = p.lex.Next()
+	prog := p.parseUnit()
+	return prog, errs.Err()
+}
+
 func (p *Parser) advance() {
 	p.tok = p.next
 	p.next = p.lex.Next()
@@ -124,6 +143,21 @@ func (p *Parser) sync() {
 func (p *Parser) parseProgram() *ast.Program {
 	prog := &ast.Program{}
 	p.expect(token.PROGRAM)
+	return p.parseUnitBody(prog)
+}
+
+func (p *Parser) parseUnit() *ast.Program {
+	prog := &ast.Program{}
+	if p.tok.Kind == token.MODULE {
+		prog.IsModule = true
+		p.advance()
+	} else {
+		p.expect(token.PROGRAM)
+	}
+	return p.parseUnitBody(prog)
+}
+
+func (p *Parser) parseUnitBody(prog *ast.Program) *ast.Program {
 	name := p.expect(token.IDENT)
 	prog.NamePos = name.Pos
 	prog.Name = name.Lit

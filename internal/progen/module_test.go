@@ -1,0 +1,174 @@
+package progen_test
+
+import (
+	"strings"
+	"testing"
+
+	"fsicp/internal/ast"
+	"fsicp/internal/icp"
+	"fsicp/internal/interp"
+	"fsicp/internal/irbuild"
+	"fsicp/internal/parser"
+	"fsicp/internal/progen"
+	"fsicp/internal/sem"
+	"fsicp/internal/soundness"
+	"fsicp/internal/source"
+)
+
+// smallModuleConfig is a corpus small enough to interpret.
+func smallModuleConfig(seed int64) progen.ModuleConfig {
+	return progen.ModuleConfig{
+		Seed:           seed,
+		Modules:        3,
+		ProcsPerModule: 8,
+		Globals:        4,
+		BlockData:      5,
+		SCCSize:        3,
+		FanOut:         3,
+		MaxStmts:       5,
+		AllowFloats:    seed%2 == 0,
+	}
+}
+
+// compileModules merges a generated corpus the way fsicp.LoadFiles
+// does: per-file ParseUnit against a shared FileSet, MergeUnits, then
+// the usual check and lowering.
+func compileModules(t *testing.T, files []progen.File) *icp.Context {
+	t.Helper()
+	fset := source.NewFileSet()
+	units := make([]*ast.Program, len(files))
+	for i, f := range files {
+		sf := fset.Add(f.Name, f.Src)
+		u, err := parser.ParseUnit(sf, fset)
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", f.Name, err)
+		}
+		units[i] = u
+	}
+	merged := ast.MergeUnits(units)
+	sp, err := sem.Check(merged, fset)
+	if err != nil {
+		t.Fatalf("merged corpus does not check: %v", err)
+	}
+	prog, err := irbuild.Build(sp)
+	if err != nil {
+		t.Fatalf("merged corpus does not lower: %v", err)
+	}
+	return icp.Prepare(prog)
+}
+
+func TestModuleCorpusCompilesAndTerminates(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		files, m := progen.GenerateModules(smallModuleConfig(seed))
+		if len(files) != 4 {
+			t.Fatalf("seed %d: got %d files, want 4", seed, len(files))
+		}
+		if m.Procs != 3*8+1 {
+			t.Fatalf("seed %d: manifest procs = %d, want %d", seed, m.Procs, 3*8+1)
+		}
+		ctx := compileModules(t, files)
+		res := interp.Run(ctx.Prog, interp.Options{Input: inputFor(seed)})
+		if res.Err != nil {
+			t.Fatalf("seed %d: runtime error %v", seed, res.Err)
+		}
+	}
+}
+
+func TestModuleCorpusHasBackEdgesAndFanOut(t *testing.T) {
+	files, _ := progen.GenerateModules(smallModuleConfig(1))
+	ctx := compileModules(t, files)
+	back, total := ctx.CG.BackEdgeRatio()
+	if back < 3 { // one wrap-around per module ring
+		t.Errorf("got %d back edges, want >= 3 (one per module ring)", back)
+	}
+	if total < 3*8 {
+		t.Errorf("got %d call edges, want >= %d", total, 3*8)
+	}
+}
+
+func TestModuleCorpusDeterministic(t *testing.T) {
+	a, am := progen.GenerateModules(smallModuleConfig(7))
+	b, bm := progen.GenerateModules(smallModuleConfig(7))
+	if len(a) != len(b) || am.Name != bm.Name || am.Procs != bm.Procs || am.Globals != bm.Globals {
+		t.Fatal("manifest differs across identical configs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("file %d (%s) differs across identical configs", i, a[i].Name)
+		}
+	}
+	c, _ := progen.GenerateModules(smallModuleConfig(9))
+	if a[1].Src == c[1].Src {
+		t.Fatal("different seeds produced identical module files")
+	}
+}
+
+// TestModuleCorpusSoundness runs the central soundness oracle on a
+// merged multi-module corpus: every constant either ICP method claims
+// must match the interpreter's observations.
+func TestModuleCorpusSoundness(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		files, _ := progen.GenerateModules(smallModuleConfig(seed))
+		ctx := compileModules(t, files)
+		run := interp.Run(ctx.Prog, interp.Options{Input: inputFor(seed), TraceGlobalsAtCalls: true})
+		if run.Err != nil {
+			t.Fatalf("seed %d: %v", seed, run.Err)
+		}
+		for _, opts := range []icp.Options{
+			{Method: icp.FlowInsensitive, PropagateFloats: true},
+			{Method: icp.FlowSensitive, PropagateFloats: true},
+			{Method: icp.FlowSensitiveIterative, PropagateFloats: true},
+		} {
+			r := icp.Analyze(ctx, opts)
+			if bad := soundness.CheckICP(r, run.Trace); len(bad) > 0 {
+				t.Errorf("seed %d opts %+v: %d violations:\n%s", seed, opts, len(bad), bad[0])
+			}
+		}
+	}
+}
+
+// TestConfigExplicitZero covers the sentinel convention: zero means
+// default, negative means an explicit zero.
+func TestConfigExplicitZero(t *testing.T) {
+	defaulted := progen.Generate(progen.Config{Seed: 11})
+	if !strings.Contains(defaulted, "proc p5(") && !strings.Contains(defaulted, "func p5(") {
+		t.Error("zero Procs should default to 6 procedures")
+	}
+	one := progen.Generate(progen.Config{Seed: 11, Procs: 1})
+	if !strings.Contains(one, "p0(") {
+		t.Error("Procs: 1 should generate exactly one procedure")
+	}
+	if strings.Contains(one, "p1(") {
+		t.Error("Procs: 1 must not be bumped to the default")
+	}
+	none := progen.Generate(progen.Config{Seed: 11, Procs: -1, Globals: -1})
+	if strings.Contains(none, "p0(") || strings.Contains(none, "global ") {
+		t.Error("negative Procs/Globals must mean an explicit zero")
+	}
+	if !strings.Contains(none, "proc main(") {
+		t.Error("main must survive an explicit-zero config")
+	}
+	// Explicit-zero programs still compile and run.
+	ctx, _ := compile(t, none)
+	if res := interp.Run(ctx.Prog, interp.Options{Input: inputFor(11)}); res.Err != nil {
+		t.Errorf("explicit-zero program does not run: %v", res.Err)
+	}
+}
+
+func TestWriteAndReadCorpus(t *testing.T) {
+	dir := t.TempDir()
+	files, m := progen.GenerateModules(smallModuleConfig(3))
+	if err := progen.WriteCorpus(dir, files, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := progen.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != m.Seed || got.Procs != m.Procs || len(got.Files) != len(m.Files) {
+		t.Fatalf("manifest round-trip mismatch: got %+v want %+v", got, m)
+	}
+	if _, err := progen.ReadManifest(t.TempDir()); err == nil {
+		t.Fatal("ReadManifest on an empty directory should fail")
+	}
+}

@@ -18,11 +18,14 @@ import (
 	"fsicp/internal/ast"
 )
 
-// Config controls generation.
+// Config controls generation. Count fields follow a shared convention:
+// zero means "use the default", and any negative value means an
+// explicit zero — so Config{Procs: -1} generates a main-only program,
+// which the zero-means-default scheme alone could not express.
 type Config struct {
 	Seed    int64
-	Procs   int // number of procedures besides main (default 6)
-	Globals int // number of globals (default 4)
+	Procs   int // number of procedures besides main (default 6; negative: none)
+	Globals int // number of globals (default 4; negative: none)
 	// AllowRecursion permits self-recursive procedures (counter
 	// bounded).
 	AllowRecursion bool
@@ -31,6 +34,18 @@ type Config struct {
 	// MaxStmts bounds the statement count per procedure body
 	// (default 12).
 	MaxStmts int
+}
+
+// defaultCount resolves one count field: zero selects the default,
+// negative values mean an explicit zero.
+func defaultCount(v, def int) int {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	}
+	return v
 }
 
 type gen struct {
@@ -59,14 +74,11 @@ type genProc struct {
 
 // Generate returns the source text of a random program.
 func Generate(cfg Config) string {
-	if cfg.Procs == 0 {
-		cfg.Procs = 6
-	}
-	if cfg.Globals == 0 {
-		cfg.Globals = 4
-	}
-	if cfg.MaxStmts == 0 {
-		cfg.MaxStmts = 12
+	cfg.Procs = defaultCount(cfg.Procs, 6)
+	cfg.Globals = defaultCount(cfg.Globals, 4)
+	cfg.MaxStmts = defaultCount(cfg.MaxStmts, 12)
+	if cfg.MaxStmts < 1 {
+		cfg.MaxStmts = 1 // bodies always carry their structural epilogue
 	}
 	g := &gen{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
 	g.build()

@@ -65,9 +65,12 @@ type Result struct {
 	Values []lattice.Elem // indexed by Definition.ID
 	// BlockExec[b.Index] reports whether block b is executable.
 	BlockExec []bool
-	// edgeExec is a bitset over from*nblocks+to keys recording which
-	// CFG edges became executable; read it through EdgeExecutable.
-	edgeExec bitset.Set
+	// edgeExec is a bit set over from*nblocks+to keys recording which
+	// CFG edges became executable; read it through EdgeExecutable. The
+	// domain is quadratic in block count, so the set spills to a sparse
+	// representation on giant functions (real CFGs have O(nblocks)
+	// edges, not nblocks²).
+	edgeExec *bitset.Auto
 	nblocks  int
 }
 
@@ -116,7 +119,7 @@ func Run(s *ssa.SSA, opts Options) *Result {
 			S:         s,
 			Values:    make([]lattice.Elem, len(s.Defs)),
 			BlockExec: make([]bool, nb),
-			edgeExec:  bitset.New(nb * nb),
+			edgeExec:  bitset.NewAuto(nb * nb),
 			nblocks:   nb,
 		},
 		sc: sc,

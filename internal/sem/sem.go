@@ -196,8 +196,10 @@ type Info struct {
 }
 
 // Check resolves and type-checks prog. On failure the error is a
-// *source.ErrorList describing every problem found.
-func Check(prog *ast.Program, file *source.File) (*Program, error) {
+// *source.ErrorList describing every problem found. The resolver (a
+// *source.File for single-file programs, a *source.FileSet for merged
+// multi-file corpora) is only used to render diagnostic positions.
+func Check(prog *ast.Program, file source.PosResolver) (*Program, error) {
 	errs := &source.ErrorList{File: file}
 	c := &checker{
 		errs: errs,

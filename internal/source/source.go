@@ -31,16 +31,24 @@ type Span struct {
 }
 
 // File holds the contents of one source file and a line-offset index for
-// resolving positions.
+// resolving positions. Base is the Pos offset of the file's first byte;
+// it is zero for standalone files and assigned by a FileSet when many
+// files share one Pos space.
 type File struct {
 	Name    string
 	Content string
+	Base    int
 	lines   []int // byte offset of the start of each line
 }
 
 // NewFile builds a File and its line index.
 func NewFile(name, content string) *File {
-	f := &File{Name: name, Content: content}
+	return NewFileAt(name, content, 0)
+}
+
+// NewFileAt builds a File whose positions start at the given base.
+func NewFileAt(name, content string, base int) *File {
+	f := &File{Name: name, Content: content, Base: base}
 	f.lines = append(f.lines, 0)
 	for i := 0; i < len(content); i++ {
 		if content[i] == '\n' {
@@ -51,10 +59,15 @@ func NewFile(name, content string) *File {
 }
 
 // Pos converts a byte offset into a Pos for this file.
-func (f *File) Pos(offset int) Pos { return Pos(offset + 1) }
+func (f *File) Pos(offset int) Pos { return Pos(f.Base + offset + 1) }
 
 // Offset converts a Pos back to a byte offset.
-func (f *File) Offset(p Pos) int { return int(p) - 1 }
+func (f *File) Offset(p Pos) int { return int(p) - 1 - f.Base }
+
+// Span reports the half-open Pos interval covered by this file.
+func (f *File) Span() Span {
+	return Span{Start: Pos(f.Base + 1), End: Pos(f.Base + len(f.Content) + 1)}
+}
 
 // Position is a resolved human-readable location.
 type Position struct {
@@ -98,6 +111,64 @@ func (f *File) Line(n int) string {
 	return f.Content[start:end]
 }
 
+// PosResolver resolves a Pos to a human-readable Position. Both *File
+// and *FileSet implement it, so diagnostics code is independent of
+// whether positions come from one file or a multi-file corpus.
+type PosResolver interface {
+	Position(Pos) Position
+}
+
+// FileSet owns a group of Files sharing one Pos space: each file's
+// positions start where the previous file's end (plus a one-byte gap so
+// EOF positions stay unambiguous). Add is not safe for concurrent use;
+// resolution methods are safe once all files are added.
+type FileSet struct {
+	files []*File
+	next  int
+}
+
+// NewFileSet returns an empty file set.
+func NewFileSet() *FileSet { return &FileSet{} }
+
+// Add appends a file with the next available base and returns it.
+func (s *FileSet) Add(name, content string) *File {
+	f := NewFileAt(name, content, s.next)
+	s.next += len(content) + 1
+	s.files = append(s.files, f)
+	return f
+}
+
+// Files returns the files in the order they were added.
+func (s *FileSet) Files() []*File { return s.files }
+
+// FileOf returns the file containing p, or nil if p is NoPos or out of
+// range.
+func (s *FileSet) FileOf(p Pos) *File {
+	if !p.IsValid() {
+		return nil
+	}
+	off := int(p) - 1
+	i := sort.Search(len(s.files), func(i int) bool { return s.files[i].Base > off }) - 1
+	if i < 0 {
+		return nil
+	}
+	f := s.files[i]
+	if off > f.Base+len(f.Content) {
+		return nil
+	}
+	return f
+}
+
+// Position resolves a Pos against the owning file. An invalid or
+// out-of-range Pos resolves to an empty Position.
+func (s *FileSet) Position(p Pos) Position {
+	f := s.FileOf(p)
+	if f == nil {
+		return Position{}
+	}
+	return f.Position(p)
+}
+
 // Severity classifies a diagnostic.
 type Severity int
 
@@ -126,9 +197,10 @@ type Diagnostic struct {
 	Message  string
 }
 
-// ErrorList collects diagnostics for a single file and implements error.
+// ErrorList collects diagnostics against one position space (a *File or
+// a *FileSet) and implements error.
 type ErrorList struct {
-	File  *File
+	File  PosResolver
 	Diags []Diagnostic
 }
 

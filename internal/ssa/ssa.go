@@ -221,8 +221,16 @@ func (s *SSA) newDef(v *sem.Var, kind DefKind) *Definition {
 	if len(s.defArena) == cap(s.defArena) {
 		// The pre-sized chunk ran out (φ definitions are not counted up
 		// front); start a fresh chunk, leaving full ones reachable via
-		// the pointers already handed out.
-		s.defArena = make([]Definition, 0, 256)
+		// the pointers already handed out. Chunks are sized from the
+		// function (an eighth of the up-front definition estimate)
+		// rather than a compile-time constant, so giant merged-corpus
+		// functions grow in a few large steps instead of hundreds of
+		// fixed-size ones, without doubling the whole arena.
+		chunk := len(s.Defs) / 8
+		if chunk < 256 {
+			chunk = 256
+		}
+		s.defArena = make([]Definition, 0, chunk)
 	}
 	s.defArena = append(s.defArena, Definition{ID: len(s.Defs), Var: v, Kind: kind})
 	d := &s.defArena[len(s.defArena)-1]
@@ -236,7 +244,11 @@ func (s *SSA) slice(n int) []*Definition {
 		return nil
 	}
 	if len(s.defBacking)+n > cap(s.defBacking) {
-		s.defBacking = make([]*Definition, 0, max(256, n))
+		chunk := len(s.Defs) / 8 // grow with the function, as in newDef
+		if chunk < 256 {
+			chunk = 256
+		}
+		s.defBacking = make([]*Definition, 0, max(chunk, n))
 	}
 	off := len(s.defBacking)
 	s.defBacking = s.defBacking[:off+n]
@@ -291,7 +303,11 @@ func (s *SSA) placePhis() {
 			}
 		}
 	}
-	hasPhi := bitset.New(nblocks * nvars) // block*nvars+var -> placed
+	// block*nvars+var -> placed. The domain is quadratic in function
+	// size; NewAuto spills to the sparse form past the threshold so a
+	// giant merged corpus function cannot allocate a multi-megabyte
+	// dense grid for the handful of φs it actually places.
+	hasPhi := bitset.NewAuto(nblocks * nvars)
 	inWork := bitset.New(nblocks)
 	var work []*ir.Block
 	for vi := 0; vi < nvars; vi++ {

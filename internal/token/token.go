@@ -49,6 +49,7 @@ const (
 
 	keywordBeg
 	PROGRAM  // program
+	MODULE   // module
 	PROC     // proc
 	FUNC     // func
 	GLOBAL   // global
@@ -102,6 +103,7 @@ var names = map[Kind]string{
 	COMMA:     ",",
 	SEMICOLON: ";",
 	PROGRAM:   "program",
+	MODULE:    "module",
 	PROC:      "proc",
 	FUNC:      "func",
 	GLOBAL:    "global",

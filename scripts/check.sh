@@ -19,7 +19,11 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "== go test -race =="
-go test -race ./...
+# -short skips the corpus-scale tests (10k procedures; 2k at four
+# worker counts) — they run without the race detector in the
+# large-corpus stage below, where their size buys signal instead of
+# multiplying race overhead.
+go test -race -short ./...
 
 echo "== fault-injection smoke (fixed seeds) =="
 # The resilience suites run deterministic seed matrices; re-run them
@@ -55,11 +59,22 @@ go test -race -count=1 \
     ./internal/serve
 go test -race -count=1 ./cmd/fsicpd
 
+echo "== large-corpus smoke =="
+# The scaling suite at smoke size: a 2049-procedure multi-module corpus
+# must produce byte-identical results at workers 1/2/4/8, a malformed
+# file in a corpus must be reported by name without leaking goroutines,
+# and the 10k-procedure corpus must load and analyse end to end. The
+# full 25k corpus stays behind FSICP_BENCH_LARGE=1 (set it in a
+# scheduled job, not per push).
+go test -count=1 \
+    -run 'TestLargeCorpus|TestLoadDirCorpus' \
+    .
+
 echo "== bench smoke =="
 # One iteration of the wavefront and sharded-load benchmarks: catches
 # crashes or hangs in the benchmark harnesses themselves without paying
 # for a full measurement.
-go test -run '^$' -bench 'BenchmarkAnalyzeParallel|BenchmarkLoadParallel|BenchmarkColdEndToEnd|BenchmarkColdWarmDisk|BenchmarkOptimize|BenchmarkServeSustained' -benchtime=1x -benchmem .
+go test -run '^$' -bench 'BenchmarkAnalyzeParallel|BenchmarkLoadParallel|BenchmarkColdEndToEnd|BenchmarkColdWarmDisk|BenchmarkOptimize|BenchmarkServeSustained|BenchmarkLargeCorpus' -benchtime=1x -benchmem .
 
 echo "== allocation-regression gate =="
 # Re-measures the guarded benchmarks and fails when allocs/op grossly
