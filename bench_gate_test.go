@@ -137,6 +137,16 @@ func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 				prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4})
 			}
 		},
+		"BenchmarkAnalyzeLargeCorpus": func(b *testing.B) {
+			prog, err := corpus2kProgram()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4})
+			}
+		},
 		"BenchmarkServeSustained": runServeSustained,
 		"BenchmarkTable1": func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -152,16 +162,26 @@ func gateBenchmarks(t testing.TB) map[string]func(b *testing.B) {
 }
 
 // peakHeapOps names the gated benchmarks that additionally record a
-// peak-live-heap number: one sampled cold end-to-end operation of the
-// workload. Only the corpus-scale run is worth the extra sampled pass —
-// peak heap is where large-corpus regressions (a reverted spill table,
-// an unbounded arena) show first, often before allocs/op moves.
+// peak-live-heap number: one sampled operation of the workload. Only
+// the corpus-scale runs are worth the extra sampled pass — peak heap
+// is where large-corpus regressions (a reverted spill table, an
+// unbounded arena) show first, often before allocs/op moves. The
+// end-to-end op covers load + analysis; the analysis-only op shares
+// the preloaded Program, so its number isolates the analysis phase's
+// live-heap high-water mark.
 func peakHeapOps() map[string]func() {
 	return map[string]func(){
 		"BenchmarkLargeCorpus": func() {
 			files, _ := corpus2k()
 			src := asSourceFiles(files)
 			prog, err := fsicp.LoadFiles(src, fsicp.LoadOptions{Workers: 4})
+			if err != nil {
+				panic(err)
+			}
+			prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4})
+		},
+		"BenchmarkAnalyzeLargeCorpus": func() {
+			prog, err := corpus2kProgram()
 			if err != nil {
 				panic(err)
 			}

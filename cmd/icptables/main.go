@@ -18,6 +18,8 @@
 //	icptables -cache-dir d    # persistent summary cache for -table methods:
 //	                          # warm runs reuse on-disk procedure summaries
 //	                          # (identical precision columns, faster timings)
+//	icptables -cpuprofile f   # write a pprof CPU profile of the run to f
+//	icptables -memprofile f   # write a pprof heap profile to f on exit
 package main
 
 import (
@@ -39,12 +41,29 @@ func main() {
 	stats := flag.Bool("stats", false, "print the aggregated per-pass timing table")
 	timeout := flag.Duration("timeout", 0, "deadline for the methods matrix; analyses unfinished at expiry degrade to the flow-insensitive solution (0 = none)")
 	cacheDir := flag.String("cache-dir", "", "persistent summary cache directory for the methods matrix; warm runs reuse on-disk procedure summaries (precision columns are identical, only timings change)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "icptables:", err)
 		os.Exit(1)
 	}
+
+	stopProf, err := bench.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fail(err)
+	}
+	// fail() exits without running deferred calls, so the profiles only
+	// flush on successful runs — a failed table regeneration leaves no
+	// partial profile behind.
+	defer func() {
+		stopProf()
+		if err := bench.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "icptables:", err)
+			os.Exit(1)
+		}
+	}()
 
 	if *jsonOut && *table != "opt" {
 		fail(fmt.Errorf("-json is only valid with -table opt"))
@@ -65,7 +84,6 @@ func main() {
 	var spec, first *tables.Suite
 	needSpec := map[string]bool{"1": true, "2": true, "time": true, "all": true}
 	needFirst := map[string]bool{"3": true, "4": true, "5": true, "all": true}
-	var err error
 	if needSpec[*table] {
 		if spec, err = tables.LoadSuiteTraced(bench.SPECfp92(), true, tr); err != nil {
 			fail(err)

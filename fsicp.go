@@ -146,6 +146,14 @@ type Config struct {
 	// per-procedure workers — the testing harness for the resilience
 	// layer. The zero FaultSpec injects nothing.
 	Faults FaultSpec
+
+	// MemStats turns on per-pass memory sampling for the analysis
+	// passes: each pass records the live heap at pass exit and the GC
+	// cycles it spanned (runtime.ReadMemStats at pass boundaries),
+	// surfaced as heap=/gc= notes in Analysis.StatsTable — the
+	// analysis-phase counterpart of LoadOptions.MemStats. Observability
+	// only: results are unaffected. Off by default.
+	MemStats bool
 }
 
 // ShedToFI returns the configuration's cheap, sound fallback: the same
@@ -168,9 +176,11 @@ func (c Config) ShedToFI() Config {
 // per-request deadlines — the daemon's whole traffic — share one
 // engine instead of leaking one per distinct timeout value. Fuel and
 // Faults stay in the key at this level for snapshot locality; the
-// store-level cache keys carry them regardless.
+// store-level cache keys carry them regardless. MemStats is excluded
+// too: sampling is pure observability and never changes a result.
 func (c Config) engineKey() Config {
 	c.Timeout = 0
+	c.MemStats = false
 	return c
 }
 
@@ -344,13 +354,42 @@ func LoadFiles(files []SourceFile, opts LoadOptions) (*Program, error) {
 
 // LoadFilesContext is LoadFiles under a context.
 func LoadFilesContext(ctx context.Context, files []SourceFile, opts LoadOptions) (*Program, error) {
+	cfs := make([]corpusFile, len(files))
+	for i, sf := range files {
+		sf := sf
+		cfs[i] = corpusFile{name: sf.Name, size: len(sf.Src), read: func() (string, error) { return sf.Src, nil }}
+	}
+	return loadCorpus(ctx, cfs, opts)
+}
+
+// corpusFile describes one file of a corpus to the streaming loader:
+// a display name, the content length in bytes (known up front, from
+// the caller's buffer or a stat), and a reader that produces the
+// contents on demand. Sizes let the loader lay out the corpus's whole
+// Pos space before any contents exist; readers let it hold at most
+// one file's contents per parse worker.
+type corpusFile struct {
+	name string
+	size int
+	read func() (string, error)
+}
+
+// loadCorpus is the multi-file load pipeline shared by LoadFiles and
+// LoadDir. Each parse shard reads its file, attaches the contents to
+// the pre-sized source.File, parses, and releases the contents — so at
+// most LoadOptions.Workers file contents are resident at once and the
+// corpus is never materialized wholesale (the lexer copies the literal
+// spellings it keeps, so nothing pins a released buffer). The peak
+// resident source-byte count is reported as "src-peak=" in the parse
+// pass's stats row.
+func loadCorpus(ctx context.Context, files []corpusFile, opts LoadOptions) (*Program, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("fsicp: no source files")
 	}
 	fset := source.NewFileSet()
 	sfiles := make([]*source.File, len(files))
-	for i, sf := range files {
-		sfiles[i] = fset.Add(sf.Name, sf.Src)
+	for i, cf := range files {
+		sfiles[i] = fset.AddSized(cf.name, cf.size)
 	}
 	var (
 		astProg *ast.Program
@@ -359,14 +398,15 @@ func LoadFilesContext(ctx context.Context, files []SourceFile, opts LoadOptions)
 	units := make([]*ast.Program, len(files))
 	perrs := make([]error, len(files))
 	var parseFailed atomic.Bool
+	var srcCur, srcPeak atomic.Int64
 	m := driver.NewManager()
 	m.SetWorkers(opts.Workers)
 	m.SetMemStats(opts.MemStats)
 	// One shard per file. A failed file flips parseFailed so shards that
 	// have not started yet return immediately — the load is already
-	// doomed, and skipping their parse bounds the wasted work on large
-	// corpora. Finish then aggregates the recorded diagnostics in file
-	// order; an errored load constructs no Program, so no partially
+	// doomed, and skipping their read+parse bounds the wasted work on
+	// large corpora. Finish then aggregates the recorded diagnostics in
+	// file order; an errored load constructs no Program, so no partially
 	// filled tables survive.
 	m.Add(driver.Pass{Name: "parse",
 		Shards: func(workers int) (int, func(int)) {
@@ -374,7 +414,29 @@ func LoadFilesContext(ctx context.Context, files []SourceFile, opts LoadOptions)
 				if parseFailed.Load() {
 					return
 				}
-				u, err := parser.ParseUnit(sfiles[i], fset)
+				src, err := files[i].read()
+				if err != nil {
+					perrs[i] = err
+					parseFailed.Store(true)
+					return
+				}
+				cur := srcCur.Add(int64(len(src)))
+				for {
+					p := srcPeak.Load()
+					if cur <= p || srcPeak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				f := sfiles[i]
+				if err := f.SetContent(src); err != nil {
+					srcCur.Add(-int64(len(src)))
+					perrs[i] = err
+					parseFailed.Store(true)
+					return
+				}
+				u, err := parser.ParseUnit(f, fset)
+				f.ReleaseContent()
+				srcCur.Add(-int64(len(src)))
 				if err != nil {
 					perrs[i] = err
 					parseFailed.Store(true)
@@ -413,7 +475,7 @@ func LoadFilesContext(ctx context.Context, files []SourceFile, opts LoadOptions)
 			}
 			astProg = ast.MergeUnits(units)
 			st.Procs = len(astProg.Procs)
-			st.Notes = fmt.Sprintf("%d files", len(units))
+			st.Notes = fmt.Sprintf("%d files src-peak=%d", len(units), srcPeak.Load())
 			return nil
 		}})
 	m.Add(driver.Pass{Name: "sem", Deps: []string{"parse"}, Run: func(st *driver.PassStats) (err error) {
@@ -430,8 +492,10 @@ func LoadFilesContext(ctx context.Context, files []SourceFile, opts LoadOptions)
 
 // LoadDir loads a corpus from a directory: the files named by a
 // progen corpus manifest (corpus.json) when one is present, otherwise
-// every *.mf file in lexical order. Files are read one at a time —
-// memory holds the per-file buffers, never a concatenated corpus.
+// every *.mf file in lexical order. File contents stream through the
+// parse pass — each is read just before its parse and released just
+// after, so at most LoadOptions.Workers file contents are in memory at
+// once, never the whole corpus.
 func LoadDir(dir string, opts LoadOptions) (*Program, error) {
 	return LoadDirContext(context.Background(), dir, opts)
 }
@@ -442,15 +506,19 @@ func LoadDirContext(ctx context.Context, dir string, opts LoadOptions) (*Program
 	if err != nil {
 		return nil, err
 	}
-	files := make([]SourceFile, 0, len(names))
+	cfs := make([]corpusFile, 0, len(names))
 	for _, name := range names {
-		b, err := os.ReadFile(filepath.Join(dir, name))
+		path := filepath.Join(dir, name)
+		fi, err := os.Stat(path)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, SourceFile{Name: name, Src: string(b)})
+		cfs = append(cfs, corpusFile{name: name, size: int(fi.Size()), read: func() (string, error) {
+			b, err := os.ReadFile(path)
+			return string(b), err
+		}})
 	}
-	return LoadFilesContext(ctx, files, opts)
+	return loadCorpus(ctx, cfs, opts)
 }
 
 // corpusFileNames resolves a corpus directory to an ordered file list.
@@ -655,6 +723,7 @@ func (p *Program) analyze(ctx context.Context, cfg Config, eng *incr.Engine) (a 
 	// pipeline's pass records so Stats reports the whole journey from
 	// source text to solution.
 	tr := driver.NewTrace()
+	tr.SetMemStats(cfg.MemStats)
 	if p.trace != nil {
 		for _, st := range p.trace.Passes() {
 			tr.Record(st)
@@ -672,6 +741,10 @@ func (p *Program) analyze(ctx context.Context, cfg Config, eng *incr.Engine) (a 
 		Incr:            eng,
 		Ctx:             ctx,
 		Fuel:            cfg.Fuel,
+		// Nothing downstream of the public API reads Result.Intra; the
+		// facade re-derives SSA views on demand, so intraprocedural
+		// results recycle through the scc pool instead of accumulating.
+		DropIntra: true,
 	}
 	if inj := faultinject.New(cfg.Faults.spec()); inj != nil {
 		opts.Faults = inj.Hook()

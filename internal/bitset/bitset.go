@@ -88,6 +88,30 @@ func NewAuto(n int) *Auto {
 // Sparse reports whether the set spilled to the sparse representation.
 func (a *Auto) Sparse() bool { return a.sparse != nil }
 
+// Reset empties the set and resizes it for bits [0, n), reusing the
+// existing backing when the representation matches (a dense set keeps
+// its word array, a sparse set keeps its map). A nil receiver, or a
+// capacity change that crosses SpillThreshold, allocates fresh. It
+// returns the set to use — the pattern Set.Reset established for
+// pooled scratch.
+func (a *Auto) Reset(n int) *Auto {
+	if a == nil {
+		return NewAuto(n)
+	}
+	if n <= SpillThreshold {
+		if a.sparse != nil {
+			return &Auto{dense: New(n)}
+		}
+		a.dense = a.dense.Reset(n)
+		return a
+	}
+	if a.sparse == nil {
+		return &Auto{sparse: make(map[int]uint64)}
+	}
+	clear(a.sparse)
+	return a
+}
+
 // Has reports whether bit i is set.
 func (a *Auto) Has(i int) bool {
 	if a.sparse == nil {

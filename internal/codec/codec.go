@@ -47,7 +47,10 @@ import (
 // Version is the current format version. Any incompatible change to a
 // payload encoding must bump it; readers reject other versions
 // (ErrVersion), which the store treats as "recompute and overwrite".
-const Version = 1
+// Version 2 switched per-site global values from one element per
+// program global to sparse (index, value) pairs over the callee's REF
+// set.
+const Version = 2
 
 // Frame kinds.
 const (
@@ -179,7 +182,7 @@ func EncodeSummary(meta Meta, s *incr.ProcSummary) []byte {
 		}
 		b = append(b, 1)
 		b = appendElems(b, site.Args)
-		b = appendElems(b, site.Globals)
+		b = appendGlobals(b, site.GlobIdx, site.GlobVals)
 	}
 	return frame(KindSummary, meta, b)
 }
@@ -206,13 +209,11 @@ func DecodeSummary(data []byte) (Meta, *incr.ProcSummary, error) {
 		s.Sites = make([]incr.SiteValues, n)
 		for i := range s.Sites {
 			if r.byte() == 0 {
-				continue // unreachable site: nil Args/Globals
+				continue // unreachable site: nil Args/globals
 			}
-			s.Sites[i] = incr.SiteValues{
-				Reachable: true,
-				Args:      r.elems(),
-				Globals:   r.elems(),
-			}
+			sv := incr.SiteValues{Reachable: true, Args: r.elems()}
+			sv.GlobIdx, sv.GlobVals = r.globals()
+			s.Sites[i] = sv
 		}
 	}
 	if r.err != nil || len(r.buf) != 0 {
@@ -301,6 +302,20 @@ func appendElem(b []byte, e lattice.Elem) []byte {
 	// Untyped constants do not exist; encode as ⊥ so a decode of this
 	// frame can never manufacture one.
 	b[len(b)-1] = tagBottom
+	return b
+}
+
+// appendGlobals renders a site's sparse global pairs: a count, then
+// each global's declaration index (delta-encoded — GlobIdx is strictly
+// ascending) followed by its element.
+func appendGlobals(b []byte, idx []int32, vals []lattice.Elem) []byte {
+	b = binary.AppendUvarint(b, uint64(len(idx)))
+	prev := int32(0)
+	for i, gi := range idx {
+		b = binary.AppendUvarint(b, uint64(gi-prev))
+		prev = gi
+		b = appendElem(b, vals[i])
+	}
 	return b
 }
 
@@ -422,6 +437,34 @@ func (r *reader) elems() []lattice.Elem {
 		es[i] = r.elem()
 	}
 	return es
+}
+
+// globals decodes the sparse global pairs written by appendGlobals,
+// rebuilding the strictly ascending index slice from the deltas.
+func (r *reader) globals() ([]int32, []lattice.Elem) {
+	n := int(r.uvarint())
+	if n == 0 {
+		return nil, nil
+	}
+	if n > len(r.buf) { // a pair costs ≥ 2 payload bytes
+		r.fail()
+		return nil, nil
+	}
+	idx := make([]int32, n)
+	vals := make([]lattice.Elem, n)
+	prev := int64(0)
+	for i := range idx {
+		d := r.uvarint()
+		gi := prev + int64(d)
+		if i > 0 && d == 0 || gi > 1<<31-1 {
+			r.fail()
+			return nil, nil
+		}
+		idx[i] = int32(gi)
+		prev = gi
+		vals[i] = r.elem()
+	}
+	return idx, vals
 }
 
 func (r *reader) env() map[string]lattice.Elem {

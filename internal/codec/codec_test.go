@@ -29,7 +29,8 @@ func sampleSummary() *incr.ProcSummary {
 			{
 				Reachable: true,
 				Args:      []lattice.Elem{lattice.Const(val.Int(7)), lattice.BottomElem()},
-				Globals:   []lattice.Elem{lattice.Const(val.Real(math.Copysign(0, -1)))},
+				GlobIdx:   []int32{2, 7},
+				GlobVals:  []lattice.Elem{lattice.Const(val.Real(math.Copysign(0, -1))), lattice.BottomElem()},
 			},
 			{Reachable: true},
 		},
@@ -51,9 +52,13 @@ func TestSummaryRoundTrip(t *testing.T) {
 		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
 	}
 	// -0.0 must survive bit-exactly.
-	g := got.Sites[1].Globals[0]
+	g := got.Sites[1].GlobVals[0]
 	if math.Float64bits(g.Val.R) != math.Float64bits(math.Copysign(0, -1)) {
 		t.Fatalf("-0.0 not preserved: %v", g.Val.R)
+	}
+	// The sparse index slice must round-trip through the delta encoding.
+	if got.Sites[1].Global(7).Level != lattice.Bottom || !got.Sites[1].Global(2).IsConst() {
+		t.Fatalf("sparse global lookup broken: %+v", got.Sites[1])
 	}
 }
 

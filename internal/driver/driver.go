@@ -66,14 +66,50 @@ type PassStats struct {
 	// briefly, so it is opt-in observability, never ambient cost.
 	HeapBytes uint64
 	GCs       uint32
+
+	// Levels and Width describe the wavefront schedule of a parallel
+	// analysis pass: the topological level count and the widest
+	// level's procedure count (the pass's peak available parallelism).
+	// Skipped counts the procedure visits delta propagation
+	// short-circuited because no input changed since the last visit.
+	// All zero for serial or non-wavefront passes.
+	Levels  int
+	Width   int
+	Skipped int
 }
 
 // Trace is an ordered, concurrency-safe collection of PassStats
 // records. A nil *Trace is valid and discards every record, so callers
 // can thread an optional trace without nil checks.
 type Trace struct {
-	mu  sync.Mutex
-	rec []PassStats
+	mu       sync.Mutex
+	rec      []PassStats
+	memStats bool
+}
+
+// SetMemStats enables heap/GC sampling for passes timed directly
+// through Trace.Time — the analysis passes, which run outside a
+// Manager. Every timed pass then records the live heap at pass exit
+// and the GC cycles it spanned, exactly as Manager.SetMemStats does
+// for the load pipeline. Off by default: each sample is one
+// runtime.ReadMemStats, a brief stop-the-world. No-op on a nil trace.
+func (t *Trace) SetMemStats(on bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.memStats = on
+	t.mu.Unlock()
+}
+
+// sampling reports whether heap sampling is on.
+func (t *Trace) sampling() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.memStats
 }
 
 // NewTrace returns an empty trace.
@@ -94,9 +130,22 @@ func (t *Trace) Record(st PassStats) {
 // Time. f always runs, even on a nil trace.
 func (t *Trace) Time(name string, f func(st *PassStats)) {
 	st := PassStats{Name: name}
+	var gcBase uint32
+	sample := t.sampling()
+	if sample {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		gcBase = ms.NumGC
+	}
 	start := time.Now()
 	f(&st)
 	st.Wall = time.Since(start)
+	if sample {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		st.HeapBytes = ms.HeapAlloc
+		st.GCs = ms.NumGC - gcBase
+	}
 	st.Name = name
 	t.Record(st)
 }
@@ -140,6 +189,9 @@ func (t *Trace) Table() string {
 		diskMisses int
 		heap       uint64
 		gcs        uint32
+		levels     int
+		width      int
+		skipped    int
 		notes      string
 	}
 	var rows []*row
@@ -166,6 +218,13 @@ func (t *Trace) Table() string {
 			r.heap = st.HeapBytes
 		}
 		r.gcs += st.GCs
+		if st.Levels > r.levels {
+			r.levels = st.Levels
+		}
+		if st.Width > r.width {
+			r.width = st.Width
+		}
+		r.skipped += st.Skipped
 		if st.Notes != "" {
 			r.notes = st.Notes
 		}
@@ -179,6 +238,12 @@ func (t *Trace) Table() string {
 			procs = fmt.Sprint(r.procs)
 		}
 		notes := r.notes
+		if r.levels > 0 {
+			notes = strings.TrimSpace(notes + fmt.Sprintf(" levels=%d width=%d", r.levels, r.width))
+		}
+		if r.skipped > 0 {
+			notes = strings.TrimSpace(notes + fmt.Sprintf(" skipped=%d", r.skipped))
+		}
 		if r.hits+r.misses > 0 {
 			notes = strings.TrimSpace(notes + fmt.Sprintf(" cache=%d/%d", r.hits, r.hits+r.misses))
 		}

@@ -1,0 +1,62 @@
+package icp
+
+import (
+	"math"
+	"os"
+
+	"fsicp/internal/ast"
+	"fsicp/internal/lattice"
+	"fsicp/internal/sem"
+)
+
+// This file holds the delta-propagation substrate of the fixpoint
+// passes: change tracking that lets a round skip procedures whose
+// inputs provably did not move since their last visit. Skipping is an
+// optimisation only — every skip reproduces, byte for byte, the
+// early-return the full evaluation would have taken — and it can be
+// disabled wholesale for A/B verification.
+
+// deltaSkipEnabled reports whether the fixpoint passes may skip
+// re-evaluating procedures whose inputs did not change. Setting
+// FSICP_NO_DELTA_SKIP to any non-empty value forces every visit to run
+// the full evaluation — the knob the byte-identity tests flip to prove
+// the skipped work was genuinely redundant. Read once per analysis run.
+func deltaSkipEnabled() bool {
+	return os.Getenv("FSICP_NO_DELTA_SKIP") == ""
+}
+
+// elemBitEq is Elem.Eq sharpened to bit equality: real constants are
+// compared by their float64 bits, so 0.0 and -0.0 (equal under ==, but
+// rendered differently in reports) do not alias. The refresh skip
+// substitutes a stored summary for a re-run, which stays byte-identical
+// in reports only under this stricter equality.
+func elemBitEq(a, b lattice.Elem) bool {
+	if a.Level != b.Level {
+		return false
+	}
+	if a.Level != lattice.Constant {
+		return true
+	}
+	if a.Val.Type != b.Val.Type {
+		return false
+	}
+	if a.Val.Type == ast.TypeReal {
+		return math.Float64bits(a.Val.R) == math.Float64bits(b.Val.R)
+	}
+	return a.Val.Equal(b.Val)
+}
+
+// envBitEq compares two environments under elemBitEq: same bound keys,
+// bit-identical elements.
+func envBitEq(a, b lattice.Env[*sem.Var]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || !elemBitEq(v, w) {
+			return false
+		}
+	}
+	return true
+}

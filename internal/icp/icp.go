@@ -130,6 +130,17 @@ type Options struct {
 	// runs (or runs under a different seed). Empty when Faults is nil.
 	FaultKey string
 
+	// DropIntra discards the per-procedure intraprocedural fixpoints as
+	// soon as each is summarized: Result.Intra stays empty and the scc
+	// result tables are recycled through a pool instead of being kept
+	// live for every reachable procedure. The facade sets it — nothing
+	// downstream of the public API reads Intra (the transform pipeline
+	// re-runs scc itself from Result.Entry) — which keeps the analysis
+	// phase's live heap proportional to the wavefront width rather than
+	// the program size. The summaries, reports, and all public results
+	// are byte-identical either way.
+	DropIntra bool
+
 	// Incr, when non-nil, attaches the incremental engine: the
 	// flow-sensitive methods reuse per-procedure results cached from
 	// previous runs over edited versions of the same program. Results

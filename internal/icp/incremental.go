@@ -2,6 +2,7 @@ package icp
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -245,11 +246,49 @@ func bindEnv(m map[string]lattice.Elem, p *sem.Proc, globals map[string]*sem.Var
 	return env
 }
 
+// refTab holds, per reachable-PCG position, the declaration indices of
+// the globals in that procedure's transitive REF set, ascending. Built
+// once per run and read-only afterwards, so concurrent workers (and
+// degradation handlers) share it freely. Summaries store per-site
+// global values for exactly this set of the site's callee — the
+// paper's sparse per-call-site candidate list — instead of a value per
+// program global; summarize used to be O(sites × program-globals) in
+// both time and heap, the analysis-phase twin of the dense varOrd
+// tables the front end spilled.
+type refTab struct {
+	ctx *Context
+	idx [][]int32
+}
+
+func newRefTab(ctx *Context, workers int) *refTab {
+	rt := &refTab{ctx: ctx, idx: make([][]int32, len(ctx.CG.Reachable))}
+	driver.Parallel(len(rt.idx), driver.Workers(workers), func(i int) {
+		rt.idx[i] = refGlobalIdx(ctx, ctx.CG.Reachable[i])
+	})
+	return rt
+}
+
+// of returns the sorted global declaration indices of Ref(p).
+func (rt *refTab) of(p *sem.Proc) []int32 { return rt.idx[rt.ctx.CG.Pos[p]] }
+
+// refGlobalIdx computes one procedure's slice directly from the MOD/REF
+// solution.
+func refGlobalIdx(ctx *Context, p *sem.Proc) []int32 {
+	var out []int32
+	for v := range ctx.MR.Ref[p] {
+		if v.IsGlobal() {
+			out = append(out, int32(v.Index))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // summarize distills one scc run into the portable summary downstream
 // consumers read. Raw (unfiltered) lattice values are stored; every
 // consumer applies opts.filter itself, exactly as the non-incremental
 // code path did when reading the scc.Result directly.
-func summarize(ctx *Context, p *sem.Proc, r *scc.Result, dead bool, nBack int, entry map[string]lattice.Elem) *incr.ProcSummary {
+func summarize(ctx *Context, rt *refTab, p *sem.Proc, r *scc.Result, dead bool, nBack int, entry map[string]lattice.Elem) *incr.ProcSummary {
 	globals := ctx.Prog.Sem.Globals
 	calls := ctx.Prog.FuncOf[p].Calls
 	sum := &incr.ProcSummary{
@@ -261,11 +300,12 @@ func summarize(ctx *Context, p *sem.Proc, r *scc.Result, dead bool, nBack int, e
 	// One backing array each for the per-site argument and global value
 	// slices: the summary is immutable once built, so the sites can
 	// share storage (capped subslices) instead of allocating per call.
+	// GlobIdx aliases the run-wide refTab slices directly.
 	nargs, nglob := 0, 0
 	for _, call := range calls {
 		if r.Reachable(call) {
 			nargs += len(call.Args)
-			nglob += len(globals)
+			nglob += len(rt.of(call.Callee))
 		}
 	}
 	argBacking := make([]lattice.Elem, nargs)
@@ -278,10 +318,11 @@ func summarize(ctx *Context, p *sem.Proc, r *scc.Result, dead bool, nBack int, e
 			for i := range call.Args {
 				sv.Args[i] = r.ArgValue(call, i)
 			}
-			ng := len(globals)
-			sv.Globals, globBacking = globBacking[:ng:ng], globBacking[ng:]
-			for gi, g := range globals {
-				sv.Globals[gi] = r.GlobalValueAtCall(call, g)
+			sv.GlobIdx = rt.of(call.Callee)
+			ng := len(sv.GlobIdx)
+			sv.GlobVals, globBacking = globBacking[:ng:ng], globBacking[ng:]
+			for j, gi := range sv.GlobIdx {
+				sv.GlobVals[j] = r.GlobalValueAtCall(call, globals[gi])
 			}
 		}
 		sum.Sites[k] = sv
@@ -296,7 +337,6 @@ func summarize(ctx *Context, p *sem.Proc, r *scc.Result, dead bool, nBack int, e
 // values and empty global maps, as does any site of a dead procedure.
 func (res *Result) mergeSiteValues(p *sem.Proc, sum *incr.ProcSummary) {
 	ctx, opts := res.Ctx, res.Opts
-	mr := ctx.MR
 	calls := ctx.Prog.FuncOf[p].Calls
 	// Shared backing array for the per-site ArgVals slices; every
 	// consumer reads GlobalCallVals/VisibleCallGlobals through len or
@@ -320,24 +360,25 @@ func (res *Result) mergeSiteValues(p *sem.Proc, sum *incr.ProcSummary) {
 		}
 		var gm, vm map[*sem.Var]val.Value
 		if sv.Reachable && !sum.Dead {
-			for gi, g := range ctx.Prog.Sem.Globals {
-				gv := opts.filter(sv.Globals[gi])
+			// The stored set is Ref(call.Callee) already, so no
+			// membership filter is needed here.
+			for j, gi := range sv.GlobIdx {
+				gv := opts.filter(sv.GlobVals[j])
 				if !gv.IsConst() {
 					continue
 				}
-				if mr.Ref[call.Callee].Has(g) {
-					if gm == nil {
-						gm = make(map[*sem.Var]val.Value)
+				g := ctx.Prog.Sem.Globals[gi]
+				if gm == nil {
+					gm = make(map[*sem.Var]val.Value)
+				}
+				gm[g] = gv.Val
+				// VIS: the subset also visible in the calling
+				// procedure (paper §4).
+				if p.UsesSet[g] {
+					if vm == nil {
+						vm = make(map[*sem.Var]val.Value)
 					}
-					gm[g] = gv.Val
-					// VIS: the subset also visible in the calling
-					// procedure (paper §4).
-					if p.UsesSet[g] {
-						if vm == nil {
-							vm = make(map[*sem.Var]val.Value)
-						}
-						vm[g] = gv.Val
-					}
+					vm[g] = gv.Val
 				}
 			}
 		}

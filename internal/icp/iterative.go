@@ -68,6 +68,7 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 	}
 
 	workers := driver.Workers(opts.Workers)
+	rt := newRefTab(ctx, workers)
 
 	var ist *incrState
 	if opts.Incr != nil {
@@ -109,6 +110,36 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 	levels := forwardLevels(cg)
 	var sccRuns, physRuns atomic.Int64
 
+	// Delta propagation: after round zero, a procedure is re-examined
+	// only when some caller's summary was replaced since its last
+	// visit. A forward-edge caller that changes marks its callees
+	// dirty for the current round (their levels run after its
+	// barrier); a back-edge caller marks them for the next round (the
+	// replacement becomes visible only in the next round-start
+	// snapshot). A clean procedure would rebuild its entry environment
+	// from the identical summaries it read last time and take the
+	// envEq early-return below, so skipping the rebuild is
+	// byte-identical — same rounds, same scc runs, same solution — and
+	// saves the per-procedure entry construction that otherwise
+	// dominates late, mostly-converged rounds. The marks are atomic
+	// because procedures of one level mark shared callees
+	// concurrently; a mark always lands before the marked procedure's
+	// level barrier, so no evaluation misses it.
+	deltaSkip := deltaSkipEnabled()
+	dirty := make([]atomic.Bool, n)
+	nextDirty := make([]atomic.Bool, n)
+	markCallees := func(p *sem.Proc) {
+		for _, e := range cg.Out[p] {
+			j := cg.Pos[e.Callee]
+			if cg.IsBackEdge(e) {
+				nextDirty[j].Store(true)
+			} else {
+				dirty[j].Store(true)
+			}
+		}
+	}
+	var skipped atomic.Int64
+
 	opts.Trace.Time("FS-iterative", func(st *driver.PassStats) {
 		// Iterate to the global fixpoint. The PCG order keeps the round
 		// count low; a guard bounds runaway loops (the lattice
@@ -125,14 +156,19 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 				if degraded[i] {
 					return
 				}
+				if deltaSkip && round > 0 && !dirty[i].Load() {
+					skipped.Add(1)
+					return
+				}
 				p := cg.Reachable[i]
 				g.protect("FS-iterative", p.Name, func(resilience.Reason) {
 					degraded[i] = true
 					fb := g.ensureFI(ctx, opts)
 					entry[i] = fb.entryEnvFor(p)
-					sums[i] = degradedSummary(ctx, p, fb)
+					sums[i] = degradedSummary(ctx, rt, p, fb)
 					intra[i] = nil
 					changed.Store(true)
+					markCallees(p)
 				}, func() {
 					env, live := iterEntryEnv(ctx, opts, i, sums, prevSums)
 					first := sums[i] == nil
@@ -145,6 +181,7 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 					entry[i] = env
 					sccRuns.Add(1)
 					changed.Store(true)
+					markCallees(p)
 					pe := portableEnv(env)
 					if ist != nil {
 						key := incr.EnvKey(pe, live)
@@ -154,20 +191,39 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 							return
 						}
 						physRuns.Add(1)
-						r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget()})
-						intra[i] = r
-						sums[i] = summarize(ctx, p, r, !live, 0, pe)
+						r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget(), Transient: opts.DropIntra})
+						sums[i] = summarize(ctx, rt, p, r, !live, 0, pe)
+						if opts.DropIntra {
+							r.Release()
+							intra[i] = nil
+						} else {
+							intra[i] = r
+						}
 						ist.plan.Store("iter", p.Name, ist.fps[i], key, sums[i])
 						return
 					}
 					physRuns.Add(1)
-					r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget()})
-					intra[i] = r
-					sums[i] = summarize(ctx, p, r, !live, 0, pe)
+					r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget(), Transient: opts.DropIntra})
+					sums[i] = summarize(ctx, rt, p, r, !live, 0, pe)
+					if opts.DropIntra {
+						r.Release()
+						intra[i] = nil
+					} else {
+						intra[i] = r
+					}
 				})
 			})
 			if !changed.Load() {
 				break
+			}
+			// Hand the next round its dirty set: the back-edge marks
+			// accumulated this round. Forward marks were consumed by the
+			// levels behind them; anything left is stale.
+			if deltaSkip {
+				for j := range dirty {
+					dirty[j].Store(nextDirty[j].Load())
+					nextDirty[j].Store(false)
+				}
 			}
 		}
 		// A fixpoint interrupted by cancellation is not a sound answer:
@@ -182,7 +238,7 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 				}
 				degraded[i] = true
 				entry[i] = fb.entryEnvFor(p)
-				sums[i] = degradedSummary(ctx, p, fb)
+				sums[i] = degradedSummary(ctx, rt, p, fb)
 				intra[i] = nil
 				g.record(resilience.Degradation{Proc: p.Name, Pass: "FS-iterative", Reason: reason, Detail: detail})
 			}
@@ -190,6 +246,9 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 		st.Procs = n
 		st.Degraded = g.passCount("FS-iterative")
 		st.Notes = fmt.Sprintf("workers=%d rounds=%d", workers, res.Iterations)
+		st.Levels = len(levels)
+		st.Width = driver.MaxWidth(levels)
+		st.Skipped = int(skipped.Load())
 		if ist != nil {
 			st.Hits = ist.plan.Hits()
 			st.Misses = ist.plan.Misses()
@@ -229,7 +288,8 @@ func runFSIterative(ctx *Context, opts Options) *Result {
 // Callers without results yet contribute ⊤ (optimism), as do
 // unreachable call sites.
 func iterEntryEnv(ctx *Context, opts Options, pos int, sums, prevSums []*incr.ProcSummary) (lattice.Env[*sem.Var], bool) {
-	cg, mr := ctx.CG, ctx.MR
+	cg := ctx.CG
+	globals := ctx.Prog.Sem.Globals
 	p := cg.Reachable[pos]
 	if pos == 0 {
 		env := make(lattice.Env[*sem.Var])
@@ -262,10 +322,10 @@ func iterEntryEnv(ctx *Context, opts Options, pos int, sums, prevSums []*incr.Pr
 			}
 			de.MeetInto(f, opts.filter(sv.Args[i]))
 		}
-		for g := range mr.Ref[p] {
-			if g.IsGlobal() {
-				de.MeetInto(g, opts.filter(sv.Globals[g.Index]))
-			}
+		// The site stores values for exactly Ref(p) (sparse per-site
+		// candidates); iterate the stored pairs directly.
+		for j, gi := range sv.GlobIdx {
+			de.MeetInto(globals[gi], opts.filter(sv.GlobVals[j]))
 		}
 	}
 	de.Each(func(v *sem.Var, el lattice.Elem) {

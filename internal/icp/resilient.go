@@ -168,7 +168,7 @@ func (s *fiSolution) entryEnvFor(p *sem.Proc) lattice.Env[*sem.Var] {
 // flow-insensitive classification. Dependents consume it through the
 // normal caller-summary path; Degraded marks it so the incremental
 // engine never commits it as a full-precision baseline.
-func degradedSummary(ictx *Context, p *sem.Proc, fi *fiSolution) *incr.ProcSummary {
+func degradedSummary(ictx *Context, rt *refTab, p *sem.Proc, fi *fiSolution) *incr.ProcSummary {
 	globals := ictx.Prog.Sem.Globals
 	calls := ictx.Prog.FuncOf[p].Calls
 	sum := &incr.ProcSummary{
@@ -177,16 +177,18 @@ func degradedSummary(ictx *Context, p *sem.Proc, fi *fiSolution) *incr.ProcSumma
 		Sites:    make([]incr.SiteValues, len(calls)),
 	}
 	for k, call := range calls {
+		gidx := rt.of(call.Callee)
 		sv := incr.SiteValues{
 			Reachable: true,
 			Args:      make([]lattice.Elem, len(call.Args)),
-			Globals:   make([]lattice.Elem, len(globals)),
+			GlobIdx:   gidx,
+			GlobVals:  make([]lattice.Elem, len(gidx)),
 		}
 		for i := range call.Args {
 			sv.Args[i] = fi.EdgeArg(call, i)
 		}
-		for gi, g := range globals {
-			sv.Globals[gi] = fi.GlobalElem(g)
+		for j, gi := range gidx {
+			sv.GlobVals[j] = fi.GlobalElem(globals[gi])
 		}
 		sum.Sites[k] = sv
 	}

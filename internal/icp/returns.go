@@ -2,6 +2,7 @@ package icp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fsicp/internal/driver"
 	"fsicp/internal/incr"
@@ -31,7 +32,7 @@ import (
 // reaches the caller — and every such callee sits in an earlier reverse
 // level, behind the barrier, so the parallel schedule reads exactly
 // what the serial one reads.
-func runReturns(ctx *Context, opts Options, res *Result, pool *ssaPool, g *guard) {
+func runReturns(ctx *Context, opts Options, res *Result, pool *ssaPool, g *guard, rt *refTab, st *driver.PassStats) {
 	res.Returns = make(map[*sem.Proc]lattice.Elem)
 	res.ExitEnv = make(map[*sem.Proc]lattice.Env[*sem.Var])
 	cg := ctx.CG
@@ -50,7 +51,10 @@ func runReturns(ctx *Context, opts Options, res *Result, pool *ssaPool, g *guard
 		intra[i] = nil
 	}
 
-	driver.WavefrontCtx(g.ctx, reverseLevels(cg), driver.Workers(opts.Workers), func(i int) {
+	revLevels := reverseLevels(cg)
+	st.Levels = len(revLevels)
+	st.Width = driver.MaxWidth(revLevels)
+	driver.WavefrontCtx(g.ctx, revLevels, driver.Workers(opts.Workers), func(i int) {
 		p := cg.Reachable[i]
 		if res.Dead[p] {
 			returns[i] = lattice.BottomElem()
@@ -73,7 +77,8 @@ func runReturns(ctx *Context, opts Options, res *Result, pool *ssaPool, g *guard
 			}
 
 			r := scc.Run(pool.get(i), scc.Options{
-				Entry: res.Entry[p],
+				Transient: opts.DropIntra,
+				Entry:     res.Entry[p],
 				CallResult: func(call *ir.CallInstr) lattice.Elem {
 					_, ret, ok := processed(call.Callee)
 					if !ok {
@@ -115,25 +120,36 @@ func runReturns(ctx *Context, opts Options, res *Result, pool *ssaPool, g *guard
 		}
 	}
 
+	// resummed records which procedures' summaries were rebuilt under
+	// this traversal's call hooks — the refresh skip needs to know
+	// whether a stored summary saw the callees' return/exit values
+	// (resummed) or predates them (dead or degraded here: FS-stage,
+	// hook-less).
+	resummed := make([]bool, n)
 	for i, p := range cg.Reachable {
 		res.Returns[p] = returns[i]
 		res.ExitEnv[p] = exits[i]
 		if intra[i] != nil {
-			res.Intra[p] = intra[i]
 			// The second pass is the final fixpoint; its site
 			// reachability supersedes the first pass's in the summary
 			// (liveness, back edges, and the entry environment are
 			// unchanged by this traversal, and the shared result maps
 			// deliberately keep the FS-stage argument values).
 			old := res.Proc[p]
-			ns := summarize(ctx, p, intra[i], old.Dead, old.BackEdges, old.Entry)
+			ns := summarize(ctx, rt, p, intra[i], old.Dead, old.BackEdges, old.Entry)
 			ns.Degraded = old.Degraded
 			res.Proc[p] = ns
+			resummed[i] = true
+			if opts.DropIntra {
+				intra[i].Release()
+			} else {
+				res.Intra[p] = intra[i]
+			}
 		}
 	}
 
 	if opts.ReturnsRefresh {
-		refreshForward(ctx, opts, res, pool, g)
+		refreshForward(ctx, opts, res, pool, g, rt, resummed)
 	}
 }
 
@@ -192,12 +208,44 @@ func exitEnv(ctx *Context, p *sem.Proc, r *scc.Result) lattice.Env[*sem.Var] {
 // sound over-approximations of runtime behaviour. The traversal runs as
 // the same forward wavefront as runFS; the summaries are complete and
 // read-only by now, so the hooks are safe from any worker.
-func refreshForward(ctx *Context, opts Options, res *Result, pool *ssaPool, g *guard) {
+//
+// Delta skip: a procedure is not re-run when the stored summary
+// provably already is what the re-run would produce — the refreshed
+// entry environment is bit-identical to the one the summary was built
+// under, liveness and back-edge counts agree, the summary is not a
+// degradation product, and every call hook would answer exactly what
+// the pass that built the summary answered. For a summary rebuilt by
+// runReturns (resummed), forward callees impose no condition — the
+// reverse traversal already exposed their final return/exit summaries —
+// so only recursive callees must be trivial (⊥ return, empty exit
+// environment, matching the reverse traversal's back-edge fallback).
+// For an FS-stage summary (dead or degraded under runReturns, built
+// with no hooks at all, i.e. ⊥ everywhere), every callee must be
+// trivial. Most procedures in practice call nothing, or call only
+// constant-free helpers, so the skip removes the bulk of the third
+// traversal's scc runs; FSICP_NO_DELTA_SKIP=1 forces the full re-run.
+func refreshForward(ctx *Context, opts Options, res *Result, pool *ssaPool, g *guard, rt *refTab, resummed []bool) {
 	cg := ctx.CG
 	n := len(cg.Reachable)
 	if n == 0 {
 		return
 	}
+
+	// trivialHooks reports whether the refresh hooks for procedure i
+	// would answer ⊥ at every call site the stored summary saw ⊥ at.
+	trivialHooks := func(i int) bool {
+		for _, e := range cg.Out[cg.Reachable[i]] {
+			if resummed[i] && !cg.IsBackEdge(e) {
+				continue
+			}
+			if !opts.filter(res.Returns[e.Callee]).IsBottom() || len(res.ExitEnv[e.Callee]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	deltaSkip := deltaSkipEnabled()
+	var skipped atomic.Int64
 
 	callResult := func(call *ir.CallInstr) lattice.Elem {
 		return opts.filter(res.Returns[call.Callee])
@@ -232,9 +280,20 @@ func refreshForward(ctx *Context, opts Options, res *Result, pool *ssaPool, g *g
 			}, func() {
 				env, live, nBack := entryEnv(ctx, opts, p, bySum, res.FI)
 				entry[i] = env
-				r := scc.Run(pool.get(i), scc.Options{Entry: env, CallResult: callResult, CallExit: callExit, Budget: g.budget()})
-				fresh[i] = r
-				sums[i] = summarize(ctx, p, r, !live, nBack, portableEnv(env))
+				if old := res.Proc[p]; deltaSkip && !old.Degraded &&
+					live == !old.Dead && nBack == old.BackEdges &&
+					envBitEq(env, res.Entry[p]) && trivialHooks(i) {
+					sums[i] = old
+					skipped.Add(1)
+					return
+				}
+				r := scc.Run(pool.get(i), scc.Options{Entry: env, CallResult: callResult, CallExit: callExit, Budget: g.budget(), Transient: opts.DropIntra})
+				sums[i] = summarize(ctx, rt, p, r, !live, nBack, portableEnv(env))
+				if opts.DropIntra {
+					r.Release()
+				} else {
+					fresh[i] = r
+				}
 			})
 		})
 		if reason, detail := g.ctxReason(); g.ctx.Err() != nil {
@@ -247,7 +306,10 @@ func refreshForward(ctx *Context, opts Options, res *Result, pool *ssaPool, g *g
 		}
 		st.Procs = n
 		st.Degraded = g.passCount("returns-refresh")
-		st.Notes = fmt.Sprintf("workers=%d levels=%d", workers, len(levels))
+		st.Levels = len(levels)
+		st.Width = driver.MaxWidth(levels)
+		st.Skipped = int(skipped.Load())
+		st.Notes = fmt.Sprintf("workers=%d", workers)
 	})
 
 	res.Dead = make(map[*sem.Proc]bool)

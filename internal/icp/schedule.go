@@ -67,6 +67,7 @@ type callerSummary func(q *sem.Proc) *incr.ProcSummary
 // associative, so the result is independent of edge order.
 func entryEnv(ctx *Context, opts Options, p *sem.Proc, caller callerSummary, fi *fiSolution) (env lattice.Env[*sem.Var], live bool, backEdges int) {
 	cg, mr := ctx.CG, ctx.MR
+	globals := ctx.Prog.Sem.Globals
 	if p == cg.Reachable[0] {
 		// Block-data initial constants seed the entry of main.
 		env = make(lattice.Env[*sem.Var])
@@ -95,12 +96,11 @@ func entryEnv(ctx *Context, opts Options, p *sem.Proc, caller callerSummary, fi 
 				}
 				de.MeetInto(f, opts.filter(sv.Args[i]))
 			}
-			// Sparse global candidates: only globals the callee
-			// (transitively) references are propagated.
-			for g := range mr.Ref[p] {
-				if g.IsGlobal() {
-					de.MeetInto(g, opts.filter(sv.Globals[g.Index]))
-				}
+			// Sparse global candidates: the site stores values for
+			// exactly Ref(p) — the globals the callee (transitively)
+			// references — so the stored pairs are iterated directly.
+			for j, gi := range sv.GlobIdx {
+				de.MeetInto(globals[gi], opts.filter(sv.GlobVals[j]))
 			}
 		} else {
 			// Back edge: use the flow-insensitive solution.
@@ -136,9 +136,18 @@ func entryEnv(ctx *Context, opts Options, p *sem.Proc, caller callerSummary, fi 
 // (slots 0..len(Params)-1, addressed by formal position) and globals
 // (slots len(Params)+Index). Every other variable is outside the index
 // and reads as ⊥, matching the map-backed Env's absent-key default.
+// The global segment spills to the environment's overflow map past
+// lattice.EnvSpillThreshold slots, so the per-procedure allocation
+// stops scaling with the number of program globals (the entry binds
+// only Ref(p) anyway).
 func denseEntryEnv(ctx *Context, p *sem.Proc) *lattice.DenseEnv[*sem.Var] {
 	np := len(p.Params)
-	return lattice.NewDenseEnv(np+len(ctx.Prog.Sem.Globals), func(v *sem.Var) int {
+	nglob := len(ctx.Prog.Sem.Globals)
+	spill := lattice.EnvSpillThreshold
+	if nglob < spill {
+		spill = nglob
+	}
+	return lattice.NewDenseEnvSpill(np+nglob, np+spill, func(v *sem.Var) int {
 		if v == nil {
 			return -1
 		}

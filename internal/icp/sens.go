@@ -57,6 +57,7 @@ func runFS(ctx *Context, opts Options) *Result {
 	res.ProgramGlobalConstants = programGlobalConstants(ctx, opts)
 
 	workers := driver.Workers(opts.Workers)
+	rt := newRefTab(ctx, workers)
 
 	// Incremental plan: fingerprint the program, diff against the
 	// previous snapshot, and install clean procedures' summaries
@@ -119,7 +120,7 @@ func runFS(ctx *Context, opts Options) *Result {
 				fb := g.ensureFI(ctx, opts)
 				envs[i] = fb.entryEnvFor(p)
 				intra[i] = nil
-				sums[i] = degradedSummary(ctx, p, fb)
+				sums[i] = degradedSummary(ctx, rt, p, fb)
 			}, func() {
 				env, live, nBack := entryEnv(ctx, opts, p, bySum, res.FI)
 				envs[i] = env
@@ -134,17 +135,25 @@ func runFS(ctx *Context, opts Options) *Result {
 						sums[i] = &incr.ProcSummary{Dead: !live, BackEdges: nBack, Entry: pe, Sites: cached.Sites}
 						return
 					}
-					r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget()})
-					intra[i] = r
-					sums[i] = summarize(ctx, p, r, !live, nBack, pe)
+					r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget(), Transient: opts.DropIntra})
+					sums[i] = summarize(ctx, rt, p, r, !live, nBack, pe)
+					if opts.DropIntra {
+						r.Release()
+					} else {
+						intra[i] = r
+					}
 					ist.plan.Store("fs", p.Name, ist.fps[i], key, sums[i])
 					return
 				}
 
 				// The single flow-sensitive intraprocedural analysis of p.
-				r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget()})
-				intra[i] = r
-				sums[i] = summarize(ctx, p, r, !live, nBack, portableEnv(env))
+				r := scc.Run(pool.get(i), scc.Options{Entry: env, Budget: g.budget(), Transient: opts.DropIntra})
+				sums[i] = summarize(ctx, rt, p, r, !live, nBack, portableEnv(env))
+				if opts.DropIntra {
+					r.Release()
+				} else {
+					intra[i] = r
+				}
 			})
 		})
 		// Procedures never claimed (the context ended mid-wavefront)
@@ -154,14 +163,16 @@ func runFS(ctx *Context, opts Options) *Result {
 				if sums[i] == nil {
 					fb := g.ensureFI(ctx, opts)
 					envs[i] = fb.entryEnvFor(p)
-					sums[i] = degradedSummary(ctx, p, fb)
+					sums[i] = degradedSummary(ctx, rt, p, fb)
 					g.record(resilience.Degradation{Proc: p.Name, Pass: "FS", Reason: reason, Detail: detail})
 				}
 			}
 		}
 		st.Procs = n
 		st.Degraded = g.passCount("FS")
-		st.Notes = fmt.Sprintf("workers=%d levels=%d width=%d", workers, len(allLevels), driver.MaxWidth(allLevels))
+		st.Levels = len(allLevels)
+		st.Width = driver.MaxWidth(allLevels)
+		st.Notes = fmt.Sprintf("workers=%d", workers)
 		if ist != nil {
 			st.Cached = res.ProcsReused > 0
 			st.Hits = ist.plan.Hits()
@@ -197,7 +208,7 @@ func runFS(ctx *Context, opts Options) *Result {
 
 	if opts.ReturnConstants {
 		opts.Trace.Time("returns", func(st *driver.PassStats) {
-			runReturns(ctx, opts, res, pool, g)
+			runReturns(ctx, opts, res, pool, g, rt, st)
 			st.Procs = n
 			st.Degraded = g.passCount("returns") + g.passCount("returns-refresh")
 		})

@@ -37,15 +37,49 @@ import "fsicp/internal/lattice"
 
 // SiteValues is the interprocedural view of one call site: whether the
 // site is reachable under the caller's solution, and the lattice value
-// of each actual and of each program global at the call. Args and
-// Globals are the raw (unfiltered) values; consumers apply any
-// float-demotion filter themselves. Both are nil when the site is
-// unreachable (readers must treat the values as top, matching
-// scc.Result.ArgValue on an unreachable site).
+// of each actual and of each relevant program global at the call. Args
+// and the global values are the raw (unfiltered) values; consumers
+// apply any float-demotion filter themselves. All slices are nil when
+// the site is unreachable (readers must treat the values as top,
+// matching scc.Result.ArgValue on an unreachable site).
+//
+// Globals are stored sparsely: GlobIdx holds the declaration indices
+// of the globals recorded for this site, ascending, and GlobVals their
+// values, parallel. The recorded set is the transitive REF set of the
+// site's callee — exactly the globals the callee's entry environment
+// binds, so nothing a consumer reads is ever absent. Sparseness is
+// safe across incremental reuse because REF is transitive (REF(caller)
+// ⊇ REF(callee)) and ProcState.RefKey fingerprints the caller's REF
+// set: any callee edit that changes which globals matter changes the
+// caller's RefKey and dirties it, so a structurally reused summary
+// always carries the current REF set.
 type SiteValues struct {
 	Reachable bool
 	Args      []lattice.Elem
-	Globals   []lattice.Elem // indexed by global declaration order
+	GlobIdx   []int32        // global declaration indices, ascending
+	GlobVals  []lattice.Elem // parallel to GlobIdx
+}
+
+// Global returns the recorded value of the global with declaration
+// index idx, or ⊥ when the site does not record it. Consumers only
+// query globals in the callee's REF set, which are always recorded;
+// the ⊥ default keeps an out-of-contract read sound (never reports a
+// spurious constant).
+func (sv *SiteValues) Global(idx int) lattice.Elem {
+	g := sv.GlobIdx
+	lo, hi := 0, len(g)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(g[mid]) < idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g) && int(g[lo]) == idx {
+		return sv.GlobVals[lo]
+	}
+	return lattice.BottomElem()
 }
 
 // ProcSummary is everything downstream consumers need from one

@@ -4,6 +4,8 @@
 package lexer
 
 import (
+	"strings"
+
 	"fsicp/internal/source"
 	"fsicp/internal/token"
 )
@@ -21,11 +23,27 @@ type Lexer struct {
 	src    string
 	offset int
 	errs   *source.ErrorList
+	lits   map[string]string // interned literal spellings
 }
 
 // New returns a Lexer over f, appending diagnostics to errs.
 func New(f *source.File, errs *source.ErrorList) *Lexer {
-	return &Lexer{file: f, src: f.Content, errs: errs}
+	return &Lexer{file: f, src: f.Content, errs: errs, lits: make(map[string]string)}
+}
+
+// intern returns a copy of lit that does not alias the source text,
+// deduplicated per lexer. Token.Lit values outlive the scan (they end
+// up in AST nodes), and a naive substring would pin the whole file's
+// backing array — defeating File.ReleaseContent in the streaming
+// loader. Interning pays one small allocation per distinct spelling
+// and lets the file contents be reclaimed the moment parsing is done.
+func (l *Lexer) intern(lit string) string {
+	if s, ok := l.lits[lit]; ok {
+		return s
+	}
+	s := strings.Clone(lit)
+	l.lits[s] = s
+	return s
 }
 
 func (l *Lexer) pos() source.Pos { return l.file.Pos(l.offset) }
@@ -89,7 +107,7 @@ func (l *Lexer) scan() Token {
 		for l.offset < len(l.src) && (isLetter(l.src[l.offset]) || isDigit(l.src[l.offset])) {
 			l.offset++
 		}
-		lit := l.src[start:l.offset]
+		lit := l.intern(l.src[start:l.offset])
 		kind := token.Lookup(lit)
 		if kind != token.IDENT {
 			return Token{Kind: kind, Pos: pos, Lit: lit}
@@ -109,14 +127,14 @@ func (l *Lexer) scan() Token {
 		for l.offset < len(l.src) && l.src[l.offset] != '\n' {
 			l.offset++
 		}
-		return Token{Kind: token.COMMENT, Pos: pos, Lit: l.src[start:l.offset]}
+		return Token{Kind: token.COMMENT, Pos: pos, Lit: l.intern(l.src[start:l.offset])}
 	case '/':
 		if l.peek() == '/' {
 			start := l.offset - 1
 			for l.offset < len(l.src) && l.src[l.offset] != '\n' {
 				l.offset++
 			}
-			return Token{Kind: token.COMMENT, Pos: pos, Lit: l.src[start:l.offset]}
+			return Token{Kind: token.COMMENT, Pos: pos, Lit: l.intern(l.src[start:l.offset])}
 		}
 		return Token{Kind: token.QUO, Pos: pos}
 	case '+':
@@ -210,7 +228,7 @@ func (l *Lexer) scanNumber(pos source.Pos) Token {
 			l.offset = mark // 'e' begins an identifier, not an exponent
 		}
 	}
-	lit := l.src[start:l.offset]
+	lit := l.intern(l.src[start:l.offset])
 	if isLetter(l.peek()) {
 		l.errs.Errorf(l.pos(), "identifier immediately follows number %q", lit)
 	}
@@ -224,9 +242,9 @@ func (l *Lexer) scanString(pos source.Pos) Token {
 	}
 	if l.offset >= len(l.src) || l.src[l.offset] != '"' {
 		l.errs.Errorf(pos, "unterminated string literal")
-		return Token{Kind: token.ILLEGAL, Pos: pos, Lit: l.src[start:l.offset]}
+		return Token{Kind: token.ILLEGAL, Pos: pos, Lit: l.intern(l.src[start:l.offset])}
 	}
-	lit := l.src[start:l.offset]
+	lit := l.intern(l.src[start:l.offset])
 	l.offset++ // closing quote
 	return Token{Kind: token.STRINGLIT, Pos: pos, Lit: lit}
 }

@@ -57,6 +57,15 @@ type Options struct {
 	// on the SSA form and the entry environment, the abort point is
 	// deterministic.
 	Budget *resilience.Budget
+
+	// Transient draws the Result's backing storage (Values, BlockExec,
+	// the edge-executable set) from a pool instead of allocating fresh.
+	// The caller promises to call Result.Release once it has extracted
+	// what it needs; wavefront workers that summarize-and-discard use
+	// this so per-procedure result tables stop costing one allocation
+	// set per scc run. The fixpoint is byte-identical either way: every
+	// pooled buffer is fully reinitialised before use.
+	Transient bool
 }
 
 // Result holds the fixpoint.
@@ -72,6 +81,41 @@ type Result struct {
 	// edges, not nblocks²).
 	edgeExec *bitset.Auto
 	nblocks  int
+	// buf is the pooled backing of a transient result (nil otherwise);
+	// Release returns it.
+	buf *resultBuf
+}
+
+// resultBuf is the poolable backing storage of a transient Result.
+type resultBuf struct {
+	values    []lattice.Elem
+	blockExec []bool
+	edgeExec  *bitset.Auto
+}
+
+var resultPool = sync.Pool{New: func() any { return new(resultBuf) }}
+
+// Release returns a transient result's backing storage to the pool and
+// clears the receiver; the result must not be read afterwards. A no-op
+// on nil, non-transient, or already released results, so callers can
+// release unconditionally.
+func (r *Result) Release() {
+	if r == nil || r.buf == nil {
+		return
+	}
+	buf := r.buf
+	r.buf = nil
+	r.S, r.Values, r.BlockExec, r.edgeExec = nil, nil, nil, nil
+	resultPool.Put(buf)
+}
+
+// grow returns s resized to n elements, reusing its backing array when
+// large enough. Contents are unspecified; callers reinitialise.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // EdgeExecutable reports whether the CFG edge from→to (block indices)
@@ -112,18 +156,24 @@ func Run(s *ssa.SSA, opts Options) *Result {
 	sc.flowWork = sc.flowWork[:0]
 	sc.ssaWork = sc.ssaWork[:0]
 	sc.visited = sc.visited.Reset(nb)
-	e := &engine{
-		s:    s,
-		opts: opts,
-		res: &Result{
-			S:         s,
-			Values:    make([]lattice.Elem, len(s.Defs)),
-			BlockExec: make([]bool, nb),
-			edgeExec:  bitset.NewAuto(nb * nb),
-			nblocks:   nb,
-		},
-		sc: sc,
+	res := &Result{S: s, nblocks: nb}
+	if opts.Transient {
+		// Pooled backing; a Run aborted by a budget panic simply drops
+		// the buffer (the pool regrows), keeping the unwind path free of
+		// half-initialised returns.
+		buf := resultPool.Get().(*resultBuf)
+		buf.values = grow(buf.values, len(s.Defs))
+		buf.blockExec = grow(buf.blockExec, nb)
+		buf.edgeExec = buf.edgeExec.Reset(nb * nb)
+		clear(buf.blockExec)
+		res.Values, res.BlockExec, res.edgeExec = buf.values, buf.blockExec, buf.edgeExec
+		res.buf = buf
+	} else {
+		res.Values = make([]lattice.Elem, len(s.Defs))
+		res.BlockExec = make([]bool, nb)
+		res.edgeExec = bitset.NewAuto(nb * nb)
 	}
+	e := &engine{s: s, opts: opts, res: res, sc: sc}
 	for i := range e.res.Values {
 		e.res.Values[i] = lattice.TopElem()
 	}

@@ -34,10 +34,17 @@ type Span struct {
 // resolving positions. Base is the Pos offset of the file's first byte;
 // it is zero for standalone files and assigned by a FileSet when many
 // files share one Pos space.
+//
+// A file's contents may be transient: the streaming corpus loader
+// registers files by size alone (FileSet.AddSized), attaches contents
+// just before parsing (SetContent), and drops them right after
+// (ReleaseContent). Positions keep resolving to file:line:column from
+// the retained line index; only Line's source-text echo goes away.
 type File struct {
 	Name    string
 	Content string
 	Base    int
+	size    int   // content length in bytes; survives ReleaseContent
 	lines   []int // byte offset of the start of each line
 }
 
@@ -48,15 +55,41 @@ func NewFile(name, content string) *File {
 
 // NewFileAt builds a File whose positions start at the given base.
 func NewFileAt(name, content string, base int) *File {
-	f := &File{Name: name, Content: content, Base: base}
+	f := &File{Name: name, Base: base, size: len(content)}
 	f.lines = append(f.lines, 0)
+	f.setContent(content)
+	return f
+}
+
+// SetContent attaches the contents of a file registered with
+// FileSet.AddSized and builds its line index. The length must match
+// the registered size — a mismatch means the file changed on disk
+// between the loader's stat and its read, and the Pos space already
+// handed out would misattribute every later file's diagnostics.
+func (f *File) SetContent(content string) error {
+	if len(content) != f.size {
+		return fmt.Errorf("%s: file is %d bytes, expected %d (changed during load?)", f.Name, len(content), f.size)
+	}
+	f.setContent(content)
+	return nil
+}
+
+func (f *File) setContent(content string) {
+	f.Content = content
+	f.lines = f.lines[:1]
 	for i := 0; i < len(content); i++ {
 		if content[i] == '\n' {
 			f.lines = append(f.lines, i+1)
 		}
 	}
-	return f
 }
+
+// ReleaseContent drops the file's contents, keeping the name, the Pos
+// space, and the line index: positions still resolve, Line returns "".
+// The streaming loader calls it once a file is parsed — the lexer
+// copies every literal it keeps, so nothing pins the content's backing
+// array and the memory is reclaimable immediately.
+func (f *File) ReleaseContent() { f.Content = "" }
 
 // Pos converts a byte offset into a Pos for this file.
 func (f *File) Pos(offset int) Pos { return Pos(f.Base + offset + 1) }
@@ -64,10 +97,16 @@ func (f *File) Pos(offset int) Pos { return Pos(f.Base + offset + 1) }
 // Offset converts a Pos back to a byte offset.
 func (f *File) Offset(p Pos) int { return int(p) - 1 - f.Base }
 
-// Span reports the half-open Pos interval covered by this file.
+// Span reports the half-open Pos interval covered by this file. It is
+// computed from the registered size, not the resident contents, so it
+// stays correct for files whose contents have been released.
 func (f *File) Span() Span {
-	return Span{Start: Pos(f.Base + 1), End: Pos(f.Base + len(f.Content) + 1)}
+	return Span{Start: Pos(f.Base + 1), End: Pos(f.Base + f.size + 1)}
 }
+
+// Size returns the content length in bytes, whether or not the
+// contents are currently resident.
+func (f *File) Size() int { return f.size }
 
 // Position is a resolved human-readable location.
 type Position struct {
@@ -98,9 +137,11 @@ func (f *File) Position(p Pos) Position {
 	return Position{Filename: f.Name, Line: i + 1, Column: off - f.lines[i] + 1}
 }
 
-// Line returns the text of the 1-based line number, without the newline.
+// Line returns the text of the 1-based line number, without the
+// newline. It returns "" for out-of-range lines and for files whose
+// contents have been released.
 func (f *File) Line(n int) string {
-	if n < 1 || n > len(f.lines) {
+	if n < 1 || n > len(f.lines) || len(f.Content) < f.size {
 		return ""
 	}
 	start := f.lines[n-1]
@@ -138,6 +179,17 @@ func (s *FileSet) Add(name, content string) *File {
 	return f
 }
 
+// AddSized appends a file known only by its size — contents arrive
+// later via SetContent. This lets a streaming loader lay out the whole
+// corpus's Pos space up front (from stat sizes) while reading file
+// contents lazily, a bounded number at a time.
+func (s *FileSet) AddSized(name string, size int) *File {
+	f := &File{Name: name, Base: s.next, size: size, lines: []int{0}}
+	s.next += size + 1
+	s.files = append(s.files, f)
+	return f
+}
+
 // Files returns the files in the order they were added.
 func (s *FileSet) Files() []*File { return s.files }
 
@@ -153,7 +205,7 @@ func (s *FileSet) FileOf(p Pos) *File {
 		return nil
 	}
 	f := s.files[i]
-	if off > f.Base+len(f.Content) {
+	if off > f.Base+f.size {
 		return nil
 	}
 	return f

@@ -10,7 +10,9 @@ import (
 	"runtime"
 	"slices"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -258,6 +260,102 @@ func TestLoadDirCorpus(t *testing.T) {
 
 	if _, err := fsicp.LoadDir(t.TempDir(), fsicp.LoadOptions{}); err == nil {
 		t.Error("empty directory loaded successfully")
+	}
+}
+
+// TestLoadStreamingResidency asserts the bounded-buffer contract of
+// the streaming directory loader: while parsing an N-file corpus with
+// W workers, at most W file contents are resident at once. The parse
+// pass reports its peak resident source bytes as "src-peak="; that
+// peak must fit within the W largest files combined — and sit below
+// the corpus total, which is what the pre-streaming loader
+// materialized up front.
+func TestLoadStreamingResidency(t *testing.T) {
+	files, m := progen.GenerateModules(progen.ModuleConfig{
+		Seed: 11, Modules: 12, ProcsPerModule: 24,
+	})
+	dir := t.TempDir()
+	if err := progen.WriteCorpus(dir, files, m); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 2
+	prog, err := fsicp.LoadDir(dir, fsicp.LoadOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := parseSrcPeak(t, prog)
+
+	sizes := make([]int, 0, len(files))
+	total := 0
+	for _, f := range files {
+		sizes = append(sizes, len(f.Src))
+		total += len(f.Src)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	bound := 0
+	for _, s := range sizes[:workers] {
+		bound += s
+	}
+	if peak <= 0 {
+		t.Fatal("parse recorded no resident source bytes")
+	}
+	if peak > bound {
+		t.Errorf("parse held %d source bytes resident; %d workers over files of sizes %v should hold at most %d",
+			peak, workers, sizes[:workers], bound)
+	}
+	if peak >= total {
+		t.Errorf("parse residency %d is not below the corpus total %d — streaming is not releasing file contents",
+			peak, total)
+	}
+}
+
+// parseSrcPeak extracts the "src-peak=" note from the parse pass's
+// stats row (the load trace is carried into every Analysis).
+func parseSrcPeak(t *testing.T, prog *fsicp.Program) int {
+	t.Helper()
+	a := prog.Analyze(fsicp.Config{Method: fsicp.FlowInsensitive})
+	for _, st := range a.Stats() {
+		if st.Name != "parse" {
+			continue
+		}
+		i := strings.Index(st.Notes, "src-peak=")
+		if i < 0 {
+			break
+		}
+		n, err := strconv.Atoi(strings.Fields(st.Notes[i+len("src-peak="):])[0])
+		if err != nil {
+			t.Fatalf("unparseable src-peak note %q: %v", st.Notes, err)
+		}
+		return n
+	}
+	t.Fatal("no src-peak note in the parse pass stats")
+	return 0
+}
+
+// corpus2kProgram loads the 2k corpus exactly once per process and
+// shares the Program across every analysis-only benchmark iteration
+// (including the gate's in-process re-measurement), so the load phase
+// is amortized out of the measurement entirely.
+var corpus2kProgram = sync.OnceValues(func() (*fsicp.Program, error) {
+	files, _ := corpus2k()
+	return fsicp.LoadFiles(asSourceFiles(files), fsicp.LoadOptions{Workers: 4})
+})
+
+// BenchmarkAnalyzeLargeCorpus isolates the analysis phase at corpus
+// scale: the 2049-procedure corpus is loaded once, and each iteration
+// runs only the flow-sensitive analysis. It sits in the allocation
+// gate with an allocs/op and a peak-live-heap budget (BENCH_icp.json),
+// so regressions in the wavefront, the spill-aware environments, the
+// pooled scc results, or delta propagation fail loudly without load
+// noise masking them.
+func BenchmarkAnalyzeLargeCorpus(b *testing.B) {
+	prog, err := corpus2kProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.Analyze(fsicp.Config{Method: fsicp.FlowSensitive, PropagateFloats: true, Workers: 4})
 	}
 }
 

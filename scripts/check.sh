@@ -59,6 +59,13 @@ go test -race -count=1 \
     ./internal/serve
 go test -race -count=1 ./cmd/fsicpd
 
+echo "== spill/delta-skip determinism (race) =="
+# The analysis-phase fast paths — spill-aware environments and
+# delta-propagation skips — must be invisible in the output: all 7
+# methods on the 2k corpus, workers 1/2/4/8, with the spill threshold
+# forced to 0 and with skipping forced off, race-enabled.
+go test -race -count=1 -run 'TestSpillAndDeltaSkipDeterminism' .
+
 echo "== large-corpus smoke =="
 # The scaling suite at smoke size: a 2049-procedure multi-module corpus
 # must produce byte-identical results at workers 1/2/4/8, a malformed
@@ -74,7 +81,7 @@ echo "== bench smoke =="
 # One iteration of the wavefront and sharded-load benchmarks: catches
 # crashes or hangs in the benchmark harnesses themselves without paying
 # for a full measurement.
-go test -run '^$' -bench 'BenchmarkAnalyzeParallel|BenchmarkLoadParallel|BenchmarkColdEndToEnd|BenchmarkColdWarmDisk|BenchmarkOptimize|BenchmarkServeSustained|BenchmarkLargeCorpus' -benchtime=1x -benchmem .
+go test -run '^$' -bench 'BenchmarkAnalyzeParallel|BenchmarkLoadParallel|BenchmarkColdEndToEnd|BenchmarkColdWarmDisk|BenchmarkOptimize|BenchmarkServeSustained|BenchmarkLargeCorpus|BenchmarkAnalyzeLargeCorpus' -benchtime=1x -benchmem .
 
 echo "== allocation-regression gate =="
 # Re-measures the guarded benchmarks and fails when allocs/op grossly

@@ -1,0 +1,121 @@
+// Byte-determinism of the analysis-phase scaling machinery: the
+// spill-aware environments (lattice.DenseEnv's dense core + sparse
+// overflow) and the delta-propagation skips in the iterative and
+// returns-refresh fixpoints are performance features, so their output
+// must be indistinguishable from the dense, skip-free paths — for
+// every method, at every worker count.
+package fsicp_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	fsicp "fsicp"
+	"fsicp/internal/lattice"
+)
+
+// sevenMethods is the Config-method matrix: the three Methods, plus
+// the §3.2 returns extension and the returns refresh pass for both
+// flow-sensitive variants (the refresh is where the delta-skip
+// substitution happens, so it must be in the matrix). The four
+// jump-function baselines that complete the CLI's seven-method set
+// are covered separately below — they take no worker or skip knobs.
+func sevenMethods() []fsicp.Config {
+	return []fsicp.Config{
+		{Method: fsicp.FlowInsensitive, PropagateFloats: true},
+		{Method: fsicp.FlowSensitive, PropagateFloats: true},
+		{Method: fsicp.FlowSensitive, PropagateFloats: true, ReturnConstants: true},
+		{Method: fsicp.FlowSensitive, PropagateFloats: true, ReturnConstants: true, ReturnsRefresh: true},
+		{Method: fsicp.FlowSensitiveIterative, PropagateFloats: true},
+		{Method: fsicp.FlowSensitiveIterative, PropagateFloats: true, ReturnConstants: true},
+		{Method: fsicp.FlowSensitiveIterative, PropagateFloats: true, ReturnConstants: true, ReturnsRefresh: true},
+	}
+}
+
+func cfgName(cfg fsicp.Config) string {
+	n := cfg.Method.String()
+	if cfg.ReturnConstants {
+		n += "+returns"
+	}
+	if cfg.ReturnsRefresh {
+		n += "+refresh"
+	}
+	return n
+}
+
+// TestSpillAndDeltaSkipDeterminism compares, on the 2k-procedure
+// corpus, the dense-path baseline report (default spill threshold,
+// delta skipping on, one worker) against the all-sparse path (spill
+// threshold forced to 0, so every environment takes the overflow
+// representation) and the skip-free path (FSICP_NO_DELTA_SKIP forces
+// every fixpoint round and refresh visit to re-evaluate), each at
+// workers 1, 2, 4, and 8. Any divergence means one of the fast paths
+// is changing answers, not just time. Meant to run under -race
+// (scripts/check.sh has a dedicated stage); it skips under -short to
+// stay out of the quick suite.
+func TestSpillAndDeltaSkipDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2k-procedure corpus × 7 methods × 4 worker counts; skipped with -short")
+	}
+	files, _ := corpus2k()
+	prog, err := fsicp.LoadFiles(asSourceFiles(files), fsicp.LoadOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range sevenMethods() {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			base := cfg
+			base.Workers = 1
+			want := fingerprint(prog.Analyze(base))
+
+			for _, workers := range []int{1, 2, 4, 8} {
+				run := cfg
+				run.Workers = workers
+
+				t.Run(fmt.Sprintf("spill0/workers=%d", workers), func(t *testing.T) {
+					old := lattice.EnvSpillThreshold
+					lattice.EnvSpillThreshold = 0
+					defer func() { lattice.EnvSpillThreshold = old }()
+					if got := fingerprint(prog.Analyze(run)); got != want {
+						t.Error("all-sparse environments changed the report")
+					}
+				})
+
+				t.Run(fmt.Sprintf("noskip/workers=%d", workers), func(t *testing.T) {
+					t.Setenv("FSICP_NO_DELTA_SKIP", "1")
+					if got := fingerprint(prog.Analyze(run)); got != want {
+						t.Error("disabling delta-propagation skips changed the report")
+					}
+				})
+			}
+		})
+	}
+
+	// The jump-function baselines have no worker fan-out and no
+	// fixpoint skips, but their entry environments ride the same
+	// lattice representations — the all-sparse path must be invisible
+	// here too.
+	for _, kind := range []fsicp.JumpFunctionKind{fsicp.Literal, fsicp.IntraConstant, fsicp.PassThrough, fsicp.Polynomial} {
+		kind := kind
+		t.Run("jump/"+kind.String(), func(t *testing.T) {
+			want := jumpFingerprint(prog.AnalyzeJumpFunctions(kind))
+			old := lattice.EnvSpillThreshold
+			lattice.EnvSpillThreshold = 0
+			defer func() { lattice.EnvSpillThreshold = old }()
+			if got := jumpFingerprint(prog.AnalyzeJumpFunctions(kind)); got != want {
+				t.Error("all-sparse environments changed the baseline report")
+			}
+		})
+	}
+}
+
+func jumpFingerprint(a *fsicp.JumpAnalysis) string {
+	var b strings.Builder
+	for _, c := range a.Constants() {
+		fmt.Fprintf(&b, "const %s.%s = %s (%s)\n", c.Proc, c.Var, c.Value, c.Kind)
+	}
+	fmt.Fprintf(&b, "subs %d\n", a.Substitutions())
+	return b.String()
+}
